@@ -1,0 +1,202 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, then runs Bechamel micro-benchmarks on the hot kernels.
+
+     dune exec bench/main.exe                 # full paper scale
+     APPLE_BENCH_SCALE=0.05 dune exec bench/main.exe   # quick smoke run
+
+   One experiment driver per artifact (Table I/III/IV/V, Fig 6-12) lives
+   in Apple_core.Experiments; this harness prints them all and appends
+   kernel timings. *)
+
+module C = Apple_core
+module B = Apple_topology.Builders
+module Tr = Apple_traffic
+module Rng = Apple_prelude.Rng
+
+let scale =
+  match Sys.getenv_opt "APPLE_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let seed =
+  match Sys.getenv_opt "APPLE_BENCH_SEED" with
+  | Some s -> (try int_of_string s with _ -> 20160627)
+  | None -> 20160627
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures.                             *)
+
+let reproduce_paper () =
+  let opts = { C.Experiments.seed; scale } in
+  Printf.printf
+    "APPLE reproduction benchmarks (seed=%d scale=%.2f)\n\
+     =================================================\n\n%!"
+    seed scale;
+  List.iter C.Experiments.print (C.Experiments.all opts);
+  print_endline "---- ablations (beyond the paper's figures) ----\n";
+  List.iter C.Experiments.print (C.Experiments.ablations opts)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks on the framework's kernels.       *)
+
+open Bechamel
+open Toolkit
+
+(* Pre-built inputs shared by the kernels (construction excluded from the
+   measured region). *)
+let bench_scenario =
+  lazy
+    (let named = B.internet2 () in
+     let rng = Rng.create seed in
+     let tm = Tr.Synth.gravity rng ~n:12 ~total:3000.0 in
+     let config = { C.Scenario.default_config with C.Scenario.max_classes = 12 } in
+     C.Scenario.build ~config ~seed named tm)
+
+let bench_placement = lazy (C.Optimization_engine.solve (Lazy.force bench_scenario))
+let bench_assignment =
+  lazy (C.Subclass.assign (Lazy.force bench_scenario) (Lazy.force bench_placement))
+let bench_rules =
+  lazy (C.Rule_generator.build (Lazy.force bench_scenario) (Lazy.force bench_assignment))
+
+let test_optimize =
+  Test.make ~name:"optimization-engine (internet2, 12 classes)"
+    (Staged.stage (fun () ->
+         ignore (C.Optimization_engine.solve (Lazy.force bench_scenario))))
+
+let test_decompose =
+  Test.make ~name:"sub-class decomposition (one class)"
+    (Staged.stage (fun () ->
+         let s = Lazy.force bench_scenario in
+         let p = Lazy.force bench_placement in
+         let c = s.C.Types.classes.(0) in
+         ignore (C.Subclass.decompose c p.C.Optimization_engine.distribution.(0))))
+
+let test_rulegen =
+  Test.make ~name:"rule generation (all classes)"
+    (Staged.stage (fun () ->
+         ignore
+           (C.Rule_generator.build (Lazy.force bench_scenario)
+              (Lazy.force bench_assignment))))
+
+let test_walk =
+  Test.make ~name:"packet walk (one flow)"
+    (Staged.stage (fun () ->
+         let s = Lazy.force bench_scenario in
+         let built = Lazy.force bench_rules in
+         let c = s.C.Types.classes.(0) in
+         let src_ip = c.C.Types.src_block.C.Types.Prefix.addr in
+         ignore
+           (Apple_dataplane.Walk.run built.C.Rule_generator.network
+              ~path:(Array.to_list c.C.Types.path)
+              ~cls:c.C.Types.id ~src_ip ())))
+
+let test_atoms =
+  Test.make ~name:"atomic predicates (6 predicates)"
+    (Staged.stage (fun () ->
+         let module P = Apple_classifier.Predicate in
+         let e = P.env () in
+         let preds =
+           [
+             P.src_prefix e "10.0.0.0" 8;
+             P.src_prefix e "10.1.0.0" 16;
+             P.dst_prefix e "192.168.0.0" 16;
+             P.proto e 6;
+             P.dst_port e 80;
+             P.dst_port_range e 1000 2000;
+           ]
+         in
+         ignore (Apple_classifier.Atoms.compute e preds)))
+
+let test_chash =
+  Test.make ~name:"consistent-hash assign (one packet)"
+    (Staged.stage
+       (let ring =
+          Apple_classifier.Consistent_hash.create ~weights:[| 0.3; 0.3; 0.4 |]
+        in
+        let packet =
+          {
+            Apple_classifier.Header.src_ip = 0x0A000001;
+            dst_ip = 0xC0A80101;
+            proto = 6;
+            src_port = 1234;
+            dst_port = 80;
+          }
+        in
+        fun () -> ignore (Apple_classifier.Consistent_hash.assign ring packet)))
+
+let test_simplex_small =
+  Test.make ~name:"simplex (20x30 covering LP)"
+    (Staged.stage
+       (let build () =
+          let module M = Apple_lp.Model in
+          let t = M.create () in
+          let rng = Rng.create 5 in
+          let vars =
+            Array.init 30 (fun _ -> M.add_var t ~obj:(1.0 +. Rng.uniform rng) ())
+          in
+          for _ = 1 to 20 do
+            let terms =
+              Array.to_list (Array.map (fun v -> (0.5 +. Rng.uniform rng, v)) vars)
+            in
+            M.add_constraint t terms M.Ge (10.0 +. Rng.float rng 10.0)
+          done;
+          t
+        in
+        let model = build () in
+        fun () -> ignore (Apple_lp.Model.solve_lp model)))
+
+let test_drfq =
+  Test.make ~name:"DRFQ enqueue+dequeue (one packet)"
+    (Staged.stage
+       (let s = Apple_sched.Drfq.create ~resources:[| "cpu"; "nic" |] in
+        let f =
+          Apple_sched.Drfq.add_flow s ~name:"bench" ~cost_per_kb:[| 1e-4; 2e-4 |]
+        in
+        fun () ->
+          Apple_sched.Drfq.enqueue s f ~bytes:1024;
+          ignore (Apple_sched.Drfq.dequeue s)))
+
+let run_micro () =
+  print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+  let tests =
+    [
+      test_simplex_small;
+      test_decompose;
+      test_rulegen;
+      test_walk;
+      test_atoms;
+      test_chash;
+      test_drfq;
+      test_optimize;
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~stabilize:true ~quota:(Time.second 1.0) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (ns :: _) ->
+              let pretty =
+                if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+                else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+                else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+                else Printf.sprintf "%.0f ns" ns
+              in
+              Printf.printf "%-45s %12s / run\n%!" name pretty
+          | Some [] | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  reproduce_paper ();
+  run_micro ();
+  print_endline "\nbench: done"

@@ -1,0 +1,280 @@
+(* Command-line front-end: run any paper experiment, solve a placement for
+   one topology, or replay traffic with fast failover. *)
+
+module C = Apple_core
+module B = Apple_topology.Builders
+module Tr = Apple_traffic
+module Rng = Apple_prelude.Rng
+
+open Cmdliner
+
+let topology_of_string = function
+  | "internet2" -> Ok (B.internet2 ())
+  | "geant" -> Ok (B.geant ())
+  | "univ1" -> Ok (B.univ1 ())
+  | "as3679" -> Ok (B.as3679 ())
+  | s -> Error (`Msg (Printf.sprintf "unknown topology %S (expected internet2|geant|univ1|as3679)" s))
+
+let topology_conv =
+  Arg.conv
+    ( (fun s -> topology_of_string s),
+      fun ppf t -> Format.pp_print_string ppf t.B.label )
+
+let seed_arg =
+  let doc = "Random seed; every run is deterministic for a given seed." in
+  Arg.(value & opt int 20160627 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc =
+    "Scale factor for run counts and snapshot counts (1.0 = paper scale, \
+     0.05 = quick smoke run)."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+(* --- experiment command ------------------------------------------- *)
+
+let experiment_names =
+  [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
+    "fig10"; "fig11"; "fig12"; "ablations"; "all" ]
+
+let run_experiment name seed scale =
+  let opts = { C.Experiments.seed; scale } in
+  let first (r, _) = r in
+  match name with
+  | "table1" -> C.Experiments.print (C.Experiments.table1 opts); Ok ()
+  | "table3" -> C.Experiments.print (C.Experiments.table3 opts); Ok ()
+  | "table4" -> C.Experiments.print (C.Experiments.table4 opts); Ok ()
+  | "table5" -> C.Experiments.print (first (C.Experiments.table5 opts)); Ok ()
+  | "fig6" -> C.Experiments.print (C.Experiments.fig6 opts); Ok ()
+  | "fig7" -> C.Experiments.print (C.Experiments.fig7 opts); Ok ()
+  | "fig8" -> C.Experiments.print (C.Experiments.fig8 opts); Ok ()
+  | "fig9" -> C.Experiments.print (C.Experiments.fig9 opts); Ok ()
+  | "fig10" -> C.Experiments.print (first (C.Experiments.fig10 opts)); Ok ()
+  | "fig11" -> C.Experiments.print (first (C.Experiments.fig11 opts)); Ok ()
+  | "fig12" -> C.Experiments.print (first (C.Experiments.fig12 opts)); Ok ()
+  | "ablations" ->
+      List.iter C.Experiments.print (C.Experiments.ablations opts);
+      Ok ()
+  | "all" ->
+      List.iter C.Experiments.print (C.Experiments.all opts);
+      List.iter C.Experiments.print (C.Experiments.ablations opts);
+      Ok ()
+  | other ->
+      Error (`Msg (Printf.sprintf "unknown experiment %S (expected %s)" other
+                     (String.concat "|" experiment_names)))
+
+let experiment_cmd =
+  let name_arg =
+    let doc = "Experiment to reproduce: " ^ String.concat ", " experiment_names in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let action name seed scale =
+    match run_experiment name seed scale with
+    | Ok () -> `Ok ()
+    | Error (`Msg m) -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
+    Term.(ret (const action $ name_arg $ seed_arg $ scale_arg))
+
+(* --- solve command ------------------------------------------------- *)
+
+let solve_action topo seed total max_classes verify tm_file =
+  let n = Apple_topology.Graph.num_nodes topo.B.graph in
+  let tm =
+    match tm_file with
+    | None ->
+        let rng = Rng.create seed in
+        Tr.Synth.gravity rng ~n ~total
+    | Some path -> (
+        match Tr.Io.load ~path with
+        | Ok tm when Tr.Matrix.size tm = n -> tm
+        | Ok tm ->
+            failwith
+              (Printf.sprintf "matrix is %dx%d but %s has %d nodes"
+                 (Tr.Matrix.size tm) (Tr.Matrix.size tm) topo.B.label n)
+        | Error e -> failwith e)
+  in
+  let config = { C.Scenario.default_config with C.Scenario.max_classes } in
+  let scenario = C.Scenario.build ~config ~seed topo tm in
+  let controller = C.Controller.create scenario in
+  (try
+     let report = C.Controller.run_epoch controller in
+     Format.printf "topology:    %s (%d nodes, %d links)@." topo.B.label n
+       (Apple_topology.Graph.num_edges topo.B.graph);
+     Format.printf "classes:     %d (%.1f Mbps total)@."
+       (Array.length scenario.C.Types.classes)
+       (C.Types.total_rate scenario);
+     Format.printf "model:       %s@."
+       report.C.Controller.placement.C.Optimization_engine.model_size;
+     Format.printf "instances:   %d (%d CPU cores)@." report.C.Controller.instances
+       report.C.Controller.cores;
+     Format.printf "LP bound:    %.2f instances@."
+       report.C.Controller.placement.C.Optimization_engine.lp_objective;
+     Format.printf "TCAM:        %d entries with tagging, %d without (%.1fx)@."
+       report.C.Controller.rules.C.Rule_generator.tcam_with_tagging
+       report.C.Controller.rules.C.Rule_generator.tcam_without_tagging
+       (C.Rule_generator.reduction_ratio report.C.Controller.rules);
+     Format.printf "solve time:  %.3f s@." report.C.Controller.solve_seconds;
+     if verify then begin
+       match C.Controller.verify controller with
+       | Ok () ->
+           Format.printf
+             "verified:    policy enforcement + interference freedom on every sub-class@."
+       | Error e -> Format.printf "VERIFY FAILED: %s@." e
+     end;
+     `Ok ()
+   with
+   | C.Optimization_engine.Infeasible msg -> `Error (false, "infeasible: " ^ msg)
+   | Failure msg -> `Error (false, msg))
+
+let solve_cmd =
+  let topo_arg =
+    let doc = "Topology: internet2, geant, univ1 or as3679." in
+    Arg.(value & opt topology_conv (B.internet2 ()) & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let total_arg =
+    let doc = "Network-wide offered load in Mbps." in
+    Arg.(value & opt float 6000.0 & info [ "total" ] ~docv:"MBPS" ~doc)
+  in
+  let classes_arg =
+    let doc = "Maximum number of origin-destination pairs carrying policies." in
+    Arg.(value & opt int 120 & info [ "max-classes" ] ~docv:"N" ~doc)
+  in
+  let verify_arg =
+    let doc = "Run the end-to-end packet-walk verification after solving." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let tm_arg =
+    let doc =
+      "Load the traffic matrix from a CSV file (rows = origins, columns = \
+       destinations, Mbps) instead of synthesizing one."
+    in
+    Arg.(value & opt (some file) None & info [ "tm" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run the Optimization Engine once and print the placement summary")
+    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ verify_arg $ tm_arg))
+
+(* --- replay command ------------------------------------------------ *)
+
+let replay_action topo seed snapshots =
+  let profile =
+    { Tr.Synth.default_profile with Tr.Synth.snapshots; total_rate = 3000.0;
+      burst_probability = 0.06; burst_factor = 25.0; burst_length = 6 }
+  in
+  let result = C.Simulation.replay ~seed topo ~profile in
+  Format.printf "topology:      %s@." result.C.Simulation.label;
+  Format.printf "snapshots:     %d@." snapshots;
+  Format.printf "APPLE cores:   %d (ingress strawman: %d)@."
+    result.C.Simulation.apple_cores result.C.Simulation.ingress_cores;
+  let mean = Apple_prelude.Stats.mean in
+  Format.printf "loss (fast failover): mean %.4f%%  p95 %.4f%%@."
+    (100.0 *. mean result.C.Simulation.loss_with_failover)
+    (100.0 *. Apple_prelude.Stats.percentile result.C.Simulation.loss_with_failover 95.0);
+  Format.printf "loss (static):        mean %.4f%%  p95 %.4f%%@."
+    (100.0 *. mean result.C.Simulation.loss_without_failover)
+    (100.0 *. Apple_prelude.Stats.percentile result.C.Simulation.loss_without_failover 95.0);
+  Format.printf "extra failover cores: %.1f average@." result.C.Simulation.mean_extra_cores;
+  List.iter
+    (fun (k, v) -> Format.printf "  %s: %d@." k v)
+    result.C.Simulation.failover_events;
+  `Ok ()
+
+let replay_cmd =
+  let topo_arg =
+    let doc = "Topology: internet2, geant or univ1." in
+    Arg.(value & opt topology_conv (B.internet2 ()) & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let snapshots_arg =
+    let doc = "Number of traffic snapshots to replay." in
+    Arg.(value & opt int 672 & info [ "snapshots" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay time-varying traffic with and without fast failover")
+    Term.(ret (const replay_action $ topo_arg $ seed_arg $ snapshots_arg))
+
+(* --- policies command ----------------------------------------------- *)
+
+let policies_action topo file verify =
+  let env = Apple_classifier.Predicate.env () in
+  match C.Policy_file.parse_file ~env ~topology:topo ~path:file with
+  | Error e -> `Error (false, Format.asprintf "%s: %a" file C.Policy_file.pp_error e)
+  | Ok flows -> (
+      try
+        let r = C.Flow_aggregation.aggregate ~env topo flows in
+        Format.printf "%d policies -> %d equivalence classes (%d atomic predicates)@."
+          (List.length flows)
+          (Array.length r.C.Flow_aggregation.scenario.C.Types.classes)
+          (List.length r.C.Flow_aggregation.atoms);
+        List.iter
+          (fun info ->
+            let cls =
+              r.C.Flow_aggregation.scenario.C.Types.classes.(info.C.Flow_aggregation.class_id)
+            in
+            Format.printf
+              "  class %d: %d member(s), %.1f Mbps, chain %s, %d classifier rule(s)@."
+              info.C.Flow_aggregation.class_id
+              (List.length info.C.Flow_aggregation.members)
+              cls.C.Types.rate
+              (Apple_vnf.Nf.chain_to_string (Array.to_list cls.C.Types.chain))
+              info.C.Flow_aggregation.tcam_rules)
+          r.C.Flow_aggregation.classes_info;
+        let controller = C.Controller.create r.C.Flow_aggregation.scenario in
+        let report = C.Controller.run_epoch controller in
+        Format.printf "placement: %d instances, %d cores, %d TCAM entries@."
+          report.C.Controller.instances report.C.Controller.cores
+          report.C.Controller.tcam_entries;
+        if verify then begin
+          match C.Controller.verify controller with
+          | Ok () -> Format.printf "verified: every class enforced on its unchanged path@."
+          | Error e -> Format.printf "VERIFY FAILED: %s@." e
+        end;
+        `Ok ()
+      with
+      | C.Flow_aggregation.No_route m -> `Error (false, m)
+      | C.Optimization_engine.Infeasible m -> `Error (false, "infeasible: " ^ m))
+
+let policies_cmd =
+  let topo_arg =
+    let doc = "Topology the node names refer to." in
+    Arg.(value & opt topology_conv (B.internet2 ()) & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let file_arg =
+    let doc = "Policy file (see Apple_core.Policy_file for the grammar)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let verify_arg =
+    let doc = "Packet-walk every class after solving." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"Aggregate a policy file into classes, place VNFs and verify")
+    Term.(ret (const policies_action $ topo_arg $ file_arg $ verify_arg))
+
+(* --- topologies command -------------------------------------------- *)
+
+let topologies_action () =
+  List.iter
+    (fun (t : B.named) ->
+      Format.printf "%-10s %3d nodes %4d links  ingress=%d core=%d@." t.B.label
+        (Apple_topology.Graph.num_nodes t.B.graph)
+        (Apple_topology.Graph.num_edges t.B.graph)
+        (List.length t.B.ingress) (List.length t.B.core))
+    (B.all_paper_topologies ());
+  `Ok ()
+
+let topologies_cmd =
+  Cmd.v
+    (Cmd.info "topologies" ~doc:"List the built-in evaluation topologies")
+    Term.(ret (const topologies_action $ const ()))
+
+let main =
+  let doc = "APPLE: interference-free NFV policy enforcement (ICDCS 2016 reproduction)" in
+  Cmd.group (Cmd.info "apple" ~doc)
+    [ experiment_cmd; solve_cmd; replay_cmd; policies_cmd; topologies_cmd ]
+
+let () = exit (Cmd.eval main)

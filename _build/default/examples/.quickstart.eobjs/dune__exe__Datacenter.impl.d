@@ -1,0 +1,1 @@
+examples/datacenter.ml: Apple_core Apple_prelude Apple_topology Apple_traffic Array Format Hashtbl List Option

@@ -1,0 +1,1 @@
+examples/enterprise.ml: Apple_core Apple_prelude Apple_topology Apple_traffic Array Format List

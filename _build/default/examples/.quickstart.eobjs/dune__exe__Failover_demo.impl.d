@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Apple_core Apple_prelude Apple_topology Apple_traffic Apple_vnf Array Format List

@@ -1,0 +1,1 @@
+examples/multi_resource.ml: Apple_sched Array Format List

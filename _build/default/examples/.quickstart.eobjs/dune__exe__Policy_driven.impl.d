@@ -1,0 +1,1 @@
+examples/policy_driven.ml: Apple_classifier Apple_core Apple_packetsim Apple_prelude Apple_topology Array Format List Printf

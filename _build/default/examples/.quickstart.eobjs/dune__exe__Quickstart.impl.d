@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apple_classifier Apple_core Apple_dataplane Apple_topology Apple_vnf Array Format List String

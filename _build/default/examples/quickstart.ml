@@ -1,0 +1,82 @@
+(* Quickstart: enforce policy chains on a 4-switch line without touching
+   any forwarding path.
+
+     dune exec examples/quickstart.exe
+
+   We declare two traffic classes by hand, run the Optimization Engine,
+   and walk a packet through the generated tables to show the two headline
+   properties: the policy chain is applied in order, and the switches
+   visited are exactly the routing path. *)
+
+module C = Apple_core
+module Nf = Apple_vnf.Nf
+
+let () =
+  (* A 4-switch line: 0 - 1 - 2 - 3.  Every switch has an APPLE host with
+     64 CPU cores. *)
+  let topo = Apple_topology.Builders.linear ~n:4 in
+  let class_ id ~src ~dst ~path ~chain ~rate =
+    {
+      C.Types.id;
+      src;
+      dst;
+      path = Array.of_list path;
+      chain = Array.of_list (Nf.chain_of_string chain);
+      src_block = C.Scenario.src_block_of_class_id id;
+      rate;
+    }
+  in
+  let scenario =
+    {
+      C.Types.topo;
+      classes =
+        [|
+          class_ 0 ~src:0 ~dst:3 ~path:[ 0; 1; 2; 3 ] ~chain:"firewall -> ids"
+            ~rate:500.0;
+          class_ 1 ~src:1 ~dst:3 ~path:[ 1; 2; 3 ] ~chain:"nat -> firewall"
+            ~rate:400.0;
+        |];
+      host_cores = Array.make 4 C.Types.default_host_cores;
+      seed = 1;
+    }
+  in
+  let controller = C.Controller.create scenario in
+  let report = C.Controller.run_epoch controller in
+  Format.printf "Placed %d VNF instances (%d cores) for %d classes.@."
+    report.C.Controller.instances report.C.Controller.cores
+    (Array.length scenario.C.Types.classes);
+  Array.iteri
+    (fun v row ->
+      Array.iteri
+        (fun k count ->
+          if count > 0 then
+            Format.printf "  switch %d: %d x %s@." v count
+              (Nf.name (Nf.kind_of_index k)))
+        row)
+    report.C.Controller.placement.C.Optimization_engine.counts;
+  Format.printf "TCAM: %d entries with flow tagging (vs %d without, %.1fx saved)@."
+    report.C.Controller.rules.C.Rule_generator.tcam_with_tagging
+    report.C.Controller.rules.C.Rule_generator.tcam_without_tagging
+    (C.Rule_generator.reduction_ratio report.C.Controller.rules);
+  (* End-to-end check: every sub-class of every class traverses its chain
+     in order along the unchanged routing path. *)
+  (match C.Controller.verify controller with
+  | Ok () ->
+      Format.printf
+        "verified: policy enforcement + interference freedom for all flows@."
+  | Error e -> Format.printf "verification failed: %s@." e);
+  (* Walk one concrete packet and print its trace. *)
+  let c = scenario.C.Types.classes.(0) in
+  let src_ip = c.C.Types.src_block.C.Types.Prefix.addr + 7 in
+  match
+    Apple_dataplane.Walk.run report.C.Controller.rules.C.Rule_generator.network
+      ~path:(Array.to_list c.C.Types.path)
+      ~cls:c.C.Types.id ~src_ip ()
+  with
+  | Error e -> Format.printf "walk failed: %a@." Apple_dataplane.Walk.pp_error e
+  | Ok trace ->
+      Format.printf "packet from %s: switches [%s], VNF instances [%s]@."
+        (Apple_classifier.Header.string_of_ip src_ip)
+        (String.concat "; " (List.map string_of_int trace.Apple_dataplane.Walk.visited))
+        (String.concat "; "
+           (List.map string_of_int trace.Apple_dataplane.Walk.instances))

@@ -1,0 +1,240 @@
+(* Hash-consed ROBDD implementation.  Nodes live in a growable arena; a
+   node is an int index.  Index 0 is FALSE, index 1 is TRUE. *)
+
+type t = int
+
+type man = {
+  mutable var_ : int array;  (* variable at node *)
+  mutable low : int array;  (* else branch *)
+  mutable high : int array;  (* then branch *)
+  mutable next_free : int;
+  unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> node *)
+  and_cache : (int * int, int) Hashtbl.t;
+  xor_cache : (int * int, int) Hashtbl.t;
+  not_cache : (int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let bdd_false (_ : man) : t = 0
+let bdd_true (_ : man) : t = 1
+
+let man ?(cache_size = 1 lsl 12) () =
+  let cap = 1024 in
+  let m =
+    {
+      var_ = Array.make cap max_int;
+      low = Array.make cap 0;
+      high = Array.make cap 0;
+      next_free = 2;
+      unique = Hashtbl.create cap;
+      and_cache = Hashtbl.create cache_size;
+      xor_cache = Hashtbl.create cache_size;
+      not_cache = Hashtbl.create cache_size;
+      ite_cache = Hashtbl.create cache_size;
+    }
+  in
+  (* Terminals carry a sentinel variable greater than any real one. *)
+  m.var_.(0) <- max_int;
+  m.var_.(1) <- max_int;
+  m
+
+let grow m =
+  let cap = Array.length m.var_ in
+  let ncap = cap * 2 in
+  let copy src dflt =
+    let dst = Array.make ncap dflt in
+    Array.blit src 0 dst 0 cap;
+    dst
+  in
+  m.var_ <- copy m.var_ max_int;
+  m.low <- copy m.low 0;
+  m.high <- copy m.high 0
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        if m.next_free >= Array.length m.var_ then grow m;
+        let n = m.next_free in
+        m.next_free <- n + 1;
+        m.var_.(n) <- v;
+        m.low.(n) <- lo;
+        m.high.(n) <- hi;
+        Hashtbl.add m.unique key n;
+        n
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m i 0 1
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk m i 1 0
+
+let rec bdd_not m a =
+  if a = 0 then 1
+  else if a = 1 then 0
+  else
+    match Hashtbl.find_opt m.not_cache a with
+    | Some r -> r
+    | None ->
+        let r = mk m m.var_.(a) (bdd_not m m.low.(a)) (bdd_not m m.high.(a)) in
+        Hashtbl.add m.not_cache a r;
+        r
+
+let rec bdd_and m a b =
+  if a = b then a
+  else if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.and_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.var_.(a) and vb = m.var_.(b) in
+        let v = min va vb in
+        let a0 = if va = v then m.low.(a) else a in
+        let a1 = if va = v then m.high.(a) else a in
+        let b0 = if vb = v then m.low.(b) else b in
+        let b1 = if vb = v then m.high.(b) else b in
+        let r = mk m v (bdd_and m a0 b0) (bdd_and m a1 b1) in
+        Hashtbl.add m.and_cache key r;
+        r
+
+let bdd_or m a b = bdd_not m (bdd_and m (bdd_not m a) (bdd_not m b))
+
+let rec bdd_xor m a b =
+  if a = b then 0
+  else if a = 0 then b
+  else if b = 0 then a
+  else if a = 1 then bdd_not m b
+  else if b = 1 then bdd_not m a
+  else
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.xor_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.var_.(a) and vb = m.var_.(b) in
+        let v = min va vb in
+        let a0 = if va = v then m.low.(a) else a in
+        let a1 = if va = v then m.high.(a) else a in
+        let b0 = if vb = v then m.low.(b) else b in
+        let b1 = if vb = v then m.high.(b) else b in
+        let r = mk m v (bdd_xor m a0 b0) (bdd_xor m a1 b1) in
+        Hashtbl.add m.xor_cache key r;
+        r
+
+let bdd_diff m a b = bdd_and m a (bdd_not m b)
+let bdd_imp m a b = bdd_or m (bdd_not m a) b
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let top n = m.var_.(n) in
+        let v = min (top f) (min (top g) (top h)) in
+        let branch n side =
+          if top n = v then if side then m.high.(n) else m.low.(n) else n
+        in
+        let r =
+          mk m v
+            (ite m (branch f false) (branch g false) (branch h false))
+            (ite m (branch f true) (branch g true) (branch h true))
+        in
+        Hashtbl.add m.ite_cache key r;
+        r
+
+let exists m vars a =
+  let vset = List.sort_uniq compare vars in
+  let cache = Hashtbl.create 64 in
+  let rec go a =
+    if a <= 1 then a
+    else
+      match Hashtbl.find_opt cache a with
+      | Some r -> r
+      | None ->
+          let v = m.var_.(a) in
+          let lo = go m.low.(a) and hi = go m.high.(a) in
+          let r = if List.mem v vset then bdd_or m lo hi else mk m v lo hi in
+          Hashtbl.add cache a r;
+          r
+  in
+  go a
+
+let equal (a : t) (b : t) = a = b
+let is_true (_ : man) a = a = 1
+let is_false (_ : man) a = a = 0
+
+let cube m literals =
+  List.fold_left
+    (fun acc (i, pos) -> bdd_and m acc (if pos then var m i else nvar m i))
+    (bdd_true m) literals
+
+let sat_count m ~num_vars a =
+  let cache = Hashtbl.create 64 in
+  (* count n = satisfying assignments over variables [var_(n), num_vars). *)
+  let rec count n =
+    if n = 0 then 0.0
+    else if n = 1 then 1.0
+    else
+      match Hashtbl.find_opt cache n with
+      | Some c -> c
+      | None ->
+          let v = m.var_.(n) in
+          let weight child =
+            let vc = if child <= 1 then num_vars else m.var_.(child) in
+            count child *. (2.0 ** float_of_int (vc - v - 1))
+          in
+          let c = weight m.low.(n) +. weight m.high.(n) in
+          Hashtbl.add cache n c;
+          c
+  in
+  if a = 0 then 0.0
+  else if a = 1 then 2.0 ** float_of_int num_vars
+  else count a *. (2.0 ** float_of_int m.var_.(a))
+
+let any_sat m a =
+  let rec go acc n =
+    if n = 0 then None
+    else if n = 1 then Some (List.rev acc)
+    else
+      let v = m.var_.(n) in
+      if m.high.(n) <> 0 then go ((v, true) :: acc) m.high.(n)
+      else go ((v, false) :: acc) m.low.(n)
+  in
+  go [] a
+
+let fold_paths m a ~init ~f =
+  let rec go acc path n =
+    if n = 0 then acc
+    else if n = 1 then f acc (List.rev path)
+    else
+      let v = m.var_.(n) in
+      let acc = go acc ((v, false) :: path) m.low.(n) in
+      go acc ((v, true) :: path) m.high.(n)
+  in
+  go init [] a
+
+let size m a =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if n > 1 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go a;
+  Hashtbl.length seen
+
+let node_count m = m.next_free

@@ -1,0 +1,71 @@
+(** Hash-consed reduced ordered binary decision diagrams.
+
+    The classifier compiles packet-header predicates (prefix and wildcard
+    matches) to BDDs and computes {e atomic predicates} (Yang & Lam,
+    ICNP 2013) — the coarsest partition of header space such that every
+    predicate is a union of atoms.  Flows are then grouped into the paper's
+    equivalence classes.
+
+    Variables are identified by non-negative integers; variable order is
+    the integer order (smaller index closer to the root).  All operations
+    are memoized; a manager owns the unique-table and caches. *)
+
+type man
+(** BDD manager (unique table + operation caches). *)
+
+type t
+(** A node handle, valid for the manager that created it. *)
+
+val man : ?cache_size:int -> unit -> man
+(** Fresh manager. *)
+
+val bdd_true : man -> t
+val bdd_false : man -> t
+
+val var : man -> int -> t
+(** [var m i] is the predicate "bit [i] is 1". *)
+
+val nvar : man -> int -> t
+(** [nvar m i] is the predicate "bit [i] is 0". *)
+
+val bdd_not : man -> t -> t
+val bdd_and : man -> t -> t -> t
+val bdd_or : man -> t -> t -> t
+val bdd_xor : man -> t -> t -> t
+val bdd_diff : man -> t -> t -> t
+(** [bdd_diff m a b] is [a && not b]. *)
+
+val bdd_imp : man -> t -> t -> t
+
+val ite : man -> t -> t -> t -> t
+(** If-then-else combinator. *)
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over the listed variables. *)
+
+val equal : t -> t -> bool
+(** Constant-time semantic equality (hash-consing). *)
+
+val is_true : man -> t -> bool
+val is_false : man -> t -> bool
+
+val cube : man -> (int * bool) list -> t
+(** Conjunction of literals: [(i, true)] means bit i set. *)
+
+val sat_count : man -> num_vars:int -> t -> float
+(** Number of satisfying assignments over [num_vars] variables (as float:
+    header spaces have up to 2^104 points). *)
+
+val any_sat : man -> t -> (int * bool) list option
+(** Some satisfying partial assignment (unlisted variables are free), or
+    [None] for the false BDD. *)
+
+val fold_paths : man -> t -> init:'a -> f:('a -> (int * bool) list -> 'a) -> 'a
+(** Fold over all true paths (partial assignments / wildcard cubes) of the
+    BDD.  Used to turn predicates back into TCAM wildcard rules. *)
+
+val size : man -> t -> int
+(** Number of distinct internal nodes reachable from [t]. *)
+
+val node_count : man -> int
+(** Total nodes ever created in the manager. *)

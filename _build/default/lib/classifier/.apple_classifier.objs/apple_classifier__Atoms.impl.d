@@ -1,0 +1,1 @@
+lib/classifier/atoms.ml: List Predicate

@@ -1,0 +1,1 @@
+lib/classifier/atoms.mli: Header Predicate

@@ -1,0 +1,1 @@
+lib/classifier/consistent_hash.ml: Array Header Int64

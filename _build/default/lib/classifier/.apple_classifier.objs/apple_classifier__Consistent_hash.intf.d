@@ -1,0 +1,1 @@
+lib/classifier/consistent_hash.mli: Header

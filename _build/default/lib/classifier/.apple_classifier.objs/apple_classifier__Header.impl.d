@@ -1,0 +1,1 @@
+lib/classifier/header.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/classifier/predicate.ml: Apple_bdd Array Header List

@@ -1,0 +1,1 @@
+lib/classifier/predicate.mli: Header

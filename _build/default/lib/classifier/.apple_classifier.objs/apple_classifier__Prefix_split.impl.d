@@ -1,0 +1,1 @@
+lib/classifier/prefix_split.ml: Array Format Header List String

@@ -1,0 +1,1 @@
+lib/classifier/prefix_split.mli: Format

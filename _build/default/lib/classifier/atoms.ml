@@ -1,0 +1,40 @@
+let compute env preds =
+  (* Iteratively refine the partition {true} by splitting each block on
+     each predicate.  Keeping only non-empty blocks yields the atoms. *)
+  let split blocks p =
+    List.concat_map
+      (fun b ->
+        let inside = Predicate.(b &&& p) in
+        let outside = Predicate.(diff b p) in
+        List.filter (fun q -> not (Predicate.is_empty q)) [ inside; outside ])
+      blocks
+  in
+  List.fold_left split [ Predicate.always env ] preds
+
+let decompose p atoms =
+  let indexed = List.mapi (fun i a -> (i, a)) atoms in
+  let selected =
+    List.filter
+      (fun (_, a) -> not (Predicate.is_empty Predicate.(a &&& p)))
+      indexed
+  in
+  (* Every intersecting atom must lie entirely inside p — atoms never
+     straddle a predicate of their generating family — and the selected
+     atoms must cover p exactly. *)
+  List.iter
+    (fun (_, a) ->
+      if not (Predicate.subset a p) then
+        invalid_arg "Atoms.decompose: predicate is not a union of the atoms")
+    selected;
+  let covered =
+    List.fold_left (fun acc (_, a) -> Predicate.(acc ||| a)) (Predicate.neg p)
+      selected
+  in
+  if not (Predicate.is_empty (Predicate.neg covered)) then
+    invalid_arg "Atoms.decompose: atoms do not cover the predicate";
+  List.map fst selected
+
+let same_atom atoms p1 p2 =
+  List.exists
+    (fun a -> Predicate.matches a p1 && Predicate.matches a p2)
+    atoms

@@ -1,0 +1,20 @@
+(** Atomic predicates (Yang & Lam, ICNP 2013).
+
+    Given a family of predicates, the atomic predicates are the coarsest
+    partition of header space such that every input predicate is exactly a
+    union of atoms.  APPLE uses them to aggregate flows into equivalence
+    classes cheaply: two packets in the same atom are indistinguishable to
+    every classification rule in the network. *)
+
+val compute : Predicate.env -> Predicate.t list -> Predicate.t list
+(** [compute env preds] returns the non-empty atoms.  The result partitions
+    the full header space: atoms are pairwise disjoint and their union is
+    the [always] predicate. *)
+
+val decompose : Predicate.t -> Predicate.t list -> int list
+(** [decompose p atoms] lists the indices of the atoms whose union is [p].
+    Raises [Invalid_argument] if [p] is not a union of the given atoms
+    (i.e. [atoms] was not computed from a family containing [p]). *)
+
+val same_atom : Predicate.t list -> Header.packet -> Header.packet -> bool
+(** Whether two packets fall into the same atom of the partition. *)

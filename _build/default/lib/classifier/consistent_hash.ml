@@ -1,0 +1,52 @@
+type t = { weights : float array; boundaries : float array }
+(* boundaries.(i) is the exclusive upper end of sub-class i's interval. *)
+
+let create ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Consistent_hash.create: zero total weight";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Consistent_hash.create: negative weight")
+    weights;
+  let normalized = Array.map (fun w -> w /. total) weights in
+  let boundaries = Array.make (Array.length weights) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      boundaries.(i) <- !acc)
+    normalized;
+  boundaries.(Array.length weights - 1) <- 1.0;
+  { weights = normalized; boundaries }
+
+(* Mix the 5-tuple with a splitmix64-style finalizer into [0,1). *)
+let hash_packet (p : Header.packet) =
+  let mix h v =
+    let h = Int64.add h (Int64.of_int v) in
+    let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30)) 0xBF58476D1CE4E5B9L in
+    Int64.logxor h (Int64.shift_right_logical h 27)
+  in
+  let h = 0x243F6A8885A308D3L in
+  let h = mix h p.Header.src_ip in
+  let h = mix h p.Header.dst_ip in
+  let h = mix h p.Header.proto in
+  let h = mix h p.Header.src_port in
+  let h = mix h p.Header.dst_port in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 31)) 0x94D049BB133111EBL in
+  let bits = Int64.shift_right_logical h 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let assign_point t x =
+  let n = Array.length t.boundaries in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if x < t.boundaries.(mid) then search lo mid else search (mid + 1) hi
+  in
+  min (search 0 (n - 1)) (n - 1)
+
+let assign t p = assign_point t (hash_packet p)
+
+let weights t = t.weights
+
+let reweight _t new_weights = create ~weights:new_weights

@@ -1,0 +1,29 @@
+(** Consistent-hash sub-class assignment (paper Sec. V-A, first method).
+
+    Flows are hashed to the unit interval; each sub-class owns a
+    sub-interval proportional to its weight.  This is the scheme APPLE
+    would use on switches with programmable hash functions; the prototype
+    falls back to {!Prefix_split}.  We keep it for simulation and for the
+    fairness comparison between the two methods. *)
+
+type t
+
+val create : weights:float array -> t
+(** Partition [\[0,1)] into consecutive intervals proportional to the
+    weights (which must be non-negative with positive sum). *)
+
+val assign : t -> Header.packet -> int
+(** Sub-class index owning the packet's hash point. *)
+
+val assign_point : t -> float -> int
+(** Sub-class owning an explicit point of [\[0,1)]. *)
+
+val hash_packet : Header.packet -> float
+(** Deterministic 5-tuple hash to [\[0,1)]. *)
+
+val weights : t -> float array
+(** The normalized interval lengths. *)
+
+val reweight : t -> float array -> t
+(** New partition with different weights; flows move only as much as the
+    weight change requires (interval boundaries shift monotonically). *)

@@ -1,0 +1,66 @@
+type field = Src_ip | Dst_ip | Proto | Src_port | Dst_port
+
+let width = function
+  | Src_ip | Dst_ip -> 32
+  | Proto -> 8
+  | Src_port | Dst_port -> 16
+
+let offset = function
+  | Src_ip -> 0
+  | Dst_ip -> 32
+  | Proto -> 64
+  | Src_port -> 72
+  | Dst_port -> 88
+
+let total_bits = 104
+
+let field_bits f ~value ~prefix_len =
+  let w = width f in
+  if prefix_len < 0 || prefix_len > w then
+    invalid_arg "Header.field_bits: prefix length out of range";
+  let base = offset f in
+  List.init prefix_len (fun k ->
+      let bit = (value lsr (w - 1 - k)) land 1 in
+      (base + k, bit = 1))
+
+type packet = {
+  src_ip : int;
+  dst_ip : int;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+let packet_bit p k =
+  let field, f_val =
+    if k < 32 then (Src_ip, p.src_ip)
+    else if k < 64 then (Dst_ip, p.dst_ip)
+    else if k < 72 then (Proto, p.proto)
+    else if k < 88 then (Src_port, p.src_port)
+    else (Dst_port, p.dst_port)
+  in
+  let pos = k - offset field in
+  let w = width field in
+  (f_val lsr (w - 1 - pos)) land 1 = 1
+
+let ip_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let byte x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> v
+        | _ -> invalid_arg ("Header.ip_of_string: " ^ s)
+      in
+      (byte a lsl 24) lor (byte b lsl 16) lor (byte c lsl 8) lor byte d
+  | _ -> invalid_arg ("Header.ip_of_string: " ^ s)
+
+let string_of_ip v =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((v lsr 24) land 0xff)
+    ((v lsr 16) land 0xff)
+    ((v lsr 8) land 0xff)
+    (v land 0xff)
+
+let pp_packet ppf p =
+  Format.fprintf ppf "%s:%d -> %s:%d proto=%d" (string_of_ip p.src_ip)
+    p.src_port (string_of_ip p.dst_ip) p.dst_port p.proto

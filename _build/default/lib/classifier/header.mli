@@ -1,0 +1,39 @@
+(** Packet-header bit layout for the classifier.
+
+    A header point is the 5-tuple (src IP, dst IP, protocol, src port,
+    dst port) laid out as 104 bits, most significant bit of each field
+    first.  BDD variable [k] is bit [k] of this layout. *)
+
+type field = Src_ip | Dst_ip | Proto | Src_port | Dst_port
+
+val width : field -> int
+(** Bit width of a field (32/32/8/16/16). *)
+
+val offset : field -> int
+(** First BDD variable index of the field. *)
+
+val total_bits : int
+(** 104. *)
+
+val field_bits : field -> value:int -> prefix_len:int -> (int * bool) list
+(** [field_bits f ~value ~prefix_len] is the literal list constraining the
+    top [prefix_len] bits of field [f] to the top bits of [value].
+    [prefix_len = width f] is an exact match; [0] matches anything. *)
+
+type packet = {
+  src_ip : int;  (** 32-bit value in an int *)
+  dst_ip : int;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+val packet_bit : packet -> int -> bool
+(** Value of BDD variable [k] for a concrete packet. *)
+
+val ip_of_string : string -> int
+(** Parse dotted-quad notation. Raises [Invalid_argument] on bad input. *)
+
+val string_of_ip : int -> string
+
+val pp_packet : Format.formatter -> packet -> unit

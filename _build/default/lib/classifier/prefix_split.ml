@@ -1,0 +1,105 @@
+type prefix = { addr : int; len : int }
+
+let pp_prefix ppf p =
+  Format.fprintf ppf "%s/%d" (Header.string_of_ip p.addr) p.len
+
+let prefix_of_string s =
+  match String.split_on_char '/' s with
+  | [ ip; len ] ->
+      let len =
+        match int_of_string_opt len with
+        | Some l when l >= 0 && l <= 32 -> l
+        | _ -> invalid_arg ("Prefix_split.prefix_of_string: " ^ s)
+      in
+      let addr = Header.ip_of_string ip in
+      let mask = if len = 0 then 0 else -1 lsl (32 - len) land 0xFFFFFFFF in
+      { addr = addr land mask; len }
+  | _ -> invalid_arg ("Prefix_split.prefix_of_string: " ^ s)
+
+let block_size p = 1 lsl (32 - p.len)
+
+let member p addr =
+  let mask = if p.len = 0 then 0 else -1 lsl (32 - p.len) land 0xFFFFFFFF in
+  addr land mask = p.addr
+
+(* Cover the address range [lo, lo+count) (relative to 32-bit space, already
+   absolute) with a minimal list of aligned prefixes — the classic
+   range-to-prefix expansion. *)
+let cover_range lo count =
+  let rec go acc lo count =
+    if count = 0 then List.rev acc
+    else begin
+      let align = if lo = 0 then 32 else
+        let rec tz k = if lo land (1 lsl k) <> 0 then k else tz (k + 1) in
+        tz 0
+      in
+      let rec fit k = if 1 lsl k <= count && k <= align then k else fit (k - 1) in
+      let k = fit (min align 31) in
+      let len = 32 - k in
+      go ({ addr = lo; len } :: acc) (lo + (1 lsl k)) (count - (1 lsl k))
+    end
+  in
+  go [] lo count
+
+let split ~base ~weights ~depth =
+  let k = Array.length weights in
+  if k = 0 then invalid_arg "Prefix_split.split: no weights";
+  let depth = min depth (32 - base.len) in
+  let quanta_total = 1 lsl depth in
+  (* Quantize: floor each weight to quanta, then distribute the remainder
+     by largest fractional part; positive weights keep at least 1. *)
+  let raw = Array.map (fun w -> w *. float_of_int quanta_total) weights in
+  let quanta = Array.map (fun r -> int_of_float (floor r)) raw in
+  Array.iteri
+    (fun i q -> if q = 0 && weights.(i) > 1e-9 then quanta.(i) <- 1)
+    quanta;
+  let assigned = Array.fold_left ( + ) 0 quanta in
+  let order =
+    List.sort
+      (fun i j ->
+        compare (raw.(j) -. floor raw.(j)) (raw.(i) -. floor raw.(i)))
+      (List.init k (fun i -> i))
+  in
+  let give = ref (quanta_total - assigned) in
+  (* Positive remainder: top up by fractional part; negative (over-grant
+     from the at-least-one rule): shave the largest allocations. *)
+  if !give > 0 then
+    List.iter
+      (fun i ->
+        if !give > 0 then begin
+          quanta.(i) <- quanta.(i) + 1;
+          decr give
+        end)
+      order
+  else
+    while !give < 0 do
+      let max_i = ref 0 in
+      Array.iteri (fun i q -> if q > quanta.(!max_i) then max_i := i) quanta;
+      if quanta.(!max_i) <= 1 then give := 0
+      else begin
+        quanta.(!max_i) <- quanta.(!max_i) - 1;
+        incr give
+      end
+    done;
+  let quantum_size = block_size base / quanta_total in
+  let result = Array.make k [] in
+  let cursor = ref base.addr in
+  Array.iteri
+    (fun i q ->
+      let count = q * quantum_size in
+      result.(i) <- cover_range !cursor count;
+      cursor := !cursor + count)
+    quanta;
+  result
+
+let rule_count split = Array.fold_left (fun acc l -> acc + List.length l) 0 split
+
+let realized_weights split ~base =
+  let total = float_of_int (block_size base) in
+  Array.map
+    (fun prefixes ->
+      let covered =
+        List.fold_left (fun acc p -> acc + block_size p) 0 prefixes
+      in
+      float_of_int covered /. total)
+    split

@@ -1,0 +1,33 @@
+(** Splitting an IPv4 prefix into sub-prefixes that realize sub-class
+    weights (paper Sec. V-A, second method).
+
+    The Optimization Engine assigns each sub-class a fractional share of
+    its class's traffic.  Hardware switches cannot hash programmatically,
+    so APPLE realizes the shares by partitioning the class's source-address
+    block into aligned sub-blocks: e.g. a 50% sub-class of
+    [10.1.1.0/24] becomes [10.1.1.128/25].  A share that is not a power of
+    two needs several prefixes, which is exactly the TCAM cost the flow
+    tagging scheme then amortizes. *)
+
+type prefix = { addr : int; len : int }
+(** An aligned IPv4 block [addr/len]; [addr]'s low (32-len) bits are 0. *)
+
+val pp_prefix : Format.formatter -> prefix -> unit
+val prefix_of_string : string -> prefix
+(** Parse "a.b.c.d/len". *)
+
+val split : base:prefix -> weights:float array -> depth:int -> prefix list array
+(** [split ~base ~weights ~depth] quantizes [weights] (which must sum to
+    ~1) to multiples of [2^-depth] — every sub-class receives at least one
+    quantum if its weight is positive — and carves [base] into consecutive
+    address ranges, each returned as a minimal list of aligned prefixes.
+    [depth] is limited by [32 - base.len]. *)
+
+val rule_count : prefix list array -> int
+(** Total TCAM rules needed by a split (one per prefix). *)
+
+val realized_weights : prefix list array -> base:prefix -> float array
+(** Fraction of the base block each sub-class actually received. *)
+
+val member : prefix -> int -> bool
+(** [member p addr] tests whether the address falls inside the block. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Apple_dataplane Apple_prelude Apple_topology Apple_vnf Array Engine_select Hashtbl List Optimization_engine Rule_generator Subclass Types

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Apple_dataplane Apple_traffic Apple_vnf Array Dynamic_handler Engine_select Format Hashtbl List Logs Netstate Optimization_engine Rule_generator Scenario String Subclass Types

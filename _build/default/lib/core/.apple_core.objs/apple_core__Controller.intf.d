@@ -1,0 +1,1 @@
+lib/core/controller.mli: Apple_traffic Dynamic_handler Netstate Optimization_engine Rule_generator Types

@@ -1,0 +1,1 @@
+lib/core/dynamic_handler.ml: Apple_vnf Array List Logs Netstate Resource_orchestrator Types

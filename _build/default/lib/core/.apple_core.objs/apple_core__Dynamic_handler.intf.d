@@ -1,0 +1,1 @@
+lib/core/dynamic_handler.mli: Apple_vnf Netstate

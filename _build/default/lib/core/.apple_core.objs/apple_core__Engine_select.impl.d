@@ -1,0 +1,1 @@
+lib/core/engine_select.ml: Heuristic_engine Optimization_engine Types

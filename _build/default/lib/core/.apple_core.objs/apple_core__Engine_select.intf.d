@@ -1,0 +1,1 @@
+lib/core/engine_select.mli: Optimization_engine Types

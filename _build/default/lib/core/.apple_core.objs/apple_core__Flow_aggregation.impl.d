@@ -1,0 +1,1 @@
+lib/core/flow_aggregation.ml: Apple_classifier Apple_topology Apple_vnf Array Hashtbl List Option Printf Scenario Types

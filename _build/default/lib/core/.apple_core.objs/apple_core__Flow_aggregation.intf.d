@@ -1,0 +1,1 @@
+lib/core/flow_aggregation.mli: Apple_classifier Apple_topology Apple_vnf Types

@@ -1,0 +1,1 @@
+lib/core/heuristic_engine.ml: Apple_topology Apple_vnf Array Optimization_engine Printf Types Unix

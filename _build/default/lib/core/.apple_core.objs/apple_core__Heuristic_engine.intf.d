@@ -1,0 +1,1 @@
+lib/core/heuristic_engine.mli: Optimization_engine Types

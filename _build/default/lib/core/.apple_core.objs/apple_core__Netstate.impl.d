@@ -1,0 +1,1 @@
+lib/core/netstate.ml: Apple_vnf Array Hashtbl List Resource_orchestrator Subclass Types

@@ -1,0 +1,1 @@
+lib/core/netstate.mli: Apple_vnf Resource_orchestrator Subclass Types

@@ -1,0 +1,1 @@
+lib/core/online_engine.ml: Apple_vnf Array Hashtbl List Netstate Option Resource_orchestrator Types

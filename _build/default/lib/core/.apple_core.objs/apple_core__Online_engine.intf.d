@@ -1,0 +1,1 @@
+lib/core/online_engine.mli: Apple_vnf Netstate Types

@@ -1,0 +1,1 @@
+lib/core/optimization_engine.ml: Apple_lp Apple_topology Apple_vnf Array Float Format List Printf String Types Unix

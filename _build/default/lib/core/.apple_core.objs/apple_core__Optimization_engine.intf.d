@@ -1,0 +1,1 @@
+lib/core/optimization_engine.mli: Types

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Apple_prelude Apple_vnf List

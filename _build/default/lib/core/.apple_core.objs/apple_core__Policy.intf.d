@@ -1,0 +1,1 @@
+lib/core/policy.mli: Apple_prelude Apple_vnf

@@ -1,0 +1,1 @@
+lib/core/policy_file.ml: Apple_classifier Apple_topology Apple_vnf Flow_aggregation Format List String

@@ -1,0 +1,1 @@
+lib/core/policy_file.mli: Apple_classifier Apple_topology Flow_aggregation Format

@@ -1,0 +1,1 @@
+lib/core/prototype.ml: Apple_packetsim Apple_prelude Apple_sim Apple_vnf Array Hashtbl List

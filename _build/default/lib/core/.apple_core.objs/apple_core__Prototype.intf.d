@@ -1,0 +1,1 @@
+lib/core/prototype.mli: Apple_packetsim

@@ -1,0 +1,1 @@
+lib/core/resource_orchestrator.ml: Apple_prelude Apple_sim Apple_vnf Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/resource_orchestrator.mli: Apple_prelude Apple_sim Apple_vnf

@@ -1,0 +1,1 @@
+lib/core/rule_generator.ml: Apple_classifier Apple_dataplane Apple_topology Apple_vnf Array Hashtbl List Option Subclass Types

@@ -1,0 +1,1 @@
+lib/core/rule_generator.mli: Apple_classifier Apple_dataplane Subclass Types

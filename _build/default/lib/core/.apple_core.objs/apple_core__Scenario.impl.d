@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Apple_classifier Apple_prelude Apple_topology Apple_traffic Array Hashtbl List Option Policy Types

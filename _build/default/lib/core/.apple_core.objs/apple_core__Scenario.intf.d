@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Apple_topology Apple_traffic Policy Types

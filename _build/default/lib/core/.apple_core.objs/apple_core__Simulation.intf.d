@@ -1,0 +1,1 @@
+lib/core/simulation.mli: Apple_topology Apple_traffic Dynamic_handler Scenario

@@ -1,0 +1,1 @@
+lib/core/subclass.ml: Apple_vnf Array Hashtbl List Optimization_engine Printf Queue Types

@@ -1,0 +1,1 @@
+lib/core/subclass.mli: Apple_vnf Hashtbl Optimization_engine Types

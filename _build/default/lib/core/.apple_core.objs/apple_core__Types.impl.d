@@ -1,0 +1,1 @@
+lib/core/types.ml: Apple_classifier Apple_topology Apple_vnf Array Format String

@@ -1,0 +1,1 @@
+lib/core/types.mli: Apple_classifier Apple_topology Apple_vnf Format

@@ -1,0 +1,39 @@
+(** Baselines the paper compares against.
+
+    {b Ingress strawman} (Sec. IX-D): consolidate every VNF of a class's
+    chain at the class's ingress switch.  Simple, interference-free, but
+    it forgoes the spatial multiplexing APPLE gets from sharing instances
+    along paths, so it needs more hardware (Fig. 11).  The strawman is
+    allowed to exceed a host's core budget (the paper compares raw
+    hardware demand).
+
+    {b Traffic steering} (Table I context): enforcing the chain by
+    rerouting flows through statically-placed NFs, as SIMPLE/StEERING do.
+    We quantify its interference — extra path length and the fraction of
+    flows whose forwarding path had to change — to reproduce the
+    qualitative comparison of Table I mechanically. *)
+
+val ingress_placement : Types.scenario -> Optimization_engine.placement
+(** All processing at hop 0 of every class.  The returned distribution is
+    valid for {!Subclass.assign}; counts ignore the core budget. *)
+
+type steering_stats = {
+  flows_rerouted : float;  (** fraction of traffic whose path changed *)
+  mean_stretch : float;  (** mean (steered length / routing length) *)
+  max_stretch : float;
+}
+
+val steering_stats :
+  ?instances_per_kind:int -> seed:int -> Types.scenario -> steering_stats
+(** Place [instances_per_kind] (default 2) instances of each NF at random
+    switches, route every class through its chain's nearest instances, and
+    measure the interference vs the routing path. *)
+
+val properties_table :
+  Types.scenario ->
+  (string * bool * bool * bool) list
+(** Table I rows reproduced mechanically on this scenario:
+    [(framework, policy_enforcement, interference_free, isolation)].
+    APPLE's entries are verified by construction (packet walks), the
+    others follow from their mechanism (steering changes paths; CoMb uses
+    threads). *)

@@ -1,0 +1,135 @@
+module Matrix = Apple_traffic.Matrix
+module Instance = Apple_vnf.Instance
+
+let log = Logs.Src.create "apple.controller" ~doc:"APPLE controller"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type epoch_report = {
+  placement : Optimization_engine.placement;
+  rules : Rule_generator.built;
+  instances : int;
+  cores : int;
+  tcam_entries : int;
+  solve_seconds : float;
+}
+
+type t = {
+  s : Types.scenario;
+  objective : Optimization_engine.objective;
+  failover : Dynamic_handler.config;
+  mutable report : epoch_report option;
+  mutable state : Netstate.t option;
+  mutable handler : Dynamic_handler.t option;
+  mutable assignment : Subclass.assignment option;
+}
+
+let create ?(objective = Optimization_engine.Min_instances)
+    ?(failover = Dynamic_handler.default_config) s =
+  { s; objective; failover; report = None; state = None; handler = None; assignment = None }
+
+let run_epoch t =
+  let placement = Engine_select.solve_best ~objective:t.objective t.s in
+  let assignment = Subclass.assign t.s placement in
+  let rules = Rule_generator.build t.s assignment in
+  let state = Netstate.of_assignment t.s assignment in
+  Netstate.recompute_loads state;
+  let report =
+    {
+      placement;
+      rules;
+      instances = Optimization_engine.instance_count placement;
+      cores = Optimization_engine.core_count placement;
+      tcam_entries = rules.Rule_generator.tcam_with_tagging;
+      solve_seconds = placement.Optimization_engine.solve_seconds;
+    }
+  in
+  t.report <- Some report;
+  t.state <- Some state;
+  t.assignment <- Some assignment;
+  t.handler <- Some (Dynamic_handler.create ~config:t.failover state);
+  Log.info (fun m ->
+      m "epoch: %d classes -> %d instances (%d cores), %d TCAM entries, %.2fs"
+        (Array.length t.s.Types.classes)
+        report.instances report.cores report.tcam_entries report.solve_seconds);
+  report
+
+let handle_snapshot t tm =
+  match (t.state, t.handler) with
+  | Some state, Some handler ->
+      Scenario.update_rates t.s tm;
+      Dynamic_handler.step handler;
+      Netstate.network_loss state
+  | _ -> invalid_arg "Controller.handle_snapshot: run_epoch first"
+
+let scenario t = t.s
+let netstate t = t.state
+let last_report t = t.report
+
+let verify t =
+  match (t.report, t.assignment) with
+  | Some report, Some assignment -> (
+      let errors = ref [] in
+      let fail fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+      (match Optimization_engine.check_distribution t.s report.placement with
+      | Ok () -> ()
+      | Error e -> fail "distribution: %s" e);
+      (* Sub-class weights realize the distribution. *)
+      Array.iter
+        (fun c ->
+          let subs =
+            List.filter
+              (fun sub -> sub.Subclass.class_id = c.Types.id)
+              assignment.Subclass.subclasses
+          in
+          let d = report.placement.Optimization_engine.distribution.(c.Types.id) in
+          if not (Subclass.weights_consistent c d subs) then
+            fail "class %d: sub-class weights drift from distribution" c.Types.id)
+        t.s.Types.classes;
+      if not (Subclass.instance_load_ok assignment ~slack:1.0001) then
+        fail "an instance is pinned above its capacity";
+      (* Packet walks: policy enforcement + interference freedom. *)
+      let inst_kind = Hashtbl.create 64 in
+      List.iter
+        (fun i -> Hashtbl.replace inst_kind (Instance.id i) (Instance.kind i))
+        assignment.Subclass.instances;
+      Array.iter
+        (fun c ->
+          let subs =
+            List.filter
+              (fun sub -> sub.Subclass.class_id = c.Types.id)
+              assignment.Subclass.subclasses
+          in
+          let prefixes =
+            Rule_generator.subclass_prefixes c subs
+              ~depth:report.rules.Rule_generator.split_depth
+          in
+          List.iteri
+            (fun idx _ ->
+              match prefixes.(idx) with
+              | [] -> ()
+              | p :: _ -> (
+                  let path = Array.to_list c.Types.path in
+                  match
+                    Apple_dataplane.Walk.run report.rules.Rule_generator.network
+                      ~path ~cls:c.Types.id ~src_ip:p.Types.Prefix.addr ()
+                  with
+                  | Error e ->
+                      fail "class %d: walk failed (%s)" c.Types.id
+                        (Format.asprintf "%a" Apple_dataplane.Walk.pp_error e)
+                  | Ok trace ->
+                      if
+                        not
+                          (Apple_dataplane.Walk.policy_enforced trace
+                             ~instance_kind:(Hashtbl.find inst_kind)
+                             ~chain:(Array.to_list c.Types.chain))
+                      then fail "class %d: policy chain violated" c.Types.id;
+                      if
+                        not (Apple_dataplane.Walk.interference_free trace ~path)
+                      then fail "class %d: forwarding path changed" c.Types.id))
+            subs)
+        t.s.Types.classes;
+      (match !errors with
+      | [] -> Ok ()
+      | msgs -> Error (String.concat "; " (List.rev msgs))))
+  | _ -> Error "no epoch has been run"

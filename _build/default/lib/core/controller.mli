@@ -1,0 +1,52 @@
+(** The APPLE controller: the top-level façade gluing the Optimization
+    Engine, Resource Orchestrator, Rule Generator and Dynamic Handler
+    together (Fig. 1 of the paper).
+
+    Typical use:
+    {[
+      let controller = Controller.create scenario in
+      let report = Controller.run_epoch controller in
+      (* ... traffic arrives ... *)
+      Controller.handle_snapshot controller tm;  (* per snapshot *)
+    ]}
+
+    [run_epoch] is the large-time-scale loop (periodic global
+    re-optimization); [handle_snapshot] is the small-time-scale loop
+    (rate refresh + fast failover). *)
+
+type t
+
+type epoch_report = {
+  placement : Optimization_engine.placement;
+  rules : Rule_generator.built;
+  instances : int;
+  cores : int;
+  tcam_entries : int;
+  solve_seconds : float;
+}
+
+val create :
+  ?objective:Optimization_engine.objective ->
+  ?failover:Dynamic_handler.config ->
+  Types.scenario ->
+  t
+
+val run_epoch : t -> epoch_report
+(** Global optimization for the scenario's current rates: solve, pin
+    sub-classes, generate rules, (re)build the network state.  Raises
+    {!Optimization_engine.Infeasible} if the hosts cannot carry the load. *)
+
+val handle_snapshot : t -> Apple_traffic.Matrix.t -> float
+(** Update class rates from a snapshot, run one Dynamic-Handler round, and
+    return the network loss rate for this snapshot.  Requires a prior
+    {!run_epoch}. *)
+
+val scenario : t -> Types.scenario
+val netstate : t -> Netstate.t option
+val last_report : t -> epoch_report option
+
+val verify : t -> (unit, string) result
+(** End-to-end self-check of the current epoch: distribution constraints
+    (Eq. 2–6), sub-class weight consistency, instance-capacity respect,
+    and packet walks proving policy enforcement and interference freedom
+    for every sub-class. *)

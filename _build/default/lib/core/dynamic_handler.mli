@@ -1,0 +1,41 @@
+(** The Dynamic Handler (paper Sec. III and VI): fast failover for
+    small-time-scale traffic dynamics.
+
+    On an overload notification from a VNF instance it (1) halves the
+    weight of every sub-class traversing that instance, (2) spreads the
+    freed share onto the least-loaded sibling sub-classes of the same
+    class, and (3) if that would overload the siblings, spawns new
+    lightweight ClickOS instances and creates new sub-classes to absorb
+    the excess.  When the instance's rate falls back under the low
+    watermark, the distribution rolls back and the spawned instances are
+    cancelled.  Only TCAM rule updates (~70 ms) and ClickOS boots
+    (~30 ms) are involved, which is what makes the reaction fast. *)
+
+type config = {
+  high_watermark : float;  (** overload when utilization exceeds this *)
+  low_watermark : float;  (** roll back when utilization falls below *)
+  spawn_allowed : bool;  (** disallow to study pure rebalancing *)
+}
+
+val default_config : config
+(** high 0.95, low 0.45 — the 8.5/4 Kpps thresholds of Sec. VIII-E scaled
+    to the monitor's ~9 Kpps capacity. *)
+
+type t
+
+val create : ?config:config -> Netstate.t -> t
+
+val step : t -> unit
+(** One control round against current instance loads: detect overloads,
+    fail over, and roll back recovered instances.  Loads are recomputed
+    before and after.  Call once per traffic snapshot. *)
+
+val overloaded_instances : t -> Apple_vnf.Instance.t list
+(** Instances currently in the overloaded state (for inspection). *)
+
+val spawned_cores : t -> int
+(** Cores held by failover-spawned instances right now. *)
+
+val events : t -> (string * int) list
+(** Counters: [("overloads", n); ("spawns", n); ("rollbacks", n);
+    ("rebalances", n)]. *)

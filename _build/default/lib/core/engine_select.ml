@@ -1,0 +1,42 @@
+type choice = Lp_pipeline | Greedy
+
+let solve ?objective (s : Types.scenario) =
+  let lp =
+    try Some (Optimization_engine.solve ?objective s)
+    with Optimization_engine.Infeasible _ -> None
+  in
+  let greedy =
+    try
+      let p = Heuristic_engine.solve ?objective s in
+      (* Trust but verify: the greedy is only kept when the validator
+         passes (the LP pipeline is already validated by construction
+         and by tests). *)
+      match Optimization_engine.check_distribution s p with
+      | Ok () -> Some p
+      | Error _ -> None
+    with Optimization_engine.Infeasible _ -> None
+  in
+  match (lp, greedy) with
+  | None, None ->
+      raise
+        (Optimization_engine.Infeasible
+           "both the LP pipeline and the greedy heuristic failed")
+  | Some p, None -> (p, Lp_pipeline)
+  | None, Some p -> (p, Greedy)
+  | Some a, Some b ->
+      if
+        b.Optimization_engine.objective_value
+        < a.Optimization_engine.objective_value -. 1e-9
+      then
+        (* Keep the LP's bound and total time for honest reporting. *)
+        ( {
+            b with
+            Optimization_engine.lp_objective = a.Optimization_engine.lp_objective;
+            solve_seconds =
+              a.Optimization_engine.solve_seconds
+              +. b.Optimization_engine.solve_seconds;
+          },
+          Greedy )
+      else (a, Lp_pipeline)
+
+let solve_best ?objective s = fst (solve ?objective s)

@@ -1,0 +1,110 @@
+module P = Apple_classifier.Predicate
+module Atoms = Apple_classifier.Atoms
+module Graph = Apple_topology.Graph
+module Builders = Apple_topology.Builders
+module Nf = Apple_vnf.Nf
+
+type raw_flow = {
+  description : string;
+  predicate : P.t;
+  ingress : int;
+  egress : int;
+  chain : Nf.kind list;
+  rate : float;
+}
+
+type class_info = {
+  class_id : int;
+  members : int list;
+  class_predicate : P.t;
+  tcam_rules : int;
+}
+
+type result = {
+  scenario : Types.scenario;
+  classes_info : class_info list;
+  atoms : P.t list;
+}
+
+exception No_route of string
+
+let aggregate ?(host_cores = Types.default_host_cores) ~env
+    (named : Builders.named) flows =
+  let g = named.Builders.graph in
+  (* Route each flow; group by (path, chain). *)
+  let groups : (int list * Nf.kind list, (int * raw_flow) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iteri
+    (fun idx flow ->
+      if flow.rate < 0.0 then invalid_arg "Flow_aggregation: negative rate";
+      if flow.chain = [] then invalid_arg "Flow_aggregation: empty chain";
+      match Graph.shortest_path g flow.ingress flow.egress with
+      | None ->
+          raise
+            (No_route
+               (Printf.sprintf "%s: no path %d -> %d" flow.description
+                  flow.ingress flow.egress))
+      | Some path ->
+          let key = (path, flow.chain) in
+          Hashtbl.replace groups key
+            ((idx, flow) :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    flows;
+  (* Deterministic class order: by smallest member index. *)
+  let grouped =
+    Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) groups []
+    |> List.sort (fun (_, a) (_, b) ->
+           compare (fst (List.hd a)) (fst (List.hd b)))
+  in
+  let classes_info = ref [] in
+  let classes = ref [] in
+  List.iteri
+    (fun class_id ((path, chain), members) ->
+      let rate = List.fold_left (fun acc (_, f) -> acc +. f.rate) 0.0 members in
+      let class_predicate =
+        List.fold_left
+          (fun acc (_, f) -> P.( ||| ) acc f.predicate)
+          (P.never env) members
+      in
+      let src = List.hd path and dst = List.nth path (List.length path - 1) in
+      classes :=
+        {
+          Types.id = class_id;
+          src;
+          dst;
+          path = Array.of_list path;
+          chain = Array.of_list chain;
+          src_block = Scenario.src_block_of_class_id class_id;
+          rate;
+        }
+        :: !classes;
+      classes_info :=
+        {
+          class_id;
+          members = List.map fst members;
+          class_predicate;
+          tcam_rules = P.wildcard_rules class_predicate;
+        }
+        :: !classes_info)
+    grouped;
+  let scenario =
+    {
+      Types.topo = named;
+      classes = Array.of_list (List.rev !classes);
+      host_cores = Array.make (Graph.num_nodes g) host_cores;
+      seed = 0;
+    }
+  in
+  let atoms =
+    Atoms.compute env (List.map (fun f -> f.predicate) flows)
+  in
+  { scenario; classes_info = List.rev !classes_info; atoms }
+
+let class_of_packet result packet =
+  let rec scan = function
+    | [] -> None
+    | info :: rest ->
+        if P.matches info.class_predicate packet then Some info.class_id
+        else scan rest
+  in
+  scan result.classes_info

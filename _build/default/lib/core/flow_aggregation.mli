@@ -1,0 +1,55 @@
+(** Traffic aggregation into equivalence classes (paper Sec. IV-A).
+
+    The Optimization Engine cannot reason about 100K individual flows per
+    second, so APPLE aggregates: {e flows having the same forwarding path
+    and the same policy chain form one class}.  This module performs that
+    aggregation from raw flow descriptions — a header-space predicate, an
+    ingress/egress pair and a policy chain — using the atomic-predicate
+    machinery (Yang & Lam) to keep class predicates canonical and to
+    bound the TCAM cost of classifying each class.
+
+    {!Scenario.build} remains the synthetic-matrix shortcut; this is the
+    faithful front door for policy-driven inputs. *)
+
+type raw_flow = {
+  description : string;  (** free-form label ("tenant-A web out") *)
+  predicate : Apple_classifier.Predicate.t;  (** header space of the flows *)
+  ingress : int;
+  egress : int;
+  chain : Apple_vnf.Nf.kind list;
+  rate : float;  (** Mbps *)
+}
+
+type class_info = {
+  class_id : int;
+  members : int list;  (** indices into the input flow list *)
+  class_predicate : Apple_classifier.Predicate.t;  (** union of members *)
+  tcam_rules : int;  (** wildcard rules to classify the predicate *)
+}
+
+type result = {
+  scenario : Types.scenario;
+  classes_info : class_info list;
+  atoms : Apple_classifier.Predicate.t list;
+      (** the atomic predicates of all member predicates: the minimal
+          header-space alphabet distinguishing the classes *)
+}
+
+exception No_route of string
+(** An ingress/egress pair is disconnected. *)
+
+val aggregate :
+  ?host_cores:int ->
+  env:Apple_classifier.Predicate.env ->
+  Apple_topology.Builders.named ->
+  raw_flow list ->
+  result
+(** Group raw flows by (shortest path, chain), sum their rates, union
+    their predicates, and compute the atoms.  Deterministic routing ties
+    are broken toward smaller node ids, as everywhere else. *)
+
+val class_of_packet :
+  result -> Apple_classifier.Header.packet -> int option
+(** The class id whose predicate matches the packet (classes are checked
+    in id order; overlapping predicates resolve to the lowest id, like a
+    priority-ordered TCAM). *)

@@ -1,0 +1,160 @@
+module Nf = Apple_vnf.Nf
+module Graph = Apple_topology.Graph
+module Builders = Apple_topology.Builders
+
+let solve ?(objective = Optimization_engine.Min_instances) (s : Types.scenario) =
+  let t0 = Unix.gettimeofday () in
+  let g = s.Types.topo.Builders.graph in
+  let n = Graph.num_nodes g in
+  let classes = s.Types.classes in
+  let cap_of k = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+  let cores_of k = (Nf.spec (Nf.kind_of_index k)).Nf.cores in
+  (* Hub score: how many classes traverse each switch — consolidating on
+     hubs maximizes sharing opportunities for later classes. *)
+  let hub_score = Array.make n 0 in
+  Array.iter
+    (fun c -> Array.iter (fun v -> hub_score.(v) <- hub_score.(v) + 1) c.Types.path)
+    classes;
+  (* Mutable provisioning state. *)
+  let counts = Array.make_matrix n Nf.num_kinds 0 in
+  let load = Array.make_matrix n Nf.num_kinds 0.0 in
+  let cores_used = Array.make n 0 in
+  let spare v k = (float_of_int counts.(v).(k) *. cap_of k) -. load.(v).(k) in
+  let can_open v k = cores_used.(v) + cores_of k <= s.Types.host_cores.(v) in
+  let open_instance v k =
+    counts.(v).(k) <- counts.(v).(k) + 1;
+    cores_used.(v) <- cores_used.(v) + cores_of k
+  in
+  let distribution =
+    Array.map
+      (fun c ->
+        let plen = Array.length c.Types.path in
+        let clen = Array.length c.Types.chain in
+        Array.init plen (fun _ -> Array.make clen 0.0))
+      classes
+  in
+  (* Hop preference for stage [k] of class [c] at or after [min_hop]:
+     grade 0 = spare capacity exists; grade 1 = a new instance fits.
+     Within a grade prefer more spare (grade 0) / higher hub score
+     (grade 1). *)
+  let choose_hop c ~min_hop k =
+    let plen = Array.length c.Types.path in
+    let best = ref None in
+    for i = min_hop to plen - 1 do
+      let v = c.Types.path.(i) in
+      let sp = spare v k in
+      let candidate =
+        if sp > 1e-9 then Some (0, -.sp, i)
+        else if can_open v k then Some (1, -.float_of_int hub_score.(v), i)
+        else None
+      in
+      match (candidate, !best) with
+      | Some cand, Some b when cand < b -> best := Some cand
+      | Some cand, None -> best := Some cand
+      | _ -> ()
+    done;
+    match !best with Some (_, _, i) -> Some i | None -> None
+  in
+  (* Place one class in slices. *)
+  let place (c : Types.flow_class) =
+    let clen = Array.length c.Types.chain in
+    if clen > 0 && c.Types.rate > 0.0 then begin
+      let remaining = ref 1.0 in
+      let guard = ref 0 in
+      while !remaining > 1e-9 do
+        incr guard;
+        if !guard > 10_000 then
+          raise
+            (Optimization_engine.Infeasible
+               (Printf.sprintf "heuristic: class %d failed to converge" c.Types.id));
+        (* Pick the hop vector for this slice. *)
+        let hops = Array.make clen 0 in
+        let min_hop = ref 0 in
+        (try
+           for j = 0 to clen - 1 do
+             let k = Nf.kind_index c.Types.chain.(j) in
+             match choose_hop c ~min_hop:!min_hop k with
+             | Some i ->
+                 hops.(j) <- i;
+                 min_hop := i
+             | None ->
+                 raise
+                   (Optimization_engine.Infeasible
+                      (Printf.sprintf
+                         "heuristic: no feasible hop for class %d stage %d"
+                         c.Types.id j))
+           done
+         with Optimization_engine.Infeasible _ as e -> raise e);
+        (* Open instances where needed, then size the slice by the
+           bottleneck spare. *)
+        Array.iteri
+          (fun j i ->
+            let v = c.Types.path.(i) in
+            let k = Nf.kind_index c.Types.chain.(j) in
+            if spare v k <= 1e-9 then open_instance v k)
+          hops;
+        let slice = ref !remaining in
+        Array.iteri
+          (fun j i ->
+            let v = c.Types.path.(i) in
+            let k = Nf.kind_index c.Types.chain.(j) in
+            slice := min !slice (spare v k /. c.Types.rate))
+          hops;
+        let slice = max !slice 1e-9 in
+        Array.iteri
+          (fun j i ->
+            let v = c.Types.path.(i) in
+            let k = Nf.kind_index c.Types.chain.(j) in
+            load.(v).(k) <- load.(v).(k) +. (c.Types.rate *. slice);
+            distribution.(c.Types.id).(i).(j) <-
+              distribution.(c.Types.id).(i).(j) +. slice)
+          hops;
+        remaining := !remaining -. slice
+      done;
+      (* Normalize tiny residue so each stage sums to exactly 1. *)
+      let plen = Array.length c.Types.path in
+      for j = 0 to clen - 1 do
+        let total = ref 0.0 in
+        for i = 0 to plen - 1 do
+          total := !total +. distribution.(c.Types.id).(i).(j)
+        done;
+        if !total > 0.0 && abs_float (!total -. 1.0) > 1e-12 then
+          for i = 0 to plen - 1 do
+            distribution.(c.Types.id).(i).(j) <-
+              distribution.(c.Types.id).(i).(j) /. !total
+          done
+      done
+    end
+  in
+  (* Largest classes first: they dominate capacity and their hub choices
+     guide the rest. *)
+  let order = Array.init (Array.length classes) (fun i -> i) in
+  Array.sort
+    (fun a b -> compare classes.(b).Types.rate classes.(a).Types.rate)
+    order;
+  Array.iter (fun h -> place classes.(h)) order;
+  let objective_of counts =
+    let acc = ref 0.0 in
+    Array.iter
+      (fun row ->
+        Array.iteri
+          (fun k cnt ->
+            let w =
+              match objective with
+              | Optimization_engine.Min_instances -> 1.0
+              | Optimization_engine.Min_cores -> float_of_int (cores_of k)
+            in
+            acc := !acc +. (float_of_int cnt *. w))
+          row)
+      counts;
+    !acc
+  in
+  {
+    Optimization_engine.counts;
+    distribution;
+    objective_value = objective_of counts;
+    lp_objective = objective_of counts;
+    solve_seconds = Unix.gettimeofday () -. t0;
+    model_size =
+      Printf.sprintf "greedy heuristic over %d classes" (Array.length classes);
+  }

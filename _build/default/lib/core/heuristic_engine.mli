@@ -1,0 +1,24 @@
+(** Greedy VNF placement heuristic — the paper's future-work answer for
+    "gigantic networks including hundreds of switches" where even the
+    LP relaxation gets slow (end of Sec. IV-D).
+
+    Classes are processed in descending rate.  Each class is placed in
+    {e slices}: a slice picks one hop per chain stage (non-decreasing, so
+    chain order holds by construction), preferring hops whose site
+    already has spare instance capacity, then sites needing the fewest
+    new cores, breaking ties toward the most-traversed switch (hub
+    consolidation).  The slice size is the bottleneck spare capacity, so
+    each slice either fills an instance or opens exactly one new site.
+
+    Produces the same {!Optimization_engine.placement} record as the LP
+    engine, so all downstream machinery (sub-classes, rules, failover)
+    and the {!Optimization_engine.check_distribution} validator apply
+    unchanged.  Quality vs. the LP engine is quantified by the bench's
+    ablation table. *)
+
+val solve :
+  ?objective:Optimization_engine.objective ->
+  Types.scenario ->
+  Optimization_engine.placement
+(** Raises {!Optimization_engine.Infeasible} when the host core budgets
+    cannot accommodate the load. *)

@@ -1,0 +1,121 @@
+module Instance = Apple_vnf.Instance
+module Nf = Apple_vnf.Nf
+
+type pinned = {
+  mutable weight : float;
+  baseline : float;
+  hops : int array;
+  stage_instances : Instance.t array;
+  p_class : int;
+  p_sub : int;
+}
+
+type t = {
+  mutable scenario : Types.scenario;
+  orchestrator : Resource_orchestrator.t;
+  mutable per_class : pinned list array;
+  mutable extra_instances : Instance.t list;
+}
+
+let of_assignment (s : Types.scenario) (asg : Subclass.assignment) =
+  let orchestrator =
+    Resource_orchestrator.create ~host_cores:s.Types.host_cores
+  in
+  Resource_orchestrator.adopt orchestrator asg.Subclass.instances;
+  let per_class = Array.make (Array.length s.Types.classes) [] in
+  List.iter
+    (fun (sub : Subclass.subclass) ->
+      let n_stages = Array.length sub.Subclass.hops in
+      let stage_instances =
+        Array.init n_stages (fun j ->
+            match
+              Hashtbl.find_opt asg.Subclass.instance_of (Subclass.key sub, j)
+            with
+            | Some inst -> inst
+            | None ->
+                invalid_arg "Netstate.of_assignment: unpinned sub-class stage")
+      in
+      let pinned =
+        {
+          weight = sub.Subclass.weight;
+          baseline = sub.Subclass.weight;
+          hops = sub.Subclass.hops;
+          stage_instances;
+          p_class = sub.Subclass.class_id;
+          p_sub = sub.Subclass.sub_id;
+        }
+      in
+      per_class.(sub.Subclass.class_id) <-
+        pinned :: per_class.(sub.Subclass.class_id))
+    asg.Subclass.subclasses;
+  Array.iteri (fun h subs -> per_class.(h) <- List.rev subs) per_class;
+  { scenario = s; orchestrator; per_class; extra_instances = [] }
+
+let recompute_loads t =
+  List.iter
+    (fun inst -> Instance.set_offered inst 0.0)
+    (Resource_orchestrator.instances t.orchestrator);
+  Array.iteri
+    (fun h subs ->
+      let rate = t.scenario.Types.classes.(h).Types.rate in
+      List.iter
+        (fun p ->
+          if p.weight > 0.0 then
+            Array.iter
+              (fun inst -> Instance.add_offered inst (rate *. p.weight))
+              p.stage_instances)
+        subs)
+    t.per_class
+
+let network_loss t =
+  let offered = ref 0.0 and delivered = ref 0.0 in
+  Array.iteri
+    (fun h subs ->
+      let rate = t.scenario.Types.classes.(h).Types.rate in
+      List.iter
+        (fun p ->
+          if p.weight > 0.0 then begin
+            let share = rate *. p.weight in
+            let through =
+              Array.fold_left
+                (fun acc inst -> acc *. (1.0 -. Instance.loss_fraction inst))
+                1.0 p.stage_instances
+            in
+            offered := !offered +. share;
+            delivered := !delivered +. (share *. through)
+          end)
+        subs)
+    t.per_class;
+  if !offered <= 0.0 then 0.0 else 1.0 -. (!delivered /. !offered)
+
+let subclass_utilization _t p =
+  Array.fold_left
+    (fun acc inst -> max acc (Instance.utilization inst))
+    0.0 p.stage_instances
+
+let instances_in_use t =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun subs ->
+      List.iter
+        (fun p ->
+          if p.weight > 0.0 then
+            Array.iter
+              (fun inst -> Hashtbl.replace seen (Instance.id inst) inst)
+              p.stage_instances)
+        subs)
+    t.per_class;
+  Hashtbl.fold (fun _ inst acc -> inst :: acc) seen []
+
+let extra_cores t =
+  List.fold_left
+    (fun acc inst -> acc + (Instance.spec inst).Nf.cores)
+    0 t.extra_instances
+
+let weights_valid t =
+  Array.for_all
+    (fun subs ->
+      let total = List.fold_left (fun acc p -> acc +. p.weight) 0.0 subs in
+      List.for_all (fun p -> p.weight >= -1e-9) subs
+      && (subs = [] || abs_float (total -. 1.0) < 1e-6))
+    t.per_class

@@ -1,0 +1,54 @@
+(** Mutable network state during a traffic replay: sub-class weights,
+    instance pinnings and per-instance offered loads.
+
+    This is the state the Dynamic Handler manipulates during fast failover
+    and that the simulation samples for loss (Fig. 12).  It starts from an
+    Optimization-Engine placement and {!Subclass.assign} assignment and
+    evolves as snapshots arrive and sub-class weights are rebalanced. *)
+
+type pinned = {
+  mutable weight : float;  (** share of the class's traffic *)
+  baseline : float;
+      (** the weight the Optimization Engine assigned; fast failover
+          perturbs [weight] and rolls back to [baseline] (0 for sub-classes
+          created by failover itself) *)
+  hops : int array;
+  stage_instances : Apple_vnf.Instance.t array;  (** one per chain stage *)
+  p_class : int;
+  p_sub : int;
+}
+
+type t = {
+  mutable scenario : Types.scenario;
+  orchestrator : Resource_orchestrator.t;
+  mutable per_class : pinned list array;  (** index = class id *)
+  mutable extra_instances : Apple_vnf.Instance.t list;
+      (** instances spawned by fast failover, still alive *)
+}
+
+val of_assignment :
+  Types.scenario -> Subclass.assignment -> t
+(** Adopt the assignment's instances into a fresh orchestrator and pin
+    sub-classes. *)
+
+val recompute_loads : t -> unit
+(** Reset every instance's offered load from current class rates and
+    sub-class weights. *)
+
+val network_loss : t -> float
+(** Fraction of total offered traffic dropped, given current loads: a
+    sub-class's delivered share is the product over its stages of
+    (1 - instance loss). *)
+
+val subclass_utilization : t -> pinned -> float
+(** Max utilization across the sub-class's pinned instances. *)
+
+val instances_in_use : t -> Apple_vnf.Instance.t list
+(** Distinct instances referenced by at least one positive-weight
+    sub-class. *)
+
+val extra_cores : t -> int
+(** Cores currently held by failover-spawned instances. *)
+
+val weights_valid : t -> bool
+(** Per class, weights are non-negative and sum to 1 (1e-6). *)

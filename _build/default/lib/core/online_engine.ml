@@ -1,0 +1,179 @@
+module Nf = Apple_vnf.Nf
+module Instance = Apple_vnf.Instance
+
+type outcome = {
+  accepted : bool;
+  new_instances : Instance.t list;
+  subclass : Netstate.pinned option;
+}
+
+let extend_scenario (s : Types.scenario) cls =
+  if cls.Types.id <> Array.length s.Types.classes then
+    invalid_arg "Online_engine.extend_scenario: class id must be the next index";
+  { s with Types.classes = Array.append s.Types.classes [| cls |] }
+
+let total_instances (state : Netstate.t) =
+  List.length (Resource_orchestrator.instances state.Netstate.orchestrator)
+
+let total_cores (state : Netstate.t) =
+  let orch = state.Netstate.orchestrator in
+  List.fold_left
+    (fun acc inst -> acc + (Instance.spec inst).Nf.cores)
+    0
+    (Resource_orchestrator.instances orch)
+
+(* A placement plan for one stage: reuse an existing instance or create a
+   new one at a switch. *)
+type stage_plan = Reuse of Instance.t | Create of int (* switch *)
+
+let admit (state : Netstate.t) (cls : Types.flow_class) =
+  let orch = state.Netstate.orchestrator in
+  let rate = cls.Types.rate in
+  let plen = Array.length cls.Types.path in
+  let clen = Array.length cls.Types.chain in
+  (* Planned extra offered load per existing instance and planned cores
+     per switch, so DFS branches see their own tentative commitments. *)
+  let planned_load : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let planned_cores : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let spare inst =
+    let extra = Option.value ~default:0.0 (Hashtbl.find_opt planned_load (Instance.id inst)) in
+    (Instance.spec inst).Nf.capacity_mbps -. Instance.offered inst -. extra
+  in
+  let cores_free v =
+    Resource_orchestrator.available_cores orch v
+    - Option.value ~default:0 (Hashtbl.find_opt planned_cores v)
+  in
+  let instances_at v kind =
+    List.filter
+      (fun inst -> Instance.kind inst = kind)
+      (Resource_orchestrator.instances_at orch v)
+  in
+  (* Does any instance (of any kind) already run at v?  Preferring active
+     switches consolidates hardware like the global engine's objective. *)
+  let switch_active v = Resource_orchestrator.instances_at orch v <> [] in
+  let rec dfs stage min_hop plan =
+    if stage = clen then Some (List.rev plan)
+    else begin
+      let kind = cls.Types.chain.(stage) in
+      let spec = Nf.spec kind in
+      (* Candidate moves at each hop, graded: 0 = reuse, 1 = create at an
+         active switch, 2 = create anywhere.  Try grades in order; within
+         a grade, hops ascending. *)
+      let try_grade grade =
+        let rec hops i =
+          if i >= plen then None
+          else begin
+            let v = cls.Types.path.(i) in
+            let attempt =
+              match grade with
+              | 0 -> (
+                  let candidates =
+                    List.filter (fun inst -> spare inst >= rate -. 1e-9) (instances_at v kind)
+                  in
+                  match candidates with
+                  | [] -> None
+                  | best :: rest ->
+                      let best =
+                        List.fold_left
+                          (fun acc inst -> if spare inst > spare acc then inst else acc)
+                          best rest
+                      in
+                      Some (Reuse best)
+                  )
+              | 1
+                when switch_active v
+                     && cores_free v >= spec.Nf.cores
+                     && rate <= spec.Nf.capacity_mbps +. 1e-9 ->
+                  (* Online placement pins the whole class to one instance
+                     per stage; flows beyond one instance's capacity need
+                     the global engine's fractional splitting. *)
+                  Some (Create v)
+              | 2
+                when cores_free v >= spec.Nf.cores
+                     && rate <= spec.Nf.capacity_mbps +. 1e-9 ->
+                  Some (Create v)
+              | _ -> None
+            in
+            match attempt with
+            | None -> hops (i + 1)
+            | Some move -> (
+                (* Tentatively commit the move, recurse, undo on failure. *)
+                (match move with
+                | Reuse inst ->
+                    Hashtbl.replace planned_load (Instance.id inst)
+                      (rate
+                      +. Option.value ~default:0.0
+                           (Hashtbl.find_opt planned_load (Instance.id inst)))
+                | Create v ->
+                    Hashtbl.replace planned_cores v
+                      (spec.Nf.cores
+                      + Option.value ~default:0 (Hashtbl.find_opt planned_cores v)));
+                match dfs (stage + 1) i ((i, move) :: plan) with
+                | Some solution -> Some solution
+                | None ->
+                    (match move with
+                    | Reuse inst ->
+                        Hashtbl.replace planned_load (Instance.id inst)
+                          (Option.value ~default:0.0
+                             (Hashtbl.find_opt planned_load (Instance.id inst))
+                          -. rate)
+                    | Create v ->
+                        Hashtbl.replace planned_cores v
+                          (Option.value ~default:0 (Hashtbl.find_opt planned_cores v)
+                          - spec.Nf.cores));
+                    hops (i + 1))
+          end
+        in
+        (* Only hops >= min_hop keep the chain order. *)
+        hops min_hop
+      in
+      match try_grade 0 with
+      | Some s -> Some s
+      | None -> (
+          match try_grade 1 with
+          | Some s -> Some s
+          | None -> try_grade 2)
+    end
+  in
+  match dfs 0 0 [] with
+  | None -> { accepted = false; new_instances = []; subclass = None }
+  | Some plan ->
+      (* Commit: extend the scenario, launch planned instances, pin the
+         class's single full-weight sub-class. *)
+      state.Netstate.scenario <- extend_scenario state.Netstate.scenario cls;
+      let created = ref [] in
+      let hops = Array.make clen 0 in
+      let stage_instances =
+        Array.of_list
+          (List.mapi
+             (fun stage (hop, move) ->
+               hops.(stage) <- hop;
+               match move with
+               | Reuse inst -> inst
+               | Create v ->
+                   let inst =
+                     Resource_orchestrator.launch orch cls.Types.chain.(stage)
+                       ~host:v
+                   in
+                   created := inst :: !created;
+                   inst)
+             plan)
+      in
+      let pinned =
+        {
+          Netstate.weight = 1.0;
+          baseline = 1.0;
+          hops;
+          stage_instances;
+          p_class = cls.Types.id;
+          p_sub = 0;
+        }
+      in
+      state.Netstate.per_class <-
+        Array.append state.Netstate.per_class [| [ pinned ] |];
+      Array.iter (fun inst -> Instance.add_offered inst rate) stage_instances;
+      {
+        accepted = true;
+        new_instances = List.rev !created;
+        subclass = Some pinned;
+      }

@@ -1,0 +1,601 @@
+module Nf = Apple_vnf.Nf
+module Model = Apple_lp.Model
+module Graph = Apple_topology.Graph
+module Builders = Apple_topology.Builders
+
+type objective = Min_instances | Min_cores
+
+type method_ = Lp_round | Ilp of int
+
+type placement = {
+  counts : int array array;
+  distribution : float array array array;
+  objective_value : float;
+  lp_objective : float;
+  solve_seconds : float;
+  model_size : string;
+}
+
+exception Infeasible of string
+
+let kind_weight objective k =
+  match objective with
+  | Min_instances -> 1.0
+  | Min_cores -> float_of_int (Nf.spec (Nf.kind_of_index k)).Nf.cores
+
+(* Index of NF kind k in class h's chain, or None. *)
+let chain_stage (c : Types.flow_class) k =
+  let result = ref None in
+  Array.iteri
+    (fun j kind -> if Nf.kind_index kind = k then result := Some j)
+    c.Types.chain;
+  !result
+
+(* The set of (v, k) pairs that can host useful instances: switch v lies on
+   the path of some class whose chain contains kind k. *)
+let useful_sites (s : Types.scenario) =
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  let useful = Array.make_matrix n Nf.num_kinds false in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun v ->
+          Array.iter
+            (fun kind -> useful.(v).(Nf.kind_index kind) <- true)
+            c.Types.chain)
+        c.Types.path)
+    s.Types.classes;
+  useful
+
+let build_model ?site_weights (s : Types.scenario) ~objective ~integer =
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  let classes = s.Types.classes in
+  let model = Model.create () in
+  let useful = useful_sites s in
+  let site_weight v k =
+    match site_weights with None -> 1.0 | Some w -> w.(v).(k)
+  in
+  (* q variables. *)
+  let q = Array.make_matrix n Nf.num_kinds None in
+  for v = 0 to n - 1 do
+    for k = 0 to Nf.num_kinds - 1 do
+      if useful.(v).(k) then
+        q.(v).(k) <-
+          Some
+            (Model.add_var model ~integer
+               ~obj:(kind_weight objective k *. site_weight v k)
+               ~name:(Printf.sprintf "q_v%d_%s" v (Nf.name (Nf.kind_of_index k)))
+               ())
+    done
+  done;
+  (* d variables: d.(h).(i).(j). *)
+  let d =
+    Array.map
+      (fun c ->
+        let plen = Array.length c.Types.path in
+        let clen = Array.length c.Types.chain in
+        Array.init plen (fun i ->
+            Array.init clen (fun j ->
+                Model.add_var model ~lb:0.0 ~ub:1.0
+                  ~name:(Printf.sprintf "d_h%d_i%d_j%d" c.Types.id i j)
+                  ())))
+      classes
+  in
+  (* Chain order, Eq. (3) with sigma substituted: for every prefix of the
+     path, stage j-1's cumulative portion dominates stage j's. *)
+  Array.iteri
+    (fun h c ->
+      let plen = Array.length c.Types.path in
+      let clen = Array.length c.Types.chain in
+      for j = 1 to clen - 1 do
+        for i = 0 to plen - 1 do
+          let terms = ref [] in
+          for i' = 0 to i do
+            terms := (1.0, d.(h).(i').(j - 1)) :: (-1.0, d.(h).(i').(j)) :: !terms
+          done;
+          Model.add_constraint model !terms Model.Ge 0.0
+        done
+      done;
+      (* Completion, Eq. (4): every stage processes 100% of the class. *)
+      for j = 0 to clen - 1 do
+        let terms = List.init plen (fun i -> (1.0, d.(h).(i).(j))) in
+        Model.add_constraint model terms Model.Eq 1.0
+      done)
+    classes;
+  (* Capacity, Eq. (5): per useful (v, k). *)
+  let n_kinds = Nf.num_kinds in
+  for v = 0 to n - 1 do
+    for k = 0 to n_kinds - 1 do
+      match q.(v).(k) with
+      | None -> ()
+      | Some qv ->
+          let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+          let terms = ref [ (-.cap, qv) ] in
+          Array.iteri
+            (fun h c ->
+              match chain_stage c k with
+              | None -> ()
+              | Some j ->
+                  Array.iteri
+                    (fun i sw ->
+                      if sw = v then
+                        terms := (c.Types.rate, d.(h).(i).(j)) :: !terms)
+                    c.Types.path)
+            classes;
+          if List.length !terms > 1 then
+            Model.add_constraint model !terms Model.Le 0.0
+    done
+  done;
+  (* Host resources, Eq. (6): core budget per switch. *)
+  for v = 0 to n - 1 do
+    let terms = ref [] in
+    for k = 0 to n_kinds - 1 do
+      match q.(v).(k) with
+      | None -> ()
+      | Some qv ->
+          let cores = float_of_int (Nf.spec (Nf.kind_of_index k)).Nf.cores in
+          terms := (cores, qv) :: !terms
+    done;
+    if !terms <> [] then
+      Model.add_constraint model !terms Model.Le
+        (float_of_int s.Types.host_cores.(v))
+  done;
+  (model, q, d)
+
+let extract_distribution (s : Types.scenario) d sol =
+  Array.mapi
+    (fun h c ->
+      let plen = Array.length c.Types.path in
+      let clen = Array.length c.Types.chain in
+      Array.init plen (fun i ->
+          Array.init clen (fun j ->
+              let v = Model.value sol d.(h).(i).(j) in
+              if v < 1e-9 then 0.0 else if v > 1.0 then 1.0 else v)))
+    s.Types.classes
+
+let load_of_distribution (s : Types.scenario) dist ~v ~k =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun h c ->
+      match chain_stage c k with
+      | None -> ()
+      | Some j ->
+          Array.iteri
+            (fun i sw ->
+              if sw = v then acc := !acc +. (c.Types.rate *. dist.(h).(i).(j)))
+            c.Types.path)
+    s.Types.classes;
+  !acc
+
+(* Minimal feasible instance counts for a fixed distribution. *)
+let counts_for_distribution (s : Types.scenario) dist =
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  let counts = Array.make_matrix n Nf.num_kinds 0 in
+  for v = 0 to n - 1 do
+    for k = 0 to Nf.num_kinds - 1 do
+      let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+      let load = load_of_distribution s dist ~v ~k in
+      if load > 1e-9 then
+        counts.(v).(k) <- int_of_float (ceil ((load /. cap) -. 1e-9))
+    done
+  done;
+  counts
+
+let cores_at counts v =
+  let acc = ref 0 in
+  for k = 0 to Nf.num_kinds - 1 do
+    acc := !acc + (counts.(v).(k) * (Nf.spec (Nf.kind_of_index k)).Nf.cores)
+  done;
+  !acc
+
+(* Chain-order feasibility of one class's distribution matrix. *)
+let order_ok dist_h =
+  let plen = Array.length dist_h in
+  if plen = 0 then true
+  else begin
+    let clen = Array.length dist_h.(0) in
+    let ok = ref true in
+    for j = 1 to clen - 1 do
+      let prefix_prev = ref 0.0 and prefix_cur = ref 0.0 in
+      for i = 0 to plen - 1 do
+        prefix_prev := !prefix_prev +. dist_h.(i).(j - 1);
+        prefix_cur := !prefix_cur +. dist_h.(i).(j);
+        if !prefix_cur > !prefix_prev +. 1e-6 then ok := false
+      done
+    done;
+    !ok
+  end
+
+(* Repair pass: if rounding the counts up violates a host's core budget,
+   shed just enough distribution mass from the violating switch to drop
+   instances there, moving it to hops whose own budget tolerates the
+   arrival, preserving chain order. *)
+let repair_resources (s : Types.scenario) dist =
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  let cap_of k = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+  let cores_of k = (Nf.spec (Nf.kind_of_index k)).Nf.cores in
+  let counts = ref (counts_for_distribution s dist) in
+  let violated v = cores_at !counts v > s.Types.host_cores.(v) in
+  let exists_violation () =
+    let rec scan v =
+      if v >= n then None else if violated v then Some v else scan (v + 1)
+    in
+    scan 0
+  in
+  (* Would switch v' stay within budget if its load of kind k grew by
+     [extra] Mbps? *)
+  let target_fits v' k extra =
+    let load = load_of_distribution s dist ~v:v' ~k in
+    let new_count = int_of_float (ceil (((load +. extra) /. cap_of k) -. 1e-9)) in
+    let delta = new_count - !counts.(v').(k) in
+    delta <= 0
+    || cores_at !counts v' + (delta * cores_of k) <= s.Types.host_cores.(v')
+  in
+  (* Move up to [want] Mbps of kind-k mass away from switch v.  Returns the
+     amount actually moved. *)
+  let shed v k want =
+    let moved = ref 0.0 in
+    Array.iteri
+      (fun h c ->
+        if !moved < want -. 1e-9 then
+          match chain_stage c k with
+          | None -> ()
+          | Some j ->
+              Array.iteri
+                (fun i sw ->
+                  if sw = v && dist.(h).(i).(j) > 1e-9 && !moved < want -. 1e-9
+                  then begin
+                    let portion = dist.(h).(i).(j) in
+                    let rate = c.Types.rate in
+                    let amount_mass = min (rate *. portion) (want -. !moved) in
+                    let amount = if rate > 0.0 then amount_mass /. rate else 0.0 in
+                    let plen = Array.length c.Types.path in
+                    let rec try_hop i' =
+                      if i' >= plen then ()
+                      else if i' = i || c.Types.path.(i') = v then try_hop (i' + 1)
+                      else begin
+                        let v' = c.Types.path.(i') in
+                        if target_fits v' k amount_mass then begin
+                          dist.(h).(i).(j) <- portion -. amount;
+                          dist.(h).(i').(j) <- dist.(h).(i').(j) +. amount;
+                          if order_ok dist.(h) then begin
+                            moved := !moved +. amount_mass;
+                            (* Keep counts fresh for later target checks. *)
+                            counts := counts_for_distribution s dist
+                          end
+                          else begin
+                            dist.(h).(i).(j) <- portion;
+                            dist.(h).(i').(j) <- dist.(h).(i').(j) -. amount;
+                            try_hop (i' + 1)
+                          end
+                        end
+                        else try_hop (i' + 1)
+                      end
+                    in
+                    try_hop 0
+                  end)
+                c.Types.path)
+      s.Types.classes;
+    !moved
+  in
+  let guard = ref 0 in
+  let rec fix () =
+    incr guard;
+    if !guard > 16 * n then ()
+    else
+      match exists_violation () with
+      | None -> ()
+      | Some v ->
+          let excess_cores = cores_at !counts v - s.Types.host_cores.(v) in
+          (* Kinds at v ordered by how little load must move to drop one
+             instance. *)
+          let options = ref [] in
+          for k = 0 to Nf.num_kinds - 1 do
+            if !counts.(v).(k) > 0 then begin
+              let load = load_of_distribution s dist ~v ~k in
+              let need =
+                load -. (float_of_int (!counts.(v).(k) - 1) *. cap_of k)
+              in
+              options := (need, k) :: !options
+            end
+          done;
+          let progressed = ref false in
+          List.iter
+            (fun (need, k) ->
+              if (not !progressed) && cores_at !counts v > s.Types.host_cores.(v)
+              then begin
+                let want = max need (1e-6 *. float_of_int excess_cores) in
+                let moved = shed v k want in
+                if moved > 1e-9 then progressed := true
+              end)
+            (List.sort compare !options);
+          if !progressed then fix ()
+  in
+  fix ();
+  match exists_violation () with
+  | Some v ->
+      raise
+        (Infeasible
+           (Printf.sprintf
+              "host at switch %d needs %d cores but only has %d after repair"
+              v (cores_at !counts v) s.Types.host_cores.(v)))
+  | None -> !counts
+
+(* Consolidation pass: the LP spreads load thinly, so ceil-rounding wastes
+   an instance at every site with a sliver of load.  Greedily try to empty
+   lightly-loaded (switch, kind) sites by relocating their class-stage
+   contributions into spare capacity at sites that keep their instances,
+   preserving chain order.  Each successful relocation can only lower the
+   objective, so the loop terminates. *)
+let consolidate_pass (s : Types.scenario) dist counts =
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  let cap_of k = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+  let load = Array.make_matrix n Nf.num_kinds 0.0 in
+  let recompute_loads () =
+    for v = 0 to n - 1 do
+      for k = 0 to Nf.num_kinds - 1 do
+        load.(v).(k) <- load_of_distribution s dist ~v ~k
+      done
+    done
+  in
+  recompute_loads ();
+  let cores_used v =
+    let acc = ref 0 in
+    for k = 0 to Nf.num_kinds - 1 do
+      acc := !acc + (counts.(v).(k) * (Nf.spec (Nf.kind_of_index k)).Nf.cores)
+    done;
+    !acc
+  in
+  (* Contributions at a site: (mass, class, hop, stage). *)
+  let contributions v k =
+    let acc = ref [] in
+    Array.iteri
+      (fun h c ->
+        match chain_stage c k with
+        | None -> ()
+        | Some j ->
+            Array.iteri
+              (fun i sw ->
+                if sw = v && dist.(h).(i).(j) > 1e-9 then
+                  acc := (c.Types.rate *. dist.(h).(i).(j), h, i, j) :: !acc)
+              c.Types.path)
+      s.Types.classes;
+    !acc
+  in
+  (* Move one contribution to any other hop of the class with spare
+     capacity at the same kind; returns true on success. *)
+  let relocate k (mass, h, i, j) =
+    let c = s.Types.classes.(h) in
+    let plen = Array.length c.Types.path in
+    let rec try_hop i' =
+      if i' >= plen then false
+      else if i' = i then try_hop (i' + 1)
+      else begin
+        let v' = c.Types.path.(i') in
+        let spare =
+          (float_of_int counts.(v').(k) *. cap_of k) -. load.(v').(k)
+        in
+        if counts.(v').(k) > 0 && spare >= mass -. 1e-9 then begin
+          let portion = dist.(h).(i).(j) in
+          dist.(h).(i).(j) <- 0.0;
+          dist.(h).(i').(j) <- dist.(h).(i').(j) +. portion;
+          if order_ok dist.(h) then begin
+            load.(c.Types.path.(i)).(k) <- load.(c.Types.path.(i)).(k) -. mass;
+            load.(v').(k) <- load.(v').(k) +. mass;
+            true
+          end
+          else begin
+            dist.(h).(i').(j) <- dist.(h).(i').(j) -. portion;
+            dist.(h).(i).(j) <- portion;
+            try_hop (i' + 1)
+          end
+        end
+        else try_hop (i' + 1)
+      end
+    in
+    try_hop 0
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Sites ascending by load: cheapest to empty first. *)
+    let sites = ref [] in
+    for v = 0 to n - 1 do
+      for k = 0 to Nf.num_kinds - 1 do
+        if counts.(v).(k) > 0 && load.(v).(k) > 0.0 then
+          sites := (load.(v).(k), v, k) :: !sites
+      done
+    done;
+    let sorted = List.sort compare !sites in
+    List.iter
+      (fun (_, v, k) ->
+        if counts.(v).(k) > 0 then begin
+          (* Try to empty the site's last instance worth of load. *)
+          let over =
+            load.(v).(k) -. (float_of_int (counts.(v).(k) - 1) *. cap_of k)
+          in
+          if over > 0.0 then begin
+            let moved = ref 0.0 in
+            let contribs = List.sort compare (contributions v k) in
+            List.iter
+              (fun ((mass, _, _, _) as contrib) ->
+                if !moved < over -. 1e-9 && relocate k contrib then
+                  moved := !moved +. mass)
+              contribs;
+            (* Did the load drop below the next-lower instance count? *)
+            let needed =
+              if load.(v).(k) <= 1e-9 then 0
+              else int_of_float (ceil ((load.(v).(k) /. cap_of k) -. 1e-9))
+            in
+            if needed < counts.(v).(k) then begin
+              counts.(v).(k) <- needed;
+              improved := true
+            end
+          end
+        end)
+      sorted
+  done;
+  (* Also shrink any site whose count exceeds its needs (defensive). *)
+  for v = 0 to n - 1 do
+    for k = 0 to Nf.num_kinds - 1 do
+      let needed =
+        if load.(v).(k) <= 1e-9 then 0
+        else int_of_float (ceil ((load.(v).(k) /. cap_of k) -. 1e-9))
+      in
+      if needed < counts.(v).(k) then counts.(v).(k) <- needed;
+      (* Never shrink below resource feasibility: ceil can only reduce. *)
+      ignore (cores_used v)
+    done
+  done;
+  counts
+
+let objective_of_counts ~objective counts =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun k c -> acc := !acc +. (float_of_int c *. kind_weight objective k)) row)
+    counts;
+  !acc
+
+let check_status (sol : Model.solution) =
+  match sol.Model.status with
+  | Model.Infeasible ->
+      raise (Infeasible "LP relaxation is infeasible: host budgets too small")
+  | Model.Unbounded -> raise (Infeasible "unexpected unbounded model")
+  | Model.Optimal | Model.Limit -> ()
+
+let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
+    ?(consolidate = true) (s : Types.scenario) =
+  let t0 = Unix.gettimeofday () in
+  match method_ with
+  | Ilp max_nodes ->
+      let model, q, d = build_model s ~objective ~integer:true in
+      let model_size = Format.asprintf "%a" Model.pp_stats model in
+      let sol = Model.solve_ilp ~max_nodes model in
+      check_status sol;
+      let dist = extract_distribution s d sol in
+      let n = Graph.num_nodes s.Types.topo.Builders.graph in
+      let counts = Array.make_matrix n Nf.num_kinds 0 in
+      for v = 0 to n - 1 do
+        for k = 0 to Nf.num_kinds - 1 do
+          match q.(v).(k) with
+          | None -> ()
+          | Some var ->
+              counts.(v).(k) <- int_of_float (Float.round (Model.value sol var))
+        done
+      done;
+      {
+        counts;
+        distribution = dist;
+        objective_value = objective_of_counts ~objective counts;
+        lp_objective = sol.Model.objective;
+        solve_seconds = Unix.gettimeofday () -. t0;
+        model_size;
+      }
+  | Lp_round ->
+      let model1, _, d1 = build_model s ~objective ~integer:false in
+      let model_size = Format.asprintf "%a" Model.pp_stats model1 in
+      let sol1 = Model.solve_lp model1 in
+      check_status sol1;
+      let dist1 = extract_distribution s d1 sol1 in
+      (* The fractional objective is degenerate — spreading load across
+         sites costs the same as consolidating it — so follow-up passes
+         make under-utilized sites expensive, steering the LP toward
+         vertices that ceil-rounding wastes little on (a concave-cost
+         Frank–Wolfe style reweighting). *)
+      let n = Graph.num_nodes s.Types.topo.Builders.graph in
+      let site_prices dist =
+        let weights = Array.make_matrix n Nf.num_kinds 1.0 in
+        for v = 0 to n - 1 do
+          for k = 0 to Nf.num_kinds - 1 do
+            let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+            let load = load_of_distribution s dist ~v ~k in
+            (* ceil(load/cap)/(load/cap): the per-unit cost rounding pays
+               at this site — expensive when a last instance is nearly
+               empty.  Clipped to keep the LP well-scaled. *)
+            let units = load /. cap in
+            let w =
+              if load <= 1e-9 then 8.0 else min 8.0 (ceil units /. units)
+            in
+            weights.(v).(k) <- w
+          done
+        done;
+        weights
+      in
+      let refine dist =
+        let model', _, d' =
+          build_model ~site_weights:(site_prices dist) s ~objective ~integer:false
+        in
+        let sol' = Model.solve_lp model' in
+        match sol'.Model.status with
+        | Model.Optimal | Model.Limit -> extract_distribution s d' sol'
+        | Model.Infeasible | Model.Unbounded -> dist
+      in
+      let dist = if reweight then refine dist1 else dist1 in
+      let counts = repair_resources s dist in
+      let counts = if consolidate then consolidate_pass s dist counts else counts in
+      {
+        counts;
+        distribution = dist;
+        objective_value = objective_of_counts ~objective counts;
+        lp_objective = sol1.Model.objective;
+        solve_seconds = Unix.gettimeofday () -. t0;
+        model_size;
+      }
+
+let load (s : Types.scenario) placement ~v ~k =
+  load_of_distribution s placement.distribution ~v ~k
+
+let check_distribution (s : Types.scenario) placement =
+  let tol = 1e-6 in
+  let errors = ref [] in
+  let fail fmt = Format.kasprintf (fun msg -> errors := msg :: !errors) fmt in
+  Array.iteri
+    (fun h c ->
+      let dist_h = placement.distribution.(h) in
+      let plen = Array.length c.Types.path in
+      let clen = Array.length c.Types.chain in
+      if not (order_ok dist_h) then fail "class %d: chain order violated" h;
+      for j = 0 to clen - 1 do
+        let total = ref 0.0 in
+        for i = 0 to plen - 1 do
+          let portion = dist_h.(i).(j) in
+          if portion < -.tol || portion > 1.0 +. tol then
+            fail "class %d: d[%d][%d]=%f out of [0,1]" h i j portion;
+          total := !total +. portion
+        done;
+        if abs_float (!total -. 1.0) > 1e-4 then
+          fail "class %d stage %d: portions sum to %f, not 1" h j !total
+      done)
+    s.Types.classes;
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  for v = 0 to n - 1 do
+    for k = 0 to Nf.num_kinds - 1 do
+      let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+      let offered = load s placement ~v ~k in
+      let provided = float_of_int placement.counts.(v).(k) *. cap in
+      if offered > provided +. 1e-3 then
+        fail "switch %d kind %d: offered %.3f exceeds provisioned %.3f" v k
+          offered provided
+    done;
+    if cores_at placement.counts v > s.Types.host_cores.(v) then
+      fail "switch %d: core budget exceeded" v
+  done;
+  match !errors with
+  | [] -> Ok ()
+  | msgs -> Error (String.concat "; " (List.rev msgs))
+
+let instance_count placement =
+  Array.fold_left
+    (fun acc row -> Array.fold_left ( + ) acc row)
+    0 placement.counts
+
+let core_count placement =
+  let acc = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun k c -> acc := !acc + (c * (Nf.spec (Nf.kind_of_index k)).Nf.cores))
+        row)
+    placement.counts;
+  !acc

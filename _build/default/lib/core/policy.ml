@@ -1,0 +1,34 @@
+module Nf = Apple_vnf.Nf
+module Rng = Apple_prelude.Rng
+
+type mix = (Nf.kind list * float) list
+
+let default_mix =
+  [
+    ([ Nf.Firewall ], 0.20);
+    ([ Nf.Firewall; Nf.Proxy ], 0.20);
+    ([ Nf.Firewall; Nf.Ids ], 0.20);
+    ([ Nf.Firewall; Nf.Ids; Nf.Proxy ], 0.15);
+    ([ Nf.Nat; Nf.Firewall ], 0.15);
+    ([ Nf.Nat; Nf.Firewall; Nf.Ids ], 0.10);
+  ]
+
+let validate mix =
+  if mix = [] then invalid_arg "Policy.validate: empty mix";
+  List.iter
+    (fun (chain, w) ->
+      if w <= 0.0 then invalid_arg "Policy.validate: non-positive weight";
+      if chain = [] then invalid_arg "Policy.validate: empty chain";
+      let sorted = List.sort_uniq compare chain in
+      if List.length sorted <> List.length chain then
+        invalid_arg "Policy.validate: NF repeated within a chain")
+    mix
+
+let draw rng mix = Rng.sample_weighted rng mix
+
+let mix_of_strings entries =
+  let mix =
+    List.map (fun (s, w) -> (Nf.chain_of_string s, w)) entries
+  in
+  validate mix;
+  mix

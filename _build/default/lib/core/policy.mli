@@ -1,0 +1,24 @@
+(** Policy-chain synthesis (paper Sec. IX-A).
+
+    Public NF-policy datasets do not exist, so — like the paper — we
+    synthesize chains over the four Table-IV NFs following the middlebox
+    deployment studies it cites (Sekar et al., HotNets 2011) and the IETF
+    SFC data-center use cases: most traffic crosses a firewall; a large
+    share adds IDS inspection and/or a proxy; NAT fronts outbound chains. *)
+
+type mix = (Apple_vnf.Nf.kind list * float) list
+(** Chains with relative weights. *)
+
+val default_mix : mix
+(** Six chains of length 1–3 over firewall/proxy/NAT/IDS. *)
+
+val draw : Apple_prelude.Rng.t -> mix -> Apple_vnf.Nf.kind list
+(** Weighted draw of one chain. *)
+
+val mix_of_strings : (string * float) list -> mix
+(** Parse chains like [("fw -> ids", 0.3)]. *)
+
+val validate : mix -> unit
+(** Raises [Invalid_argument] on empty mixes, non-positive weights or an
+    NF repeated inside one chain (a packet must not traverse the same
+    instance twice, Sec. V-B). *)

@@ -1,0 +1,202 @@
+module Engine = Apple_sim.Engine
+module Lifecycle = Apple_vnf.Lifecycle
+module Instance = Apple_vnf.Instance
+module Overload = Apple_vnf.Overload
+module Rng = Apple_prelude.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: passive-monitor loss vs packet rate, by packet size.        *)
+
+type monitor_point = {
+  rate_kpps : float;
+  loss_64 : float;
+  loss_512 : float;
+  loss_1500 : float;
+}
+
+let monitor_loss_curve ?(capacity_kpps = 9.0) ?(max_kpps = 15.0) ?(steps = 29)
+    () =
+  (* The measured bottleneck is per-packet processing, so the knee sits at
+     the same pps for every packet size. *)
+  List.init steps (fun i ->
+      let rate =
+        1.0 +. (float_of_int i *. (max_kpps -. 1.0) /. float_of_int (steps - 1))
+      in
+      let loss = Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:rate in
+      { rate_kpps = rate; loss_64 = loss; loss_512 = loss; loss_1500 = loss })
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: blackout while a ClickOS VM boots through OpenStack.        *)
+
+type setup_run = {
+  blackout_seconds : float;
+  throughput : (float * float) list;
+}
+
+let vm_setup_experiment ~seed ~runs =
+  List.init runs (fun r ->
+      let world = Engine.create () in
+      let rng = Rng.create (seed + r) in
+      let send_kpps = 10.0 in
+      let sample_period = 0.1 in
+      let vm_ready = ref infinity in
+      let rules_active = ref infinity in
+      (* t=1.0: new forwarding rules are installed (70 ms) pointing at the
+         VM, and the boot request is issued simultaneously. *)
+      Engine.schedule world ~delay:1.0 (fun w ->
+          Engine.schedule w ~delay:Lifecycle.rule_install_time (fun w' ->
+              rules_active := Engine.now w');
+          Lifecycle.provision w rng Lifecycle.Openstack ~on_ready:(fun w' ->
+              vm_ready := Engine.now w'));
+      let series = ref [] in
+      Engine.every world ~period:sample_period ~until:8.0 (fun w ->
+          let t = Engine.now w in
+          let delivered =
+            if t >= !rules_active && t < !vm_ready then 0.0 else send_kpps
+          in
+          series := (t, delivered) :: !series);
+      Engine.run ~until:8.5 world;
+      let throughput = List.rev !series in
+      let blackout = !vm_ready -. !rules_active in
+      { blackout_seconds = blackout; throughput })
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: 20 MB transfer durations under three failover strategies.   *)
+
+type transfer_variant = No_failover | Wait_five_seconds | Reconfigure_existing
+
+let variant_name = function
+  | No_failover -> "no failover"
+  | Wait_five_seconds -> "failover (wait 5 s)"
+  | Reconfigure_existing -> "failover (reconfigure)"
+
+let udp_loss_during_failover = function
+  | No_failover | Wait_five_seconds | Reconfigure_existing -> 0.0
+
+let file_bytes = 20 * 1024 * 1024
+
+let tcp_params_for rng =
+  (* Per-run statistical fluctuation of the monitor-limited bottleneck,
+     which is what spreads the paper's CDFs. *)
+  {
+    Apple_packetsim.Tcp_model.default_params with
+    Apple_packetsim.Tcp_model.bottleneck_mbps = 95.0 *. (0.95 +. Rng.float rng 0.10);
+  }
+
+let file_transfer_experiment ~seed ~runs =
+  let variants = [ No_failover; Wait_five_seconds; Reconfigure_existing ] in
+  List.map
+    (fun variant ->
+      let durations =
+        Array.init runs (fun r ->
+            let rng = Rng.create (seed + (17 * r) + Hashtbl.hash variant) in
+            let params = tcp_params_for rng in
+            (* In all three strategies the forwarding rules only change
+               once the replacement VNF is live (wait-5s) or reconfigured
+               (30 ms on a running ClickOS VM), so TCP never sees an
+               outage; the paper measures exactly this non-effect. *)
+            let outcome =
+              Apple_packetsim.Tcp_model.transfer ~params ~bytes:file_bytes ()
+            in
+            outcome.Apple_packetsim.Tcp_model.completion_time)
+      in
+      (variant, durations))
+    variants
+
+(* The contrast the paper's design avoids: switching the rules *before*
+   the replacement VM is up puts the Fig-7 blackout in the middle of the
+   transfer — TCP times out, backs off exponentially and restarts from
+   slow start. *)
+let naive_switch_transfer ~seed =
+  let rng = Rng.create seed in
+  let params = tcp_params_for rng in
+  let outage =
+    {
+      Apple_packetsim.Tcp_model.outage_start = 0.3 +. Rng.float rng 0.5;
+      outage_duration = 3.9 +. Rng.float rng 0.7;
+    }
+  in
+  Apple_packetsim.Tcp_model.transfer ~params ~outage ~bytes:file_bytes ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: overload detection and rollback timeline.                   *)
+
+type detection_event = {
+  time : float;
+  kind : [ `Overload_detected | `New_instance_ready | `Rolled_back ];
+}
+
+type detection_run = {
+  send_rate : (float * float) list;
+  master_rate : (float * float) list;
+  sibling_rate : (float * float) list;
+  det_events : detection_event list;
+  packet_loss : float;
+}
+
+let overload_detection_experiment ~seed () =
+  let world = Engine.create () in
+  let rng = Rng.create seed in
+  let capacity_kpps = 10.5 in
+  (* Source program of the experiment: 1 Kpps, soaring to 10 at t=2,
+     back to 1 at t=7. *)
+  let source_rate t = if t >= 2.0 && t < 7.0 then 10.0 else 1.0 in
+  (* Split of the source between master and the failover sibling. *)
+  let master_share = ref 1.0 in
+  let sibling_live = ref false in
+  let events = ref [] in
+  let record kind w = events := { time = Engine.now w; kind } :: !events in
+  let detector =
+    Overload.create ~high_watermark:8.5 ~low_watermark:4.0 ()
+  in
+  let master_rate w = source_rate (Engine.now w) *. !master_share in
+  (* Drive the detector from a polling loop (the per-port counter poll of
+     Sec. VII-B) so the callbacks can close over the world. *)
+  Engine.every world ~period:(Overload.poll_period detector) ~until:10.0
+    (fun w ->
+      match Overload.observe detector ~rate:(master_rate w) with
+      | _, `Went_overloaded ->
+          record `Overload_detected w;
+          (* Reconfigure a pre-booted ClickOS VM (30 ms) and install the
+             new sub-class rules (70 ms); then half the traffic moves. *)
+          Engine.schedule w
+            ~delay:(Lifecycle.reconfigure_time +. Lifecycle.rule_install_time)
+            (fun w' ->
+              sibling_live := true;
+              master_share := 0.5;
+              record `New_instance_ready w')
+      | _, `Recovered ->
+          record `Rolled_back w;
+          master_share := 1.0;
+          sibling_live := false
+      | _, `No_change -> ())
+  ;
+  (* Sample the rates and accumulate loss. *)
+  let send = ref [] and master = ref [] and sibling = ref [] in
+  let offered = ref 0.0 and dropped = ref 0.0 in
+  let sample_period = 0.05 in
+  Engine.every world ~period:sample_period ~until:10.0 (fun w ->
+      let t = Engine.now w in
+      let rate = source_rate t in
+      let m = rate *. !master_share in
+      let s = rate -. m in
+      send := (t, rate) :: !send;
+      master := (t, m) :: !master;
+      sibling := (t, s) :: !sibling;
+      let loss_m = Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:m in
+      let loss_s =
+        if s > 0.0 && not !sibling_live then 1.0
+        else Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:s
+      in
+      offered := !offered +. (rate *. sample_period);
+      dropped :=
+        !dropped +. (((m *. loss_m) +. (s *. loss_s)) *. sample_period));
+  ignore rng;
+  Engine.run ~until:10.5 world;
+  {
+    send_rate = List.rev !send;
+    master_rate = List.rev !master;
+    sibling_rate = List.rev !sibling;
+    det_events = List.rev !events;
+    packet_loss = (if !offered > 0.0 then !dropped /. !offered else 0.0);
+  }

@@ -1,0 +1,52 @@
+(** The Resource Orchestrator (paper Sec. III): allocates host resources,
+    launches and cancels VNF instances, and reports availability to the
+    Optimization Engine.
+
+    In the prototype this is OpenStack + libvirt; here it is an exact
+    accountant of per-host CPU cores with the measured launch latencies
+    attached when a simulation world is provided. *)
+
+type t
+
+val create : host_cores:int array -> t
+(** One APPLE host per switch with the given core budgets. *)
+
+val total_cores : t -> int
+val used_cores : t -> int -> int
+val available_cores : t -> int -> int
+(** [A_v] of Eq. (6): free cores at switch [v]'s host. *)
+
+val instances : t -> Apple_vnf.Instance.t list
+(** All running instances, launch order. *)
+
+val instances_at : t -> int -> Apple_vnf.Instance.t list
+
+exception Out_of_resources of { host : int; wanted : int; available : int }
+
+val launch :
+  t ->
+  ?world:Apple_sim.Engine.t ->
+  ?rng:Apple_prelude.Rng.t ->
+  ?boot:Apple_vnf.Lifecycle.boot_path ->
+  Apple_vnf.Nf.kind ->
+  host:int ->
+  Apple_vnf.Instance.t
+(** Reserve cores immediately and return the instance.  When [world] is
+    given, the instance is only marked ready (see {!is_ready}) after the
+    boot latency of [boot] (default: [Raw_clickos] for ClickOS-able kinds,
+    [Normal_vm] otherwise) has elapsed on the simulation clock.  Raises
+    {!Out_of_resources} when the host lacks cores. *)
+
+val is_ready : t -> Apple_vnf.Instance.t -> bool
+(** Instances launched without a world are ready at once. *)
+
+val destroy : t -> Apple_vnf.Instance.t -> unit
+(** Release the instance's cores.  Idempotent. *)
+
+val adopt : t -> Apple_vnf.Instance.t list -> unit
+(** Register instances created elsewhere (e.g. {!Subclass.assign}) so
+    their cores are accounted.  Raises {!Out_of_resources} if they do not
+    fit. *)
+
+val snapshot_available : t -> int array
+(** Available cores per switch — what the Optimization Engine polls. *)

@@ -1,0 +1,126 @@
+module Rng = Apple_prelude.Rng
+module Graph = Apple_topology.Graph
+module Builders = Apple_topology.Builders
+module Matrix = Apple_traffic.Matrix
+module Prefix = Apple_classifier.Prefix_split
+
+type config = {
+  policy_mix : Policy.mix;
+  min_rate : float;
+  max_classes : int;
+  ecmp : bool;
+  host_cores : int;
+  min_path_hops : int;
+}
+
+let default_config =
+  {
+    policy_mix = Policy.default_mix;
+    min_rate = 1.0;
+    max_classes = 120;
+    ecmp = true;
+    host_cores = Types.default_host_cores;
+    min_path_hops = 1;
+  }
+
+(* Classes get disjoint /24 blocks inside 10.0.0.0/8: class k owns
+   10.(k/256).(k mod 256).0/24. *)
+let src_block_of_class_id id =
+  if id < 0 || id >= 65536 then invalid_arg "Scenario: class id out of range";
+  let addr = (10 lsl 24) lor ((id / 256) lsl 16) lor ((id mod 256) lsl 8) in
+  { Prefix.addr; len = 24 }
+
+let build ?(config = default_config) ~seed (named : Builders.named) tm =
+  Policy.validate config.policy_mix;
+  let rng = Rng.create seed in
+  let g = named.Builders.graph in
+  let n = Graph.num_nodes g in
+  if Matrix.size tm <> n then
+    invalid_arg "Scenario.build: traffic matrix size does not match topology";
+  (* Largest demands first, capped at max_classes pairs. *)
+  let demands = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && tm.(i).(j) >= config.min_rate then
+        demands := (tm.(i).(j), i, j) :: !demands
+    done
+  done;
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> compare b a) !demands
+  in
+  let selected = List.filteri (fun k _ -> k < config.max_classes) sorted in
+  let classes = ref [] in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  List.iter
+    (fun (rate, src, dst) ->
+      let chain = Array.of_list (Policy.draw rng config.policy_mix) in
+      let paths =
+        if config.ecmp then
+          (* Two equal-cost paths when the topology offers them. *)
+          let ks = Graph.k_shortest_paths g src dst ~k:2 in
+          match ks with
+          | [ p1; p2 ] when Graph.path_length g p1 = Graph.path_length g p2 ->
+              [ p1; p2 ]
+          | p1 :: _ -> [ p1 ]
+          | [] -> []
+        else
+          match Graph.shortest_path g src dst with
+          | Some p -> [ p ]
+          | None -> []
+      in
+      let paths =
+        List.filter
+          (fun p -> List.length p - 1 >= config.min_path_hops)
+          paths
+      in
+      match paths with
+      | [] -> ()
+      | _ ->
+          let share = rate /. float_of_int (List.length paths) in
+          List.iter
+            (fun path ->
+              let id = fresh_id () in
+              classes :=
+                {
+                  Types.id;
+                  src;
+                  dst;
+                  path = Array.of_list path;
+                  chain;
+                  src_block = src_block_of_class_id id;
+                  rate = share;
+                }
+                :: !classes)
+            paths)
+    selected;
+  {
+    Types.topo = named;
+    classes = Array.of_list (List.rev !classes);
+    host_cores = Array.make n config.host_cores;
+    seed;
+  }
+
+let update_rates (s : Types.scenario) tm =
+  let n = Matrix.size tm in
+  if n <> Graph.num_nodes s.Types.topo.Builders.graph then
+    invalid_arg "Scenario.update_rates: matrix size mismatch";
+  (* Classes of the same pair keep equal shares (they were created as even
+     splits of the pair demand). *)
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let key = Types.pair_group c in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    s.Types.classes;
+  Array.iter
+    (fun c ->
+      let key = Types.pair_group c in
+      let k = Hashtbl.find counts key in
+      c.Types.rate <- tm.(c.Types.src).(c.Types.dst) /. float_of_int k)
+    s.Types.classes

@@ -1,0 +1,44 @@
+(** Problem-instance generation: topology + traffic matrix + policy mix
+    -> flow classes with routing paths and address blocks.
+
+    Mirrors Sec. IX-A: demands come from a (synthetic) traffic matrix;
+    each significant origin–destination demand becomes one or more
+    classes, each with a chain drawn from the policy mix and the path
+    given by deterministic shortest-path routing.  On the UNIV1 data
+    center, pairs whose two equal-cost core paths both exist are split
+    into two ECMP sibling classes, which is what makes the tagging
+    scheme's Fig.-10 advantage largest there. *)
+
+type config = {
+  policy_mix : Policy.mix;
+  min_rate : float;  (** demands below this (Mbps) carry no policy *)
+  max_classes : int;  (** cap on generated classes (largest demands win) *)
+  ecmp : bool;  (** split pairs across 2 equal-cost paths when available *)
+  host_cores : int;  (** per-switch CPU budget *)
+  min_path_hops : int;
+      (** drop origin–destination pairs whose route has fewer links than
+          this; backbone policy traffic is transit traffic, and measured
+          WAN matrices (Abilene in particular) are dominated by long
+          paths *)
+}
+
+val default_config : config
+(** default mix, 1 Mbps floor, 120 classes, ECMP on, 64 cores, >= 1 hop. *)
+
+val build :
+  ?config:config ->
+  seed:int ->
+  Apple_topology.Builders.named ->
+  Apple_traffic.Matrix.t ->
+  Types.scenario
+(** Deterministic for a given seed.  Each class receives a disjoint
+    source block carved from 10.0.0.0/8. *)
+
+val update_rates :
+  Types.scenario -> Apple_traffic.Matrix.t -> unit
+(** Refresh class rates from a new traffic-matrix snapshot, preserving
+    each class's share of its origin–destination pair. *)
+
+val src_block_of_class_id : int -> Types.Prefix.prefix
+(** The /16 block assigned to class [id] (10.{id/256}.{id mod 256}.0/24
+    layout packed into 10.0.0.0/8). *)

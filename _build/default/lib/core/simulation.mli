@@ -1,0 +1,41 @@
+(** Trace-replay simulation (paper Sec. IX): run the Optimization Engine
+    on the mean traffic matrix, place VNFs, then replay the time-varying
+    snapshots while APPLE reacts — with or without fast failover.
+
+    Produces the series behind Fig. 11 (hardware usage vs the ingress
+    strawman), Fig. 12 (packet loss over time with/without fast failover)
+    and the "< 17 extra cores" claim of Sec. IX-E. *)
+
+type replay_result = {
+  label : string;
+  loss_with_failover : float array;  (** per-snapshot network loss rate *)
+  loss_without_failover : float array;
+  extra_cores_series : float array;  (** failover cores per snapshot *)
+  mean_extra_cores : float;
+  failover_events : (string * int) list;  (** Dynamic Handler counters *)
+  apple_cores : int;  (** cores of the optimized placement *)
+  ingress_cores : int;  (** cores of the ingress strawman *)
+  apple_instances : int;
+  ingress_instances : int;
+}
+
+val replay :
+  ?config:Scenario.config ->
+  ?failover_config:Dynamic_handler.config ->
+  seed:int ->
+  Apple_topology.Builders.named ->
+  profile:Apple_traffic.Synth.profile ->
+  replay_result
+(** Full pipeline for one topology: synthesize snapshots, build the
+    scenario from the mean matrix, optimize, assign sub-classes, then
+    replay every snapshot twice (frozen weights vs Dynamic Handler). *)
+
+val tcam_samples :
+  ?config:Scenario.config ->
+  seed:int ->
+  runs:int ->
+  Apple_topology.Builders.named ->
+  profile:Apple_traffic.Synth.profile ->
+  float array
+(** Fig. 10: the TCAM reduction ratio of the tagging scheme over [runs]
+    different traffic matrices. *)

@@ -1,0 +1,258 @@
+module Nf = Apple_vnf.Nf
+module Instance = Apple_vnf.Instance
+
+type subclass = {
+  class_id : int;
+  sub_id : int;
+  hops : int array;
+  weight : float;
+}
+
+let eps = 1e-9
+
+let decompose (cls : Types.flow_class) d =
+  let plen = Array.length cls.Types.path in
+  let clen = Array.length cls.Types.chain in
+  if clen = 0 then
+    [ { class_id = cls.Types.id; sub_id = 0; hops = [||]; weight = 1.0 } ]
+  else begin
+    let remaining = Array.map Array.copy d in
+    let total_left () =
+      let acc = ref 0.0 in
+      for i = 0 to plen - 1 do
+        acc := !acc +. remaining.(i).(0)
+      done;
+      !acc
+    in
+    let subclasses = ref [] in
+    let sub_id = ref 0 in
+    (* Peel while mass remains.  Each iteration zeroes at least one cell,
+       so at most plen*clen rounds. *)
+    while total_left () > 1e-7 do
+      let hops = Array.make clen 0 in
+      let ok = ref true in
+      let min_hop = ref 0 in
+      for j = 0 to clen - 1 do
+        (* earliest hop >= min_hop with remaining mass for stage j *)
+        let rec find i =
+          if i >= plen then None
+          else if remaining.(i).(j) > eps then Some i
+          else find (i + 1)
+        in
+        match find !min_hop with
+        | Some i ->
+            hops.(j) <- i;
+            min_hop := i
+        | None -> (
+            (* Numerical slack: Eq. (3) guarantees existence analytically;
+               fall back to the last hop holding mass and shift that mass
+               forward to keep monotonicity. *)
+            let rec find_any i best =
+              if i >= plen then best
+              else if remaining.(i).(j) > eps then find_any (i + 1) (Some i)
+              else find_any (i + 1) best
+            in
+            match find_any 0 None with
+            | Some i ->
+                let mass = remaining.(i).(j) in
+                remaining.(i).(j) <- 0.0;
+                remaining.(!min_hop).(j) <- remaining.(!min_hop).(j) +. mass;
+                hops.(j) <- !min_hop
+            | None -> ok := false)
+      done;
+      if !ok then begin
+        let weight = ref infinity in
+        for j = 0 to clen - 1 do
+          weight := min !weight remaining.(hops.(j)).(j)
+        done;
+        let w = !weight in
+        if w <= eps then
+          (* Defensive: avoid livelock on degenerate numerics. *)
+          Array.iteri
+            (fun j i -> remaining.(i).(j) <- 0.0)
+            hops
+        else begin
+          for j = 0 to clen - 1 do
+            remaining.(hops.(j)).(j) <- remaining.(hops.(j)).(j) -. w
+          done;
+          subclasses :=
+            { class_id = cls.Types.id; sub_id = !sub_id; hops; weight = w }
+            :: !subclasses;
+          incr sub_id
+        end
+      end
+      else begin
+        (* No stage mass anywhere: terminate. *)
+        for i = 0 to plen - 1 do
+          for j = 0 to clen - 1 do
+            remaining.(i).(j) <- 0.0
+          done
+        done
+      end
+    done;
+    let subclasses = List.rev !subclasses in
+    (* Normalize: numerical peeling can leave the total a hair under 1. *)
+    let total = List.fold_left (fun acc s -> acc +. s.weight) 0.0 subclasses in
+    if total <= 0.0 then
+      [ { class_id = cls.Types.id; sub_id = 0; hops = Array.make clen 0; weight = 1.0 } ]
+    else List.map (fun s -> { s with weight = s.weight /. total }) subclasses
+  end
+
+let weights_consistent (cls : Types.flow_class) d subclasses =
+  let plen = Array.length cls.Types.path in
+  let clen = Array.length cls.Types.chain in
+  let realized = Array.make_matrix plen clen 0.0 in
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun j i -> realized.(i).(j) <- realized.(i).(j) +. s.weight)
+        s.hops)
+    subclasses;
+  let ok = ref true in
+  for i = 0 to plen - 1 do
+    for j = 0 to clen - 1 do
+      if abs_float (realized.(i).(j) -. d.(i).(j)) > 1e-5 then ok := false
+    done
+  done;
+  !ok
+
+type assignment = {
+  subclasses : subclass list;
+  instance_of : (int * int, Instance.t) Hashtbl.t;
+  instances : Instance.t list;
+}
+
+let key s = (s.class_id * 1024) + s.sub_id
+
+let assign (s : Types.scenario) (placement : Optimization_engine.placement) =
+  let classes = s.Types.classes in
+  (* Provision instances per the placement counts. *)
+  let next_instance = ref 0 in
+  let by_site : (int * int, Instance.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let all_instances = ref [] in
+  Array.iteri
+    (fun v row ->
+      Array.iteri
+        (fun k count ->
+          if count > 0 then begin
+            let spec = Nf.spec (Nf.kind_of_index k) in
+            let bucket = ref [] in
+            for _ = 1 to count do
+              let inst = Instance.create ~id:!next_instance ~spec ~host:v in
+              incr next_instance;
+              bucket := inst :: !bucket;
+              all_instances := inst :: !all_instances
+            done;
+            Hashtbl.replace by_site (v, k) bucket
+          end)
+        row)
+    placement.Optimization_engine.counts;
+  let site_of (c : Types.flow_class) sub stage =
+    let v = c.Types.path.(sub.hops.(stage)) in
+    let k = Nf.kind_index c.Types.chain.(stage) in
+    (v, k)
+  in
+  let bucket_at site =
+    match Hashtbl.find_opt by_site site with
+    | None | Some { contents = [] } ->
+        invalid_arg
+          (Printf.sprintf
+             "Subclass.assign: no instance provisioned at switch %d for kind %d"
+             (fst site) (snd site))
+    | Some bucket -> !bucket
+  in
+  let cap inst = (Instance.spec inst).Nf.capacity_mbps in
+  let spare inst = cap inst -. Instance.offered inst in
+  let best_instance site =
+    (* Most spare capacity first: fills bottleneck instances evenly and
+       makes the split-and-retry loop converge. *)
+    List.fold_left
+      (fun best inst -> if spare inst > spare best then inst else best)
+      (List.hd (bucket_at site))
+      (List.tl (bucket_at site))
+  in
+  let instance_of = Hashtbl.create 256 in
+  let final_subclasses = ref [] in
+  (* Place one class's sub-classes; when a sub-class's demand does not fit
+     inside single instances at every stage, split it into a fitting part
+     and a remainder (creating a new sub-class), as Sec. V-A allows —
+     sub-classes are just finer flow aggregates. *)
+  let place_class (c : Types.flow_class) subs =
+    let next_sub_id = ref (List.length subs) in
+    let queue = Queue.create () in
+    List.iter (fun sub -> Queue.add sub queue) subs;
+    let guard = ref 0 in
+    while not (Queue.is_empty queue) do
+      incr guard;
+      if !guard > 100_000 then
+        invalid_arg "Subclass.assign: splitting failed to converge";
+      let sub = Queue.pop queue in
+      let rate = c.Types.rate *. sub.weight in
+      let n_stages = Array.length sub.hops in
+      if n_stages = 0 || rate <= 1e-9 then
+        final_subclasses := sub :: !final_subclasses
+      else begin
+        (* The placeable amount is limited by the emptiest instance at the
+           tightest stage. *)
+        let chosen = Array.init n_stages (fun j -> best_instance (site_of c sub j)) in
+        let placeable =
+          Array.fold_left (fun acc inst -> min acc (spare inst)) infinity chosen
+        in
+        if placeable >= rate -. 1e-6 then begin
+          Array.iteri
+            (fun j inst ->
+              Instance.add_offered inst rate;
+              Hashtbl.replace instance_of (key sub, j) inst)
+            chosen;
+          final_subclasses := sub :: !final_subclasses
+        end
+        else if placeable <= 1e-9 then
+          (* All instances briefly full from float dust; force-place on the
+             emptiest to avoid livelock (overload is bounded by epsilon). *)
+          begin
+            Array.iteri
+              (fun j inst ->
+                Instance.add_offered inst rate;
+                Hashtbl.replace instance_of (key sub, j) inst)
+              chosen;
+            final_subclasses := sub :: !final_subclasses
+          end
+        else begin
+          let fit_fraction = placeable /. rate in
+          let fit_weight = sub.weight *. fit_fraction in
+          let rem_weight = sub.weight -. fit_weight in
+          let fitted = { sub with weight = fit_weight } in
+          Array.iteri
+            (fun j inst ->
+              Instance.add_offered inst (c.Types.rate *. fit_weight);
+              Hashtbl.replace instance_of (key fitted, j) inst)
+            chosen;
+          final_subclasses := fitted :: !final_subclasses;
+          let remainder =
+            { sub with sub_id = !next_sub_id; weight = rem_weight }
+          in
+          incr next_sub_id;
+          Queue.add remainder queue
+        end
+      end
+    done
+  in
+  Array.iter
+    (fun c ->
+      let subs =
+        decompose c placement.Optimization_engine.distribution.(c.Types.id)
+      in
+      place_class c subs)
+    classes;
+  {
+    subclasses = List.rev !final_subclasses;
+    instance_of;
+    instances = List.rev !all_instances;
+  }
+
+let instance_load_ok t ~slack =
+  List.for_all
+    (fun inst ->
+      Instance.offered inst
+      <= (slack *. (Instance.spec inst).Nf.capacity_mbps) +. 1e-6)
+    t.instances

@@ -1,0 +1,53 @@
+(** Sub-classes (paper Sec. V-A): realizing the fractional distribution.
+
+    The Optimization Engine emits, per class, a matrix [d.(i).(j)] — the
+    portion of the class processed for chain stage [j] at path hop [i].
+    Actual flows must each traverse one concrete instance per stage, so
+    the matrix is decomposed into {e sub-classes}: groups of flows that
+    share one non-decreasing hop sequence (one hop per stage), with a
+    weight.  The decomposition peels the lexicographically-earliest
+    feasible sequence off the remaining mass; Eq. (3)'s prefix dominance
+    guarantees a monotone sequence always exists while mass remains.
+
+    Each sub-class is then pinned to concrete instances (first-fit
+    decreasing into the provisioned instances at each hop) and realized in
+    the data plane either by consistent hashing or by source-prefix
+    splitting (the prototype's method). *)
+
+type subclass = {
+  class_id : int;
+  sub_id : int;  (** local to the class; the sub-class tag value *)
+  hops : int array;  (** hop index per chain stage, non-decreasing *)
+  weight : float;  (** fraction of the class's traffic *)
+}
+
+val decompose : Types.flow_class -> float array array -> subclass list
+(** [decompose cls d] peels [d] (hops x stages) into sub-classes.
+    Weights sum to 1 (1e-6 tolerance); classes with empty chains yield a
+    single full-weight sub-class with no hops. *)
+
+val weights_consistent :
+  Types.flow_class -> float array array -> subclass list -> bool
+(** Σ_{s : hops_s(j) = i} weight_s = d.(i).(j) for every cell (1e-6). *)
+
+(** Concrete instance pinning. *)
+type assignment = {
+  subclasses : subclass list;
+  instance_of : (int * int, Apple_vnf.Instance.t) Hashtbl.t;
+      (** (class_id * 1024 + sub_id, stage) -> instance — see {!key} *)
+  instances : Apple_vnf.Instance.t list;  (** all provisioned instances *)
+}
+
+val key : subclass -> int
+(** Dense key for [instance_of]: [class_id * 1024 + sub_id]. *)
+
+val assign :
+  Types.scenario ->
+  Optimization_engine.placement ->
+  assignment
+(** Provision [placement.counts] instances and pin every sub-class stage
+    to one, balancing load first-fit-decreasing.  Instance offered loads
+    are initialized to the pinned sub-class rates. *)
+
+val instance_load_ok : assignment -> slack:float -> bool
+(** No instance is offered more than [slack * capacity]. *)

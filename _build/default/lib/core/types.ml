@@ -1,0 +1,36 @@
+module Nf = Apple_vnf.Nf
+module Prefix = Apple_classifier.Prefix_split
+
+type flow_class = {
+  id : int;
+  src : int;
+  dst : int;
+  path : int array;
+  chain : Nf.kind array;
+  src_block : Prefix.prefix;
+  mutable rate : float;
+}
+
+let pp_flow_class ppf c =
+  Format.fprintf ppf "class#%d %d->%d path=[%s] chain=%s rate=%.1f block=%a"
+    c.id c.src c.dst
+    (String.concat ";" (Array.to_list (Array.map string_of_int c.path)))
+    (Nf.chain_to_string (Array.to_list c.chain))
+    c.rate Prefix.pp_prefix c.src_block
+
+type scenario = {
+  topo : Apple_topology.Builders.named;
+  classes : flow_class array;
+  host_cores : int array;
+  seed : int;
+}
+
+let pair_group c = (c.src, c.dst)
+
+let total_rate s = Array.fold_left (fun acc c -> acc +. c.rate) 0.0 s.classes
+
+let pp_scenario ppf s =
+  Format.fprintf ppf "%s: %d classes, %.1f Mbps total"
+    s.topo.Apple_topology.Builders.label (Array.length s.classes) (total_rate s)
+
+let default_host_cores = 64

@@ -1,0 +1,37 @@
+(** Shared vocabulary of the APPLE framework.
+
+    A {e flow class} (paper Sec. IV-A) aggregates all flows that share a
+    forwarding path and a policy chain; it is the unit the Optimization
+    Engine reasons about.  A {e scenario} is a complete problem instance:
+    topology, classes and per-host hardware budget. *)
+
+module Nf = Apple_vnf.Nf
+module Prefix = Apple_classifier.Prefix_split
+
+type flow_class = {
+  id : int;
+  src : int;  (** ingress switch *)
+  dst : int;  (** egress switch *)
+  path : int array;  (** routing path including both endpoints *)
+  chain : Nf.kind array;  (** policy chain, in traversal order *)
+  src_block : Prefix.prefix;  (** source-address block identifying the class *)
+  mutable rate : float;  (** current offered load, Mbps *)
+}
+
+val pp_flow_class : Format.formatter -> flow_class -> unit
+
+type scenario = {
+  topo : Apple_topology.Builders.named;
+  classes : flow_class array;
+  host_cores : int array;  (** CPU cores available at each switch's host *)
+  seed : int;
+}
+
+val pair_group : flow_class -> int * int
+(** The (src, dst) pair — classes of the same pair may be ECMP siblings. *)
+
+val total_rate : scenario -> float
+val pp_scenario : Format.formatter -> scenario -> unit
+
+val default_host_cores : int
+(** 64, the paper's per-host assumption (Sec. IX-A). *)

@@ -1,0 +1,1 @@
+lib/dataplane/rule.ml: Apple_classifier Format List Printf Tag

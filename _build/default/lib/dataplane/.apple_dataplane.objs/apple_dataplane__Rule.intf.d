@@ -1,0 +1,1 @@
+lib/dataplane/rule.mli: Apple_classifier Format Tag

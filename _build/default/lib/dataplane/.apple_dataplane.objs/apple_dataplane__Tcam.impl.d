@@ -1,0 +1,1 @@
+lib/dataplane/tcam.ml: Apple_classifier Array List Rule Tag

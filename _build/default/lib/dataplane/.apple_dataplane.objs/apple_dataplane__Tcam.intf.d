@@ -1,0 +1,1 @@
+lib/dataplane/tcam.mli: Rule Tag

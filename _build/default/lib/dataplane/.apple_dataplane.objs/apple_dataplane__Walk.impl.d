@@ -1,0 +1,1 @@
+lib/dataplane/walk.ml: Array Format List Rule Tag Tcam

@@ -1,0 +1,1 @@
+lib/dataplane/walk.mli: Apple_vnf Format Tag Tcam

@@ -1,0 +1,21 @@
+type host_field = Empty | Host of int | Fin
+
+let host_field_bits = 6
+let subclass_bits = 12
+let max_subclasses = 1 lsl subclass_bits
+
+let pp_host_field ppf = function
+  | Empty -> Format.pp_print_string ppf "empty"
+  | Host h -> Format.fprintf ppf "host:%d" h
+  | Fin -> Format.pp_print_string ppf "fin"
+
+type tags = { mutable host : host_field; mutable subclass : int option }
+
+let fresh () = { host = Empty; subclass = None }
+
+let pp_tags ppf t =
+  Format.fprintf ppf "<%a, %a>" pp_host_field t.host
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "untagged")
+       Format.pp_print_int)
+    t.subclass

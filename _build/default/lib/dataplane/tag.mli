@@ -1,0 +1,31 @@
+(** The two packet tag fields of the APPLE tagging scheme (Sec. V-B).
+
+    A packet carries a {b host-ID} field naming the next APPLE host that
+    must process it (or [Fin] once the chain is complete) and a
+    {b sub-class ID} that is written once at the ingress switch and never
+    changes.  The paper maps them onto the 6-bit DS field and the 12-bit
+    VLAN ID. *)
+
+type host_field =
+  | Empty  (** packet just entered the network *)
+  | Host of int  (** next APPLE host (identified by its switch) *)
+  | Fin  (** all required VNF instances visited *)
+
+val host_field_bits : int
+(** 6 — the DS field. *)
+
+val subclass_bits : int
+(** 12 — the VLAN ID. *)
+
+val max_subclasses : int
+(** 2^12; sub-class IDs are local to a class so this bounds sub-classes
+    per class, not per network. *)
+
+val pp_host_field : Format.formatter -> host_field -> unit
+
+type tags = { mutable host : host_field; mutable subclass : int option }
+
+val fresh : unit -> tags
+(** Untagged packet state. *)
+
+val pp_tags : Format.formatter -> tags -> unit

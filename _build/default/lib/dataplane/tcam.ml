@@ -1,0 +1,79 @@
+module Prefix_split = Apple_classifier.Prefix_split
+
+type t = {
+  sw : int;
+  mutable phys : Rule.phys_rule list;  (* kept sorted by descending priority *)
+  mutable vsw : Rule.vswitch_rule list;
+}
+
+let create ~switch = { sw = switch; phys = []; vsw = [] }
+let switch t = t.sw
+
+let add_phys t r =
+  t.phys <-
+    List.sort (fun a b -> compare b.Rule.priority a.Rule.priority) (r :: t.phys)
+
+let add_vswitch t r = t.vsw <- r :: t.vsw
+
+let phys_rules t = t.phys
+let vswitch_rules t = List.rev t.vsw
+
+let tcam_entries t =
+  List.fold_left (fun acc r -> acc + Rule.tcam_entries r) 0 t.phys
+
+let tcam_entries_crossproduct t ~other_table =
+  tcam_entries t * max 1 other_table
+
+let vswitch_entries t = List.length t.vsw
+
+type network = t array
+
+let network ~num_switches = Array.init num_switches (fun switch -> create ~switch)
+
+let total_tcam net = Array.fold_left (fun acc t -> acc + tcam_entries t) 0 net
+
+let total_vswitch net =
+  Array.fold_left (fun acc t -> acc + vswitch_entries t) 0 net
+
+let host_matches pattern (tags : Tag.tags) =
+  match (pattern, tags.Tag.host) with
+  | `Any, _ -> true
+  | `Empty, Tag.Empty -> true
+  | `Fin, Tag.Fin -> true
+  | `Host h, Tag.Host h' -> h = h'
+  | (`Empty | `Fin | `Host _), _ -> false
+
+let subclass_matches pattern (tags : Tag.tags) =
+  match (pattern, tags.Tag.subclass) with
+  | `Any, _ -> true
+  | `Subclass s, Some s' -> s = s'
+  | `Subclass _, None -> false
+
+let prefixes_match prefixes ~src_ip =
+  match prefixes with
+  | [] -> true
+  | ps -> List.exists (fun p -> Prefix_split.member p src_ip) ps
+
+let lookup_phys t tags ~src_ip =
+  let matching r =
+    host_matches r.Rule.pmatch.Rule.m_host tags
+    && subclass_matches r.Rule.pmatch.Rule.m_subclass tags
+    && prefixes_match r.Rule.pmatch.Rule.m_prefixes ~src_ip
+  in
+  match List.find_opt matching t.phys with
+  | Some r -> Some r.Rule.action
+  | None -> None
+
+let lookup_vswitch t port ~cls ~subclass =
+  let matching r =
+    r.Rule.v_port = port
+    &&
+    match r.Rule.v_key with
+    | Rule.Per_class { cls = c; subclass = s } ->
+        (* Class recovery needs an intact header. *)
+        (match cls with Some c' -> c' = c && s = subclass | None -> false)
+    | Rule.Global g -> g = subclass
+  in
+  match List.find_opt matching (List.rev t.vsw) with
+  | Some r -> Some r.Rule.v_action
+  | None -> None

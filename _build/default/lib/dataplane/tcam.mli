@@ -1,0 +1,49 @@
+(** Per-switch flow tables with TCAM accounting.
+
+    A switch's APPLE table holds host-match, classification and pass-by
+    rules (Table III); the vSwitch of its APPLE host holds the three-tuple
+    rules.  TCAM cost is what Fig. 10 measures: with pipelining each rule
+    costs its own entries; without pipelining the semantics need the
+    cross-product of the APPLE table and the next table. *)
+
+type t
+
+val create : switch:int -> t
+val switch : t -> int
+
+val add_phys : t -> Rule.phys_rule -> unit
+val add_vswitch : t -> Rule.vswitch_rule -> unit
+
+val phys_rules : t -> Rule.phys_rule list
+(** Descending priority. *)
+
+val vswitch_rules : t -> Rule.vswitch_rule list
+
+val tcam_entries : t -> int
+(** Entries in the physical switch's APPLE table (pipelined layout). *)
+
+val tcam_entries_crossproduct : t -> other_table:int -> int
+(** Entries if the switch cannot pipeline and must merge the APPLE table
+    with a next table of [other_table] rules (upper bound: product). *)
+
+val vswitch_entries : t -> int
+
+type network = t array
+(** One table set per switch. *)
+
+val network : num_switches:int -> network
+val total_tcam : network -> int
+val total_vswitch : network -> int
+
+val lookup_phys : t -> Tag.tags -> src_ip:int -> Rule.phys_action option
+(** Highest-priority matching rule's action, mimicking the Fig. 2 walk. *)
+
+val lookup_vswitch :
+  t ->
+  Rule.vswitch_port ->
+  cls:int option ->
+  subclass:int ->
+  Rule.vswitch_action option
+(** [cls = None] models a packet whose header was rewritten by an NF:
+    header-derived class matching is impossible, so only {!Rule.Global}
+    keyed rules can match. *)

@@ -1,0 +1,122 @@
+type trace = {
+  visited : int list;
+  instances : int list;
+  final_host_tag : Tag.host_field;
+  subclass_tag : int option;
+}
+
+type error =
+  | No_matching_rule of int
+  | Vswitch_miss of int
+  | Host_loop of int
+  | Wrong_host of { switch : int; wanted : int }
+
+exception Walk_error of error
+
+(* Process the packet inside the APPLE host attached to [sw]: follow
+   vSwitch rules from [entry_port] until a Back_to_network action.
+   [header_valid] reflects whether header-derived class matching is still
+   possible; traversing a rewriting instance clears it. *)
+let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
+    ~header_valid =
+  let table = net.(sw) in
+  let subclass =
+    match tags.Tag.subclass with
+    | Some s -> s
+    | None -> raise (Walk_error (Vswitch_miss sw))
+  in
+  let budget = ref 64 in
+  let rec step port =
+    decr budget;
+    if !budget <= 0 then raise (Walk_error (Host_loop sw));
+    let cls_match = if !header_valid then Some cls else None in
+    match Tcam.lookup_vswitch table port ~cls:cls_match ~subclass with
+    | None -> raise (Walk_error (Vswitch_miss sw))
+    | Some (Rule.To_instance inst) ->
+        record_instance inst;
+        if rewriters inst then header_valid := false;
+        step (Rule.From_instance inst)
+    | Some (Rule.Back_to_network next_host) -> tags.Tag.host <- next_host
+  in
+  step entry_port
+
+let run net ~path ~cls ~src_ip ?(start_in_host = false)
+    ?(rewriters = fun _ -> false) () =
+  let tags = Tag.fresh () in
+  let visited = ref [] in
+  let stages = ref [] in
+  let header_valid = ref true in
+  let record_instance i = stages := i :: !stages in
+  let enter_host sw ~entry_port =
+    host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
+      ~header_valid
+  in
+  try
+    (match (path, start_in_host) with
+    | first :: _, true ->
+        (* Traffic born in a production VM inside the first hop's host:
+           the vSwitch tags it before it ever reaches the switch.  The
+           classification rules live in the vSwitch mirror of the ingress
+           table; we model it as the physical classification applied
+           immediately, then host processing if the first host is local. *)
+        let table = net.(first) in
+        (match Tcam.lookup_phys table tags ~src_ip with
+        | Some (Rule.Tag_and_deliver { subclass; host }) ->
+            tags.Tag.subclass <- Some subclass;
+            if host <> first then raise (Walk_error (Wrong_host { switch = first; wanted = host }));
+            enter_host first ~entry_port:Rule.From_production_vm
+        | Some (Rule.Tag_and_forward { subclass; host }) ->
+            tags.Tag.subclass <- Some subclass;
+            tags.Tag.host <- host
+        | Some (Rule.Fwd_to_host _ | Rule.Set_host_and_forward _ | Rule.Goto_next)
+        | None ->
+            raise (Walk_error (No_matching_rule first)))
+    | _ -> ());
+    let rec hop = function
+      | [] -> ()
+      | sw :: rest ->
+          visited := sw :: !visited;
+          let table = net.(sw) in
+          (match Tcam.lookup_phys table tags ~src_ip with
+          | None -> raise (Walk_error (No_matching_rule sw))
+          | Some (Rule.Goto_next) -> ()
+          | Some (Rule.Fwd_to_host host) ->
+              if host <> sw then
+                raise (Walk_error (Wrong_host { switch = sw; wanted = host }));
+              enter_host sw ~entry_port:Rule.From_network
+          | Some (Rule.Tag_and_deliver { subclass; host }) ->
+              tags.Tag.subclass <- Some subclass;
+              if host <> sw then
+                raise (Walk_error (Wrong_host { switch = sw; wanted = host }));
+              enter_host sw ~entry_port:Rule.From_network
+          | Some (Rule.Tag_and_forward { subclass; host }) ->
+              tags.Tag.subclass <- Some subclass;
+              tags.Tag.host <- host
+          | Some (Rule.Set_host_and_forward host) -> tags.Tag.host <- host);
+          hop rest
+    in
+    (* If the packet was pre-tagged inside the first host, the first
+       switch still sees it with its (possibly local) host tag. *)
+    hop path;
+    Ok
+      {
+        visited = List.rev !visited;
+        instances = List.rev !stages;
+        final_host_tag = tags.Tag.host;
+        subclass_tag = tags.Tag.subclass;
+      }
+  with Walk_error e -> Error e
+
+let policy_enforced trace ~instance_kind ~chain =
+  let kinds = List.map instance_kind trace.instances in
+  kinds = chain
+
+let interference_free trace ~path = trace.visited = path
+
+let pp_error ppf = function
+  | No_matching_rule sw -> Format.fprintf ppf "no matching rule at switch %d" sw
+  | Vswitch_miss sw -> Format.fprintf ppf "vSwitch lookup miss at switch %d" sw
+  | Host_loop sw -> Format.fprintf ppf "vSwitch rule loop at switch %d" sw
+  | Wrong_host { switch; wanted } ->
+      Format.fprintf ppf "switch %d asked to deliver to non-local host %d"
+        switch wanted

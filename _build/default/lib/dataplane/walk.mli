@@ -1,0 +1,51 @@
+(** Packet-walk verification of the installed data plane.
+
+    Replays the flow chart of Fig. 2 against actual switch tables: a
+    packet enters at the ingress switch, gets its sub-class tag, is
+    delivered to APPLE hosts named by its host-ID field, traverses VNF
+    instances by vSwitch rules, and is retagged on exit.  The walk
+    produces the ground truth for the two key properties:
+
+    - {b policy enforcement}: the recorded instance sequence matches the
+      class's policy chain in kind and order;
+    - {b interference freedom}: the switch sequence equals the routing
+      path — APPLE never changed a forwarding decision. *)
+
+type trace = {
+  visited : int list;  (** switches traversed, in order *)
+  instances : int list;  (** VNF instance ids applied, in order *)
+  final_host_tag : Tag.host_field;
+  subclass_tag : int option;
+}
+
+type error =
+  | No_matching_rule of int  (** switch where the lookup failed *)
+  | Vswitch_miss of int
+  | Host_loop of int  (** vSwitch rules cycled inside a host *)
+  | Wrong_host of { switch : int; wanted : int }
+
+val run :
+  Tcam.network ->
+  path:int list ->
+  cls:int ->
+  src_ip:int ->
+  ?start_in_host:bool ->
+  ?rewriters:(int -> bool) ->
+  unit ->
+  (trace, error) result
+(** Walk one packet of class [cls] with the given source address along the
+    routing [path].  [start_in_host] models traffic originating in a
+    production VM inside the first hop's APPLE host (the ip3 -> ip4
+    scenario of Fig. 3).  [rewriters] flags instances that rewrite packet
+    headers (e.g. NAT); after traversing one, header-derived class
+    matching becomes impossible, so only globally-tagged vSwitch rules
+    keep working (Sec. X). *)
+
+val policy_enforced :
+  trace -> instance_kind:(int -> Apple_vnf.Nf.kind) -> chain:Apple_vnf.Nf.kind list -> bool
+(** The instance kinds along the trace equal the chain. *)
+
+val interference_free : trace -> path:int list -> bool
+(** The visited switches are exactly the routing path. *)
+
+val pp_error : Format.formatter -> error -> unit

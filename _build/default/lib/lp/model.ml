@@ -1,0 +1,311 @@
+type var = int
+
+type sense = Le | Ge | Eq
+
+type status = Optimal | Infeasible | Unbounded | Limit
+
+type solution = {
+  status : status;
+  objective : float;
+  values : float array;
+  duals : float array;
+}
+
+type constr = {
+  c_name : string;
+  terms : (float * var) list;  (* duplicates already merged *)
+  sense : sense;
+  rhs : float;
+}
+
+type t = {
+  maximize : bool;
+  mutable lbs : float list;  (* reversed declaration order *)
+  mutable ubs : float list;
+  mutable objs : float list;
+  mutable ints : bool list;
+  mutable names : string list;
+  mutable n : int;
+  mutable constrs : constr list;  (* reversed *)
+  mutable num_constrs : int;
+}
+
+let create ?(maximize = false) () =
+  {
+    maximize;
+    lbs = [];
+    ubs = [];
+    objs = [];
+    ints = [];
+    names = [];
+    n = 0;
+    constrs = [];
+    num_constrs = 0;
+  }
+
+let add_var t ?(lb = 0.0) ?(ub = infinity) ?(integer = false) ?(obj = 0.0)
+    ?name () =
+  if lb > ub then invalid_arg "Model.add_var: lb > ub";
+  let id = t.n in
+  let name = match name with Some s -> s | None -> Printf.sprintf "x%d" id in
+  t.lbs <- lb :: t.lbs;
+  t.ubs <- ub :: t.ubs;
+  t.objs <- obj :: t.objs;
+  t.ints <- integer :: t.ints;
+  t.names <- name :: t.names;
+  t.n <- id + 1;
+  id
+
+let merge_terms terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (coef, v) ->
+      let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
+      Hashtbl.replace tbl v (prev +. coef))
+    terms;
+  Hashtbl.fold (fun v coef acc -> if coef = 0.0 then acc else (coef, v) :: acc) tbl []
+
+let add_constraint t ?name terms sense rhs =
+  let c_name =
+    match name with Some s -> s | None -> Printf.sprintf "c%d" t.num_constrs
+  in
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= t.n then invalid_arg "Model.add_constraint: unknown var")
+    terms;
+  t.constrs <- { c_name; terms = merge_terms terms; sense; rhs } :: t.constrs;
+  t.num_constrs <- t.num_constrs + 1
+
+let set_obj t v coef =
+  if v < 0 || v >= t.n then invalid_arg "Model.set_obj: unknown var";
+  let objs = Array.of_list t.objs in
+  (* objs is reversed: index of var v is (n - 1 - v). *)
+  objs.(t.n - 1 - v) <- coef;
+  t.objs <- Array.to_list objs
+
+let var_index v = v
+
+let var_name t v =
+  if v < 0 || v >= t.n then invalid_arg "Model.var_name: unknown var";
+  List.nth t.names (t.n - 1 - v)
+
+let num_vars t = t.n
+let num_constraints t = t.num_constrs
+let value sol v = sol.values.(v)
+
+let arrays_of t =
+  let to_arr l = Array.of_list (List.rev l) in
+  (to_arr t.lbs, to_arr t.ubs, to_arr t.objs, to_arr t.ints)
+
+(* Lower the model to Simplex standard form: one slack column per row. *)
+let standardize t ~lbs ~ubs ~objs =
+  let m = t.num_constrs in
+  let n = t.n in
+  let total = n + m in
+  let cols_idx = Array.make total [||] and cols_val = Array.make total [||] in
+  let rhs = Array.make m 0.0 in
+  let lower = Array.make total 0.0 and upper = Array.make total infinity in
+  Array.blit lbs 0 lower 0 n;
+  Array.blit ubs 0 upper 0 n;
+  let obj = Array.make total 0.0 in
+  let sign = if t.maximize then -1.0 else 1.0 in
+  Array.iteri (fun j c -> obj.(j) <- sign *. c) objs;
+  (* Collect per-variable row lists. *)
+  let acc = Array.make n [] in
+  let rows = Array.of_list (List.rev t.constrs) in
+  Array.iteri
+    (fun i c ->
+      rhs.(i) <- c.rhs;
+      List.iter (fun (coef, v) -> acc.(v) <- (i, coef) :: acc.(v)) c.terms;
+      (* slack column for row i *)
+      let sj = n + i in
+      cols_idx.(sj) <- [| i |];
+      cols_val.(sj) <- [| 1.0 |];
+      match c.sense with
+      | Le ->
+          lower.(sj) <- 0.0;
+          upper.(sj) <- infinity
+      | Ge ->
+          lower.(sj) <- neg_infinity;
+          upper.(sj) <- 0.0
+      | Eq ->
+          lower.(sj) <- 0.0;
+          upper.(sj) <- 0.0)
+    rows;
+  for v = 0 to n - 1 do
+    let entries = List.rev acc.(v) in
+    cols_idx.(v) <- Array.of_list (List.map fst entries);
+    cols_val.(v) <- Array.of_list (List.map snd entries)
+  done;
+  {
+    Simplex.num_vars = total;
+    num_rows = m;
+    col_index = cols_idx;
+    col_value = cols_val;
+    rhs;
+    obj;
+    lower;
+    upper;
+  }
+
+let solution_of t (res : Simplex.result) =
+  let values = Array.sub res.primal 0 t.n in
+  let sign = if t.maximize then -1.0 else 1.0 in
+  let status =
+    match res.status with
+    | Simplex.Optimal -> Optimal
+    | Simplex.Infeasible -> Infeasible
+    | Simplex.Unbounded -> Unbounded
+    | Simplex.Iteration_limit -> Limit
+  in
+  (* The simplex multipliers price the minimization standard form; flip
+     them back into the user's objective sense. *)
+  let duals = Array.map (fun y -> sign *. y) res.duals in
+  { status; objective = sign *. res.objective; values; duals }
+
+let solve_lp_bounds ?max_iters t ~lbs ~ubs ~objs =
+  let problem = standardize t ~lbs ~ubs ~objs in
+  solution_of t (Simplex.solve ?max_iters problem)
+
+let solve_lp ?max_iters t =
+  let lbs, ubs, objs, _ = arrays_of t in
+  solve_lp_bounds ?max_iters t ~lbs ~ubs ~objs
+
+let objective_at t x =
+  let _, _, objs, _ = arrays_of t in
+  let acc = ref 0.0 in
+  Array.iteri (fun j c -> acc := !acc +. (c *. x.(j))) objs;
+  !acc
+
+let feasible_with t x =
+  let tol = 1e-6 in
+  let lbs, ubs, _, ints = arrays_of t in
+  let bounds_ok = ref true in
+  Array.iteri
+    (fun j v ->
+      if v < lbs.(j) -. tol || v > ubs.(j) +. tol then bounds_ok := false;
+      if ints.(j) && abs_float (v -. Float.round v) > tol then bounds_ok := false)
+    x;
+  !bounds_ok
+  && List.for_all
+       (fun c ->
+         let lhs =
+           List.fold_left (fun acc (coef, v) -> acc +. (coef *. x.(v))) 0.0 c.terms
+         in
+         match c.sense with
+         | Le -> lhs <= c.rhs +. tol
+         | Ge -> lhs >= c.rhs -. tol
+         | Eq -> abs_float (lhs -. c.rhs) <= tol)
+       t.constrs
+
+let solve_round_up ?max_iters t =
+  let lbs, ubs, objs, ints = arrays_of t in
+  let relax = solve_lp_bounds ?max_iters t ~lbs ~ubs ~objs in
+  match relax.status with
+  | Optimal | Limit ->
+      let values = Array.copy relax.values in
+      Array.iteri
+        (fun j is_int ->
+          if is_int then begin
+            let v = values.(j) in
+            let rounded =
+              (* Snap near-integers instead of inflating them. *)
+              if abs_float (v -. Float.round v) < 1e-6 then Float.round v
+              else ceil v
+            in
+            values.(j) <- min rounded ubs.(j)
+          end)
+        ints;
+      { relax with values; objective = objective_at t values }
+  | Infeasible | Unbounded -> relax
+
+let fractional_int_var ~ints values =
+  (* Most fractional integer variable, if any. *)
+  let best = ref (-1) and best_frac = ref 1e-6 in
+  Array.iteri
+    (fun j is_int ->
+      if is_int then begin
+        let v = values.(j) in
+        let frac = abs_float (v -. Float.round v) in
+        let dist = min (v -. floor v) (ceil v -. v) in
+        if frac > 1e-6 && dist > !best_frac then begin
+          best := j;
+          best_frac := dist
+        end
+      end)
+    ints;
+  if !best >= 0 then Some !best else None
+
+let solve_ilp ?(max_nodes = 10_000) ?max_iters t =
+  let lbs0, ubs0, objs, ints = arrays_of t in
+  let sign = if t.maximize then -1.0 else 1.0 in
+  (* Internally minimize sign*objective. *)
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let rec branch lbs ubs =
+    if !nodes >= max_nodes then truncated := true
+    else begin
+      incr nodes;
+      let sol = solve_lp_bounds ?max_iters t ~lbs ~ubs ~objs in
+      match sol.status with
+      | Infeasible -> ()
+      | Unbounded ->
+          (* An unbounded relaxation makes the ILP unbounded too (our
+             models never hit this; be conservative and record nothing). *)
+          truncated := true
+      | Limit -> truncated := true
+      | Optimal ->
+          let relax_obj = sign *. sol.objective in
+          if relax_obj < !incumbent_obj -. 1e-9 then begin
+            match fractional_int_var ~ints sol.values with
+            | None ->
+                incumbent := Some sol.values;
+                incumbent_obj := relax_obj
+            | Some j ->
+                let v = sol.values.(j) in
+                let down_ub = Array.copy ubs and up_lb = Array.copy lbs in
+                down_ub.(j) <- floor v;
+                up_lb.(j) <- ceil v;
+                (* Explore the side closest to the relaxation first. *)
+                if v -. floor v <= ceil v -. v then begin
+                  if lbs.(j) <= down_ub.(j) then branch lbs down_ub;
+                  if up_lb.(j) <= ubs.(j) then branch up_lb ubs
+                end
+                else begin
+                  if up_lb.(j) <= ubs.(j) then branch up_lb ubs;
+                  if lbs.(j) <= down_ub.(j) then branch lbs down_ub
+                end
+          end
+    end
+  in
+  branch lbs0 ubs0;
+  match !incumbent with
+  | Some values ->
+      {
+        status = (if !truncated then Limit else Optimal);
+        objective = objective_at t values;
+        values = Array.map (fun v -> v) values;
+        duals = Array.make t.num_constrs 0.0;
+      }
+  | None ->
+      if !truncated then
+        let fallback = solve_round_up ?max_iters t in
+        { fallback with status = Limit }
+      else
+        {
+          status = Infeasible;
+          objective = nan;
+          values = Array.make t.n 0.0;
+          duals = Array.make t.num_constrs 0.0;
+        }
+
+let pp_stats ppf t =
+  let _, _, _, ints = arrays_of t in
+  let n_int = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ints in
+  let nnz =
+    List.fold_left (fun acc c -> acc + List.length c.terms) 0 t.constrs
+  in
+  Format.fprintf ppf "vars=%d (int=%d) constraints=%d nnz=%d" t.n n_int
+    t.num_constrs nnz

@@ -1,0 +1,461 @@
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type problem = {
+  num_vars : int;
+  num_rows : int;
+  col_index : int array array;
+  col_value : float array array;
+  rhs : float array;
+  obj : float array;
+  lower : float array;
+  upper : float array;
+}
+
+type result = {
+  status : status;
+  objective : float;
+  primal : float array;
+  duals : float array;
+  iterations : int;
+}
+
+let eps_reduced = 1e-9
+let eps_pivot = 1e-8
+let eps_bound = 1e-8
+
+(* Position of a nonbasic variable. *)
+type nb_pos = At_lower | At_upper
+
+type state = {
+  p : problem;
+  (* total columns including artificials appended after p.num_vars *)
+  total : int;
+  m : int;
+  lower : float array;
+  upper : float array;
+  cost : float array;  (* current-phase cost vector *)
+  basis : int array;  (* length m: column index basic in each row *)
+  in_basis : bool array;
+  nb : nb_pos array;  (* meaningful for nonbasic columns *)
+  binv : float array;  (* dense m*m row-major basis inverse *)
+  xb : float array;  (* values of basic variables, length m *)
+  art_first : int;  (* first artificial column index *)
+  art_sign : float array;  (* length m: +-1 sign of artificial of row i *)
+}
+
+let col_dot st j y =
+  (* y . A_j for a structural/slack column, or the artificial pattern. *)
+  if j < st.art_first then begin
+    let idx = st.p.col_index.(j) and v = st.p.col_value.(j) in
+    let acc = ref 0.0 in
+    for k = 0 to Array.length idx - 1 do
+      acc := !acc +. (y.(idx.(k)) *. v.(k))
+    done;
+    !acc
+  end
+  else
+    let row = j - st.art_first in
+    y.(row) *. st.art_sign.(row)
+
+(* d := Binv * A_j  (ftran) *)
+let ftran st j d =
+  Array.fill d 0 st.m 0.0;
+  if j < st.art_first then begin
+    let idx = st.p.col_index.(j) and v = st.p.col_value.(j) in
+    for k = 0 to Array.length idx - 1 do
+      let row = idx.(k) and value = v.(k) in
+      for i = 0 to st.m - 1 do
+        d.(i) <- d.(i) +. (st.binv.((i * st.m) + row) *. value)
+      done
+    done
+  end
+  else begin
+    let row = j - st.art_first and s = st.art_sign.(j - st.art_first) in
+    for i = 0 to st.m - 1 do
+      d.(i) <- st.binv.((i * st.m) + row) *. s
+    done
+  end
+
+let nonbasic_value st j = match st.nb.(j) with
+  | At_lower -> st.lower.(j)
+  | At_upper -> st.upper.(j)
+
+(* Recompute basic variable values from scratch: xb = Binv (b - N x_N). *)
+let refresh_xb st =
+  let r = Array.copy st.p.rhs in
+  for j = 0 to st.total - 1 do
+    if not st.in_basis.(j) then begin
+      let x = nonbasic_value st j in
+      if x <> 0.0 then
+        if j < st.art_first then begin
+          let idx = st.p.col_index.(j) and v = st.p.col_value.(j) in
+          for k = 0 to Array.length idx - 1 do
+            r.(idx.(k)) <- r.(idx.(k)) -. (v.(k) *. x)
+          done
+        end
+        else begin
+          let row = j - st.art_first in
+          r.(row) <- r.(row) -. (st.art_sign.(row) *. x)
+        end
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    let acc = ref 0.0 in
+    for k = 0 to st.m - 1 do
+      acc := !acc +. (st.binv.((i * st.m) + k) *. r.(k))
+    done;
+    st.xb.(i) <- !acc
+  done
+
+(* y = c_B Binv (btran with basic costs). *)
+let dual_prices st y =
+  for k = 0 to st.m - 1 do
+    y.(k) <- 0.0
+  done;
+  for i = 0 to st.m - 1 do
+    let cb = st.cost.(st.basis.(i)) in
+    if cb <> 0.0 then
+      for k = 0 to st.m - 1 do
+        y.(k) <- y.(k) +. (cb *. st.binv.((i * st.m) + k))
+      done
+  done
+
+exception Found of int
+
+(* Choose the entering column.  [bland] forces smallest-index selection to
+   break cycling. *)
+let price st y ~bland =
+  dual_prices st y;
+  if bland then begin
+    try
+      for j = 0 to st.total - 1 do
+        if not st.in_basis.(j) && st.lower.(j) < st.upper.(j) then begin
+          let r = st.cost.(j) -. col_dot st j y in
+          match st.nb.(j) with
+          | At_lower -> if r < -.eps_reduced then raise (Found j)
+          | At_upper -> if r > eps_reduced then raise (Found j)
+        end
+      done;
+      None
+    with Found j -> Some j
+  end
+  else begin
+    let best = ref (-1) and best_score = ref eps_reduced in
+    for j = 0 to st.total - 1 do
+      if not st.in_basis.(j) && st.lower.(j) < st.upper.(j) then begin
+        let r = st.cost.(j) -. col_dot st j y in
+        let score =
+          match st.nb.(j) with
+          | At_lower -> -.r
+          | At_upper -> r
+        in
+        if score > !best_score then begin
+          best := j;
+          best_score := score
+        end
+      end
+    done;
+    if !best >= 0 then Some !best else None
+  end
+
+type ratio_outcome =
+  | Unbounded_dir
+  | Bound_flip of float  (* step equals entering variable's own range *)
+  | Pivot of int * float * nb_pos
+      (* leaving row, step, bound the leaving variable settles at *)
+
+(* Ratio test for entering column [j] moving with direction sign [sigma]
+   (+1 when increasing from lower bound, -1 when decreasing from upper).
+   Basic values move as xb - sigma * t * d. *)
+let ratio_test st j sigma d =
+  let t_best = ref infinity and row_best = ref (-1) in
+  let pivot_best = ref 0.0 in
+  let settle = ref At_lower in
+  for i = 0 to st.m - 1 do
+    let rate = sigma *. d.(i) in
+    (* xb_i(t) = xb_i - rate * t *)
+    if rate > eps_pivot then begin
+      let lb = st.lower.(st.basis.(i)) in
+      if lb > neg_infinity then begin
+        let t = (st.xb.(i) -. lb) /. rate in
+        let t = if t < 0.0 then 0.0 else t in
+        if
+          t < !t_best -. 1e-12
+          || (t < !t_best +. 1e-12 && abs_float rate > abs_float !pivot_best)
+        then begin
+          t_best := t;
+          row_best := i;
+          pivot_best := rate;
+          settle := At_lower
+        end
+      end
+    end
+    else if rate < -.eps_pivot then begin
+      let ub = st.upper.(st.basis.(i)) in
+      if ub < infinity then begin
+        let t = (st.xb.(i) -. ub) /. rate in
+        let t = if t < 0.0 then 0.0 else t in
+        if
+          t < !t_best -. 1e-12
+          || (t < !t_best +. 1e-12 && abs_float rate > abs_float !pivot_best)
+        then begin
+          t_best := t;
+          row_best := i;
+          pivot_best := rate;
+          settle := At_upper
+        end
+      end
+    end
+  done;
+  let own_range = st.upper.(j) -. st.lower.(j) in
+  if own_range < !t_best then Bound_flip own_range
+  else if !row_best < 0 then Unbounded_dir
+  else Pivot (!row_best, !t_best, !settle)
+
+(* Apply a basis change: entering column j (direction d, sign sigma, step t)
+   replaces the basic variable of row r. *)
+let pivot st j sigma d r t ~leaving_pos =
+  let entering_value =
+    (match st.nb.(j) with At_lower -> st.lower.(j) | At_upper -> st.upper.(j))
+    +. (sigma *. t)
+  in
+  (* Move the other basic variables. *)
+  for i = 0 to st.m - 1 do
+    if i <> r then st.xb.(i) <- st.xb.(i) -. (sigma *. t *. d.(i))
+  done;
+  let leaving = st.basis.(r) in
+  st.in_basis.(leaving) <- false;
+  st.nb.(leaving) <- leaving_pos;
+  st.basis.(r) <- j;
+  st.in_basis.(j) <- true;
+  st.xb.(r) <- entering_value;
+  (* Product-form update of the dense inverse: row r scaled by 1/d_r, other
+     rows get multiples subtracted. *)
+  let dr = d.(r) in
+  let base_r = r * st.m in
+  for k = 0 to st.m - 1 do
+    st.binv.(base_r + k) <- st.binv.(base_r + k) /. dr
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> r && d.(i) <> 0.0 then begin
+      let f = d.(i) and base_i = i * st.m in
+      for k = 0 to st.m - 1 do
+        st.binv.(base_i + k) <- st.binv.(base_i + k) -. (f *. st.binv.(base_r + k))
+      done
+    end
+  done
+
+let bound_flip st j range =
+  (match st.nb.(j) with
+  | At_lower -> st.nb.(j) <- At_upper
+  | At_upper -> st.nb.(j) <- At_lower);
+  let sigma = match st.nb.(j) with At_upper -> 1.0 | At_lower -> -1.0 in
+  let d = Array.make st.m 0.0 in
+  ftran st j d;
+  for i = 0 to st.m - 1 do
+    st.xb.(i) <- st.xb.(i) -. (sigma *. range *. d.(i))
+  done
+
+type phase_outcome = Phase_optimal | Phase_unbounded | Phase_iter_limit
+
+(* Run simplex iterations with the current cost vector until optimal. *)
+let optimize st ~max_iters iter_count =
+  let y = Array.make st.m 0.0 in
+  let d = Array.make st.m 0.0 in
+  let stall = ref 0 in
+  let bland = ref false in
+  let outcome = ref None in
+  while !outcome = None do
+    if !iter_count >= max_iters then outcome := Some Phase_iter_limit
+    else begin
+      incr iter_count;
+      if !iter_count mod 64 = 0 then refresh_xb st;
+      match price st y ~bland:!bland with
+      | None -> outcome := Some Phase_optimal
+      | Some j ->
+          let sigma = match st.nb.(j) with At_lower -> 1.0 | At_upper -> -1.0 in
+          ftran st j d;
+          (match ratio_test st j sigma d with
+          | Unbounded_dir -> outcome := Some Phase_unbounded
+          | Bound_flip range ->
+              bound_flip st j range;
+              stall := 0
+          | Pivot (r, t, leaving_pos) ->
+              if t <= 1e-12 then begin
+                incr stall;
+                if !stall > 2 * (st.m + 16) then bland := true
+              end
+              else stall := 0;
+              pivot st j sigma d r t ~leaving_pos)
+    end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let objective_value st cost =
+  let acc = ref 0.0 in
+  for j = 0 to st.total - 1 do
+    if not st.in_basis.(j) then begin
+      let x = nonbasic_value st j in
+      if x <> 0.0 then acc := !acc +. (cost.(j) *. x)
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    acc := !acc +. (cost.(st.basis.(i)) *. st.xb.(i))
+  done;
+  !acc
+
+let extract_primal st =
+  let x = Array.make st.p.num_vars 0.0 in
+  for j = 0 to st.p.num_vars - 1 do
+    if not st.in_basis.(j) then x.(j) <- nonbasic_value st j
+  done;
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) < st.p.num_vars then x.(st.basis.(i)) <- st.xb.(i)
+  done;
+  x
+
+(* Try to pivot zero-valued artificial variables out of the basis so that
+   phase 2 can fix their bounds to [0,0] without losing a basis. *)
+let expel_artificials st =
+  let d = Array.make st.m 0.0 in
+  let y = Array.make st.m 0.0 in
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) >= st.art_first then begin
+      (* Row i of Binv lets us probe pivot magnitudes in O(nnz) per column
+         instead of a full ftran. *)
+      for k = 0 to st.m - 1 do
+        y.(k) <- st.binv.((i * st.m) + k)
+      done;
+      let found = ref (-1) in
+      let j = ref 0 in
+      while !found < 0 && !j < st.art_first do
+        if
+          (not st.in_basis.(!j))
+          && st.lower.(!j) < st.upper.(!j)
+          && abs_float (col_dot st !j y) > 1e-6
+        then found := !j;
+        incr j
+      done;
+      match !found with
+      | -1 -> () (* row is redundant; artificial stays basic at 0 *)
+      | j ->
+          ftran st j d;
+          (* Step-0 pivot: swap the basis without moving the solution. *)
+          pivot st j 1.0 d i 0.0 ~leaving_pos:At_lower
+    end
+  done
+
+let solve ?max_iters (p : problem) : result =
+  let m = p.num_rows in
+  let max_iters =
+    match max_iters with Some k -> k | None -> 200 * (m + p.num_vars) + 2000
+  in
+  let total = p.num_vars + m in
+  let lower = Array.make total 0.0 and upper = Array.make total infinity in
+  Array.blit p.lower 0 lower 0 p.num_vars;
+  Array.blit p.upper 0 upper 0 p.num_vars;
+  let cost = Array.make total 0.0 in
+  let nb = Array.make total At_lower in
+  (* Nonbasic start: every structural/slack at its finite bound closest to
+     zero, or zero for free variables (free variables are modelled with
+     infinite bounds; they start At_lower with lower=-inf only if upper is
+     finite, otherwise we pin them via a zero-width detour).  The models we
+     generate always have a finite lower bound, which keeps this simple. *)
+  for j = 0 to p.num_vars - 1 do
+    if lower.(j) > neg_infinity then nb.(j) <- At_lower
+    else if upper.(j) < infinity then nb.(j) <- At_upper
+    else begin
+      (* Free variable: split into a zero lower bound by shifting is not
+         implemented; treat as at value 0 via temporary bounds. *)
+      lower.(j) <- 0.0;
+      nb.(j) <- At_lower
+    end
+  done;
+  let st =
+    {
+      p;
+      total;
+      m;
+      lower;
+      upper;
+      cost;
+      basis = Array.init m (fun i -> p.num_vars + i);
+      in_basis =
+        Array.init total (fun j -> j >= p.num_vars);
+      nb;
+      binv = Array.init (m * m) (fun k -> if k / m = k mod m then 1.0 else 0.0);
+      xb = Array.make m 0.0;
+      art_first = p.num_vars;
+      art_sign = Array.make m 1.0;
+    }
+  in
+  (* Residual with all structural columns at their nonbasic bounds decides
+     each artificial's sign so the initial basis is feasible. *)
+  let resid = Array.copy p.rhs in
+  for j = 0 to p.num_vars - 1 do
+    let x = nonbasic_value st j in
+    if x <> 0.0 then begin
+      let idx = p.col_index.(j) and v = p.col_value.(j) in
+      for k = 0 to Array.length idx - 1 do
+        resid.(idx.(k)) <- resid.(idx.(k)) -. (v.(k) *. x)
+      done
+    end
+  done;
+  for i = 0 to m - 1 do
+    st.art_sign.(i) <- (if resid.(i) >= 0.0 then 1.0 else -1.0);
+    st.xb.(i) <- abs_float resid.(i);
+    (* The initial basis matrix is diag(art_sign); its inverse is itself,
+       not the identity. *)
+    st.binv.((i * m) + i) <- st.art_sign.(i)
+  done;
+  let iter_count = ref 0 in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase1_needed = Array.exists (fun v -> abs_float v > eps_bound) st.xb in
+  let status = ref Optimal in
+  if phase1_needed then begin
+    for i = 0 to m - 1 do
+      cost.(p.num_vars + i) <- 1.0
+    done;
+    (match optimize st ~max_iters iter_count with
+    | Phase_iter_limit -> status := Iteration_limit
+    | Phase_unbounded ->
+        (* Phase-1 objective is bounded below by 0; cannot happen unless
+           numerics break down. *)
+        status := Infeasible
+    | Phase_optimal ->
+        let inf = objective_value st cost in
+        if inf > 1e-6 then status := Infeasible);
+    if !status = Optimal then begin
+      expel_artificials st;
+      refresh_xb st
+    end
+  end;
+  if !status = Optimal then begin
+    (* Phase 2: real costs, artificials pinned to zero. *)
+    Array.fill cost 0 total 0.0;
+    Array.blit p.obj 0 cost 0 p.num_vars;
+    for i = 0 to m - 1 do
+      let a = p.num_vars + i in
+      st.lower.(a) <- 0.0;
+      st.upper.(a) <- 0.0
+    done;
+    match optimize st ~max_iters iter_count with
+    | Phase_iter_limit -> status := Iteration_limit
+    | Phase_unbounded -> status := Unbounded
+    | Phase_optimal -> ()
+  end;
+  refresh_xb st;
+  let primal = extract_primal st in
+  let duals = Array.make m 0.0 in
+  if !status = Optimal then dual_prices st duals;
+  let objective =
+    match !status with
+    | Optimal | Iteration_limit ->
+        let acc = ref 0.0 in
+        for j = 0 to p.num_vars - 1 do
+          acc := !acc +. (p.obj.(j) *. primal.(j))
+        done;
+        !acc
+    | Infeasible | Unbounded -> nan
+  in
+  { status = !status; objective; primal; duals; iterations = !iter_count }

@@ -1,0 +1,48 @@
+(** Bounded-variable two-phase revised simplex on computational standard
+    form.
+
+    The problem solved is
+
+    {v minimize    c . x
+       subject to  A x = b
+                   l <= x <= u v}
+
+    where [A] already contains one slack column per original row (the
+    {!Model} layer performs that lowering).  The basis inverse is kept as a
+    dense matrix updated in product form; Dantzig pricing with an automatic
+    switch to Bland's rule guards against cycling.  This is the engine
+    behind the paper's Optimization Engine (Sec. IV-D), replacing CPLEX. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit  (** gave up after [max_iters] pivots *)
+
+type problem = {
+  num_vars : int;  (** total columns, slacks included *)
+  num_rows : int;
+  (* Sparse columns: [col_index.(j)] and [col_value.(j)] hold the nonzero
+     pattern of column [j]. *)
+  col_index : int array array;
+  col_value : float array array;
+  rhs : float array;
+  obj : float array;
+  lower : float array;  (** may be [neg_infinity] *)
+  upper : float array;  (** may be [infinity] *)
+}
+
+type result = {
+  status : status;
+  objective : float;
+  primal : float array;  (** length [num_vars]; meaningful when Optimal *)
+  duals : float array;
+      (** length [num_rows]; the simplex multipliers [y = c_B B^-1] at the
+          final basis — the shadow price of each row's right-hand side in
+          the (minimization) standard form.  Meaningful when Optimal. *)
+  iterations : int;
+}
+
+val solve : ?max_iters:int -> problem -> result
+(** Solve the standard-form problem.  [max_iters] defaults to a generous
+    multiple of the problem size. *)

@@ -1,0 +1,1 @@
+lib/packetsim/packet_sim.ml: Apple_dataplane Apple_prelude Apple_sim Apple_vnf Array Format Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/packetsim/packet_sim.mli: Apple_dataplane Apple_vnf

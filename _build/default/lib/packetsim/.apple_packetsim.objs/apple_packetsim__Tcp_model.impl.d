@@ -1,0 +1,1 @@
+lib/packetsim/tcp_model.ml: List Option

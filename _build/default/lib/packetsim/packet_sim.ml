@@ -1,0 +1,248 @@
+module Engine = Apple_sim.Engine
+module Instance = Apple_vnf.Instance
+module Nf = Apple_vnf.Nf
+module Walk = Apple_dataplane.Walk
+module Rng = Apple_prelude.Rng
+module Stats = Apple_prelude.Stats
+
+type config = {
+  link_latency : float;
+  queue_packets : int;
+  packet_bytes : int;
+}
+
+let default_config =
+  { link_latency = 50e-6; queue_packets = 64; packet_bytes = 1500 }
+
+type source =
+  | Cbr of float
+  | Poisson of float
+  | On_off of { pps : float; on_s : float; off_s : float }
+
+type flow_spec = {
+  flow_name : string;
+  cls : int;
+  src_ip : int;
+  path : int list;
+  source : source;
+  start_at : float;
+  stop_at : float;
+}
+
+type flow_report = {
+  spec : flow_spec;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  latencies : float array;
+}
+
+type report = {
+  flows : flow_report list;
+  total_sent : int;
+  total_delivered : int;
+  loss_rate : float;
+  duration : float;
+}
+
+exception Unroutable of string
+
+(* Single-server FIFO queue with a drop-tail buffer.  Service time is
+   deterministic (per-packet capacity of the instance). *)
+type server = {
+  service_time : float;
+  buffer : int;  (* waiting room, packets (excluding the one in service) *)
+  mutable queued : int;
+  mutable busy : bool;
+  waiters : (Engine.t -> unit) Queue.t;
+}
+
+(* One packet's remaining itinerary: alternate link hops and servers. *)
+type step = Link | Serve of server
+
+type in_flight = {
+  flow_idx : int;
+  born : float;
+  mutable todo : step list;
+}
+
+let service_time_of config inst =
+  let mbps = (Instance.spec inst).Nf.capacity_mbps in
+  let pps = mbps *. 1e6 /. 8.0 /. float_of_int config.packet_bytes in
+  1.0 /. pps
+
+let itinerary config ~network ~servers (spec : flow_spec) =
+  (* One walk decides the whole flow's route; per-packet steps alternate
+     a link per hop plus the servers of instances applied at that hop. *)
+  match
+    Walk.run network ~path:spec.path ~cls:spec.cls ~src_ip:spec.src_ip ()
+  with
+  | Error e ->
+      raise
+        (Unroutable
+           (Format.asprintf "%s: %a" spec.flow_name Walk.pp_error e))
+  | Ok trace ->
+      (* The trace lists instances in traversal order; we charge one link
+         per path hop and insert each instance's server after reaching its
+         host.  For the latency model the exact interleaving within a hop
+         is immaterial, so: links for every hop, then servers in order
+         spliced at their positions.  Simplest faithful layout: all hops
+         contribute Link steps in order, and instance servers are applied
+         in trace order after the first Link. *)
+      let links = List.map (fun _ -> Link) (List.tl spec.path) in
+      let serves =
+        List.map
+          (fun inst_id ->
+            match Hashtbl.find_opt servers inst_id with
+            | Some s -> Serve s
+            | None ->
+                raise
+                  (Unroutable
+                     (Printf.sprintf "%s: instance %d has no server"
+                        spec.flow_name inst_id)))
+          trace.Walk.instances
+      in
+      ignore config;
+      (* servers first (processing happens along the way), links spread
+         around them; ordering only shifts constant latency *)
+      serves @ links
+
+let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
+    ~duration () =
+  let world = Engine.create () in
+  let rng = Rng.create seed in
+  let servers = Hashtbl.create 64 in
+  List.iter
+    (fun inst ->
+      Hashtbl.replace servers (Instance.id inst)
+        {
+          service_time = service_time_of config inst;
+          buffer = config.queue_packets;
+          queued = 0;
+          busy = false;
+          waiters = Queue.create ();
+        })
+    instances;
+  let specs = Array.of_list flows in
+  let sent = Array.make (Array.length specs) 0 in
+  let delivered = Array.make (Array.length specs) 0 in
+  let dropped = Array.make (Array.length specs) 0 in
+  let latencies = Array.make (Array.length specs) [] in
+  let itineraries =
+    Array.map (fun spec -> itinerary config ~network ~servers spec) specs
+  in
+  let rec advance pkt w =
+    match pkt.todo with
+    | [] ->
+        delivered.(pkt.flow_idx) <- delivered.(pkt.flow_idx) + 1;
+        latencies.(pkt.flow_idx) <-
+          (Engine.now w -. pkt.born) :: latencies.(pkt.flow_idx)
+    | Link :: rest ->
+        pkt.todo <- rest;
+        Engine.schedule w ~delay:config.link_latency (advance pkt)
+    | Serve server :: rest ->
+        if server.busy then begin
+          if server.queued >= server.buffer then
+            (* drop-tail *)
+            dropped.(pkt.flow_idx) <- dropped.(pkt.flow_idx) + 1
+          else begin
+            server.queued <- server.queued + 1;
+            Queue.add
+              (fun w' ->
+                server.queued <- server.queued - 1;
+                serve server pkt rest w')
+              server.waiters
+          end
+        end
+        else serve server pkt rest w
+  and serve server pkt rest w =
+    server.busy <- true;
+    Engine.schedule w ~delay:server.service_time (fun w' ->
+        server.busy <- false;
+        (* Wake the next waiter before moving on. *)
+        (match Queue.take_opt server.waiters with
+        | Some k -> k w'
+        | None -> ());
+        pkt.todo <- rest;
+        advance pkt w')
+  in
+  (* Packet sources. *)
+  Array.iteri
+    (fun idx spec ->
+      let emit w =
+        sent.(idx) <- sent.(idx) + 1;
+        let pkt = { flow_idx = idx; born = Engine.now w; todo = itineraries.(idx) } in
+        advance pkt w
+      in
+      let rec cbr_tick period w =
+        if Engine.now w < spec.stop_at && Engine.now w < duration then begin
+          emit w;
+          Engine.schedule w ~delay:period (cbr_tick period)
+        end
+      in
+      let rec poisson_tick pps w =
+        if Engine.now w < spec.stop_at && Engine.now w < duration then begin
+          emit w;
+          Engine.schedule w ~delay:(Rng.exponential rng ~rate:pps) (poisson_tick pps)
+        end
+      in
+      let rec onoff_tick ~pps ~on_s ~off_s ~phase_left w =
+        if Engine.now w < spec.stop_at && Engine.now w < duration then begin
+          emit w;
+          let period = 1.0 /. pps in
+          if phase_left > period then
+            Engine.schedule w ~delay:period
+              (onoff_tick ~pps ~on_s ~off_s ~phase_left:(phase_left -. period))
+          else
+            Engine.schedule w ~delay:(period +. off_s)
+              (onoff_tick ~pps ~on_s ~off_s ~phase_left:on_s)
+        end
+      in
+      let start w =
+        match spec.source with
+        | Cbr pps -> cbr_tick (1.0 /. pps) w
+        | Poisson pps -> poisson_tick pps w
+        | On_off { pps; on_s; off_s } ->
+            onoff_tick ~pps ~on_s ~off_s ~phase_left:on_s w
+      in
+      Engine.schedule_at world ~time:spec.start_at start)
+    specs;
+  Engine.run ~until:(duration +. 1.0) world;
+  let flow_reports =
+    Array.to_list
+      (Array.mapi
+         (fun idx spec ->
+           {
+             spec;
+             sent = sent.(idx);
+             delivered = delivered.(idx);
+             dropped = dropped.(idx);
+             latencies = Array.of_list (List.rev latencies.(idx));
+           })
+         specs)
+  in
+  let total_sent = Array.fold_left ( + ) 0 sent in
+  let total_delivered = Array.fold_left ( + ) 0 delivered in
+  {
+    flows = flow_reports;
+    total_sent;
+    total_delivered;
+    loss_rate =
+      (if total_sent = 0 then 0.0
+       else 1.0 -. (float_of_int total_delivered /. float_of_int total_sent));
+    duration;
+  }
+
+let find_flow report name =
+  match List.find_opt (fun f -> f.spec.flow_name = name) report.flows with
+  | Some f -> f
+  | None -> raise Not_found
+
+let loss_of report name =
+  let f = find_flow report name in
+  if f.sent = 0 then 0.0
+  else float_of_int (f.sent - f.delivered) /. float_of_int f.sent
+
+let latency_percentile report name p =
+  let f = find_flow report name in
+  Stats.percentile f.latencies p

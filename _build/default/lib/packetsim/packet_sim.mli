@@ -1,0 +1,81 @@
+(** Packet-level data-plane simulation.
+
+    The evaluation-level experiments (Figs. 10–12) use flow-level loss
+    models; this module simulates individual packets through the
+    installed switch tables and VNF instances so those models can be
+    validated and per-packet {e latency} measured:
+
+    - each flow is routed once through {!Apple_dataplane.Walk} to obtain
+      its (switch, instances) itinerary — the data plane is exactly the
+      one the Rule Generator installed;
+    - every VNF instance is a single-server FIFO queue with a finite
+      drop-tail buffer and a deterministic per-packet service time
+      derived from its Table-IV capacity;
+    - links add a constant propagation latency per hop.
+
+    The queueing behaviour reproduces the Fig. 6 knee from first
+    principles: below capacity the queue stays short and loss is 0; above
+    capacity the buffer fills and the drop rate approaches
+    [(rate - capacity) / rate]. *)
+
+type config = {
+  link_latency : float;  (** seconds per hop (default 50 us) *)
+  queue_packets : int;  (** per-instance buffer, packets (default 64) *)
+  packet_bytes : int;  (** payload size (default 1500) *)
+}
+
+val default_config : config
+
+type source =
+  | Cbr of float  (** constant bit-rate, packets per second *)
+  | Poisson of float  (** Poisson arrivals, mean packets per second *)
+  | On_off of { pps : float; on_s : float; off_s : float }
+      (** CBR bursts of [on_s] seconds separated by [off_s] silences *)
+
+type flow_spec = {
+  flow_name : string;
+  cls : int;  (** class id for vSwitch matching *)
+  src_ip : int;
+  path : int list;  (** routing path (switch ids) *)
+  source : source;
+  start_at : float;
+  stop_at : float;
+}
+
+type flow_report = {
+  spec : flow_spec;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  latencies : float array;  (** end-to-end seconds, delivered packets *)
+}
+
+type report = {
+  flows : flow_report list;
+  total_sent : int;
+  total_delivered : int;
+  loss_rate : float;
+  duration : float;
+}
+
+exception Unroutable of string
+(** A flow's packet walk failed against the installed tables. *)
+
+val run :
+  ?config:config ->
+  ?seed:int ->
+  network:Apple_dataplane.Tcam.network ->
+  instances:Apple_vnf.Instance.t list ->
+  flows:flow_spec list ->
+  duration:float ->
+  unit ->
+  report
+(** Simulate [duration] seconds.  [instances] must cover every instance
+    id referenced by the installed vSwitch rules on the flows' paths.
+    Deterministic for a given [seed] (default 1). *)
+
+val loss_of : report -> string -> float
+(** Loss rate of the named flow.  Raises [Not_found] for unknown names. *)
+
+val latency_percentile : report -> string -> float -> float
+(** Latency percentile of a named flow's delivered packets. *)

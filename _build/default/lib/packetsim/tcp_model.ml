@@ -1,0 +1,109 @@
+type params = {
+  bottleneck_mbps : float;
+  rtt : float;
+  buffer_packets : int;
+  mss_bytes : int;
+  initial_rto : float;
+}
+
+let default_params =
+  {
+    bottleneck_mbps = 100.0;
+    rtt = 0.020;
+    buffer_packets = 64;
+    mss_bytes = 1448;
+    initial_rto = 1.0;
+  }
+
+type outage = { outage_start : float; outage_duration : float }
+
+type trace_point = { at : float; cwnd : float; acked_bytes : float }
+
+type outcome = {
+  completion_time : float;
+  trace : trace_point list;
+  timeouts : int;
+  loss_events : int;
+}
+
+let transfer ?(params = default_params) ?outage ~bytes () =
+  if bytes <= 0 then invalid_arg "Tcp_model.transfer: empty file";
+  let mss = float_of_int params.mss_bytes in
+  (* Bandwidth-delay product in segments; the pipe plus the buffer bounds
+     the usable window. *)
+  let bdp =
+    params.bottleneck_mbps *. 1e6 /. 8.0 *. params.rtt /. mss
+  in
+  let max_window = bdp +. float_of_int params.buffer_packets in
+  let in_outage t =
+    match outage with
+    | None -> false
+    | Some o -> t >= o.outage_start && t < o.outage_start +. o.outage_duration
+  in
+  let total = float_of_int bytes in
+  let acked = ref 0.0 in
+  let cwnd = ref 2.0 in
+  let ssthresh = ref max_window in
+  let now = ref 0.0 in
+  let rto = ref params.initial_rto in
+  let timeouts = ref 0 in
+  let loss_events = ref 0 in
+  let trace = ref [] in
+  let record () =
+    trace := { at = !now; cwnd = !cwnd; acked_bytes = !acked } :: !trace
+  in
+  record ();
+  let guard = ref 0 in
+  while !acked < total && !guard < 2_000_000 do
+    incr guard;
+    if in_outage !now then begin
+      (* Whole window lost: exponential backoff, restart from slow start
+         once the path heals. *)
+      incr timeouts;
+      let o = Option.get outage in
+      let heal = o.outage_start +. o.outage_duration in
+      (* The sender sleeps for its RTO; repeated timeouts double it. *)
+      now := !now +. !rto;
+      rto := min 60.0 (!rto *. 2.0);
+      if !now >= heal then begin
+        (* Retransmission after healing succeeds; slow-start restart. *)
+        ssthresh := max 2.0 (!cwnd /. 2.0);
+        cwnd := 2.0;
+        rto := params.initial_rto
+      end;
+      record ()
+    end
+    else begin
+      (* One RTT round: send cwnd segments. *)
+      let usable = min !cwnd max_window in
+      (* Queueing inflates the RTT once the pipe is full. *)
+      let queue = max 0.0 (usable -. bdp) in
+      let rtt_now = params.rtt +. (queue *. mss *. 8.0 /. (params.bottleneck_mbps *. 1e6)) in
+      let delivered = min (usable *. mss) (total -. !acked) in
+      acked := !acked +. delivered;
+      now := !now +. rtt_now;
+      if !cwnd >= max_window then begin
+        (* Buffer overflow: Reno halves. *)
+        incr loss_events;
+        ssthresh := max 2.0 (!cwnd /. 2.0);
+        cwnd := !ssthresh
+      end
+      else if !cwnd < !ssthresh then
+        (* slow start *)
+        cwnd := min (2.0 *. !cwnd) max_window
+      else
+        (* congestion avoidance *)
+        cwnd := min (!cwnd +. 1.0) max_window;
+      record ()
+    end
+  done;
+  {
+    completion_time = !now;
+    trace = List.rev !trace;
+    timeouts = !timeouts;
+    loss_events = !loss_events;
+  }
+
+let goodput_mbps outcome ~bytes =
+  if outcome.completion_time <= 0.0 then 0.0
+  else float_of_int bytes *. 8.0 /. 1e6 /. outcome.completion_time

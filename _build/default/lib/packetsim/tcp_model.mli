@@ -1,0 +1,47 @@
+(** TCP Reno transfer model.
+
+    The prototype's Fig. 8 measures 20 MB netcat transfers under three
+    failover strategies.  This model reproduces the transport dynamics
+    those measurements rest on: slow start, AIMD congestion avoidance,
+    drop-tail buffer overflow at the bottleneck, retransmission timeouts
+    — and, crucially, a {e service outage} window (the throughput
+    blackout of Fig. 7 when forwarding rules point at a VM that is still
+    booting).  During an outage every in-flight packet is lost, the
+    sender backs off with exponential RTO and re-enters slow start.
+
+    The simulation advances RTT by RTT (a standard fluid approximation of
+    Reno), which is deterministic and fast. *)
+
+type params = {
+  bottleneck_mbps : float;  (** capacity of the path's slowest element *)
+  rtt : float;  (** base round-trip time, seconds *)
+  buffer_packets : int;  (** bottleneck queue depth *)
+  mss_bytes : int;  (** segment size *)
+  initial_rto : float;  (** retransmission timeout, seconds *)
+}
+
+val default_params : params
+(** 100 Mbps, 20 ms RTT, 64-packet buffer, 1448-byte MSS, 1 s RTO. *)
+
+type outage = { outage_start : float; outage_duration : float }
+
+type trace_point = {
+  at : float;  (** seconds since transfer start *)
+  cwnd : float;  (** congestion window, segments *)
+  acked_bytes : float;
+}
+
+type outcome = {
+  completion_time : float;
+  trace : trace_point list;  (** chronological *)
+  timeouts : int;  (** RTO events (0 without an outage) *)
+  loss_events : int;  (** AIMD halvings from buffer overflow *)
+}
+
+val transfer :
+  ?params:params -> ?outage:outage -> bytes:int -> unit -> outcome
+(** Simulate one transfer of [bytes].  With an [outage], rounds that fall
+    inside the window deliver nothing and trigger timeout/backoff. *)
+
+val goodput_mbps : outcome -> bytes:int -> float
+(** Average goodput of a completed transfer. *)

@@ -1,0 +1,1 @@
+lib/prelude/text_table.ml: Array Format List String

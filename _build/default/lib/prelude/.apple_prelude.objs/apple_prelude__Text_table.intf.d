@@ -1,0 +1,1 @@
+lib/prelude/text_table.mli: Format

@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: one additive step plus two xor-shift-multiply
+   mixing rounds. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let uniform t =
+  (* 53 random bits into the mantissa. *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = uniform t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t ~mu ~sigma =
+  let u1 = ref (uniform t) in
+  while !u1 <= 1e-300 do
+    u1 := uniform t
+  done;
+  let u2 = uniform t in
+  let r = sqrt (-2.0 *. log !u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~rate =
+  assert (rate > 0.0);
+  let u = ref (uniform t) in
+  while !u <= 1e-300 do
+    u := uniform t
+  done;
+  -.log !u /. rate
+
+let pareto t ~shape ~scale =
+  assert (shape > 0.0 && scale > 0.0);
+  let u = ref (uniform t) in
+  while !u <= 1e-300 do
+    u := uniform t
+  done;
+  scale /. (!u ** (1.0 /. shape))
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let sample_weighted t items =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  assert (total > 0.0);
+  let target = float t total in
+  let rec walk acc = function
+    | [] -> invalid_arg "Rng.sample_weighted: empty"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest ->
+        let acc = acc +. w in
+        if target < acc then x else walk acc rest
+  in
+  walk 0.0 items

@@ -1,0 +1,96 @@
+let sum xs =
+  (* Kahan compensated summation: experiment series can mix very small loss
+     fractions with large byte counts. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let require_non_empty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let minimum xs =
+  require_non_empty "Stats.minimum" xs;
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  require_non_empty "Stats.maximum" xs;
+  Array.fold_left max xs.(0) xs
+
+let percentile xs p =
+  require_non_empty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+type boxplot = {
+  whisker_low : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  whisker_high : float;
+}
+
+let boxplot xs =
+  {
+    whisker_low = percentile xs 5.0;
+    q1 = percentile xs 25.0;
+    med = percentile xs 50.0;
+    q3 = percentile xs 75.0;
+    whisker_high = percentile xs 95.0;
+  }
+
+let pp_boxplot ppf b =
+  Format.fprintf ppf "[%.3f |%.3f %.3f %.3f| %.3f]" b.whisker_low b.q1 b.med
+    b.q3 b.whisker_high
+
+let cdf xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  List.init n (fun i -> (sorted.(i), float_of_int (i + 1) /. float_of_int n))
+
+let histogram ~bins xs =
+  require_non_empty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = if idx >= bins then bins - 1 else idx in
+      counts.(idx) <- counts.(idx) + 1)
+    xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

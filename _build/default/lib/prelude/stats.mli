@@ -1,0 +1,51 @@
+(** Descriptive statistics over float samples.
+
+    Used by every experiment driver to summarise time series and repeated
+    runs the way the paper reports them (means, CDFs, boxplots). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for arrays of size < 2. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val minimum : float array -> float
+(** Smallest element. Raises [Invalid_argument] on empty input. *)
+
+val maximum : float array -> float
+(** Largest element. Raises [Invalid_argument] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on empty input. *)
+
+val median : float array -> float
+(** 50th {!percentile}. *)
+
+type boxplot = {
+  whisker_low : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  whisker_high : float;
+}
+(** Five-number summary (whiskers at 5th/95th percentile, matching the
+    style of the paper's Fig. 10). *)
+
+val boxplot : float array -> boxplot
+(** Five-number summary of a non-empty sample. *)
+
+val pp_boxplot : Format.formatter -> boxplot -> unit
+
+val cdf : float array -> (float * float) list
+(** Empirical CDF as sorted [(value, cumulative_probability)] points. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] returns [(bin_left_edge, count)] for equal-width
+    bins spanning the sample range. *)
+
+val sum : float array -> float
+(** Compensated (Kahan) summation. *)

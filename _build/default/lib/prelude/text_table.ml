@@ -1,0 +1,39 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Format.kasprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make columns 0 in
+  let observe row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter observe all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row =
+    let cells = List.mapi pad row in
+    let missing = columns - List.length row in
+    let cells =
+      if missing <= 0 then cells
+      else cells @ List.init missing (fun k -> pad (List.length row + k) "")
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line t.headers :: sep :: List.map line rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()

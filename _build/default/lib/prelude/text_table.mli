@@ -1,0 +1,22 @@
+(** Minimal aligned plain-text table rendering for benchmark output.
+
+    Every bench target prints the paper's tables/figures as rows; this
+    module keeps the formatting uniform. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['\t']
+    into cells, then appends it as a row. *)
+
+val render : t -> string
+(** Render with column alignment and a header separator. *)
+
+val print : t -> unit
+(** [print t] writes {!render} to stdout followed by a newline. *)

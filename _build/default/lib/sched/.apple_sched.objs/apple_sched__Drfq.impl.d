@@ -1,0 +1,1 @@
+lib/sched/drfq.ml: Array List Queue

@@ -1,0 +1,118 @@
+type flow = {
+  id : int;
+  f_name : string;
+  weight : float;
+  cost_per_kb : float array;
+  queue : int Queue.t;  (* packet sizes, bytes *)
+  mutable last_finish : float;  (* virtual finish tag of latest packet *)
+  mutable consumed : float array;  (* resource seconds served *)
+}
+
+type t = {
+  resources : string array;
+  mutable flows : flow list;  (* registration order *)
+  mutable next_id : int;
+  mutable virtual_time : float;
+  mutable total_elapsed : float;
+}
+
+let create ~resources =
+  if Array.length resources = 0 then invalid_arg "Drfq.create: no resources";
+  {
+    resources;
+    flows = [];
+    next_id = 0;
+    virtual_time = 0.0;
+    total_elapsed = 0.0;
+  }
+
+let num_resources t = Array.length t.resources
+let resource_names t = t.resources
+
+let add_flow ?(weight = 1.0) t ~name ~cost_per_kb =
+  if Array.length cost_per_kb <> num_resources t then
+    invalid_arg "Drfq.add_flow: cost vector dimension mismatch";
+  if weight <= 0.0 then invalid_arg "Drfq.add_flow: non-positive weight";
+  if Array.for_all (fun c -> c <= 0.0) cost_per_kb then
+    invalid_arg "Drfq.add_flow: all-zero cost vector";
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Drfq.add_flow: negative cost")
+    cost_per_kb;
+  let flow =
+    {
+      id = t.next_id;
+      f_name = name;
+      weight;
+      cost_per_kb;
+      queue = Queue.create ();
+      last_finish = 0.0;
+      consumed = Array.make (num_resources t) 0.0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.flows <- t.flows @ [ flow ];
+  flow
+
+let flow_name f = f.f_name
+
+let costs_of f ~bytes =
+  let kb = float_of_int bytes /. 1024.0 in
+  Array.map (fun c -> c *. kb) f.cost_per_kb
+
+let enqueue t f ~bytes =
+  if bytes <= 0 then invalid_arg "Drfq.enqueue: non-positive packet size";
+  ignore t;
+  Queue.add bytes f.queue
+
+let backlog (_ : t) f = Queue.length f.queue
+
+(* Virtual start tag of a flow's head packet. *)
+let head_start t f =
+  if Queue.is_empty f.queue then None
+  else Some (max t.virtual_time f.last_finish)
+
+let dequeue t =
+  (* Pick the backlogged flow with the smallest head start tag. *)
+  let best = ref None in
+  List.iter
+    (fun f ->
+      match head_start t f with
+      | None -> ()
+      | Some s -> (
+          match !best with
+          | Some (s', _) when s' <= s -> ()
+          | _ -> best := Some (s, f)))
+    t.flows;
+  match !best with
+  | None -> None
+  | Some (start, f) ->
+      let bytes = Queue.pop f.queue in
+      let costs = costs_of f ~bytes in
+      let dom = Array.fold_left max 0.0 costs in
+      (* Charge the flow and advance both clocks. *)
+      Array.iteri (fun r c -> f.consumed.(r) <- f.consumed.(r) +. c) costs;
+      f.last_finish <- start +. (dom /. f.weight);
+      t.virtual_time <- start;
+      t.total_elapsed <- t.total_elapsed +. dom;
+      Some (f, bytes)
+
+let run t ~duration =
+  let stop_at = t.total_elapsed +. duration in
+  let served = ref [] in
+  let continue = ref true in
+  while !continue do
+    if t.total_elapsed >= stop_at then continue := false
+    else
+      match dequeue t with
+      | None -> continue := false
+      | Some (f, bytes) -> served := (f, bytes) :: !served
+  done;
+  List.rev !served
+
+let work_processed (_ : t) f = Array.copy f.consumed
+
+let dominant_share t f =
+  if t.total_elapsed <= 0.0 then 0.0
+  else Array.fold_left max 0.0 f.consumed /. t.total_elapsed
+
+let elapsed t = t.total_elapsed

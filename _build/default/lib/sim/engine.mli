@@ -1,0 +1,56 @@
+(** Discrete-event simulation kernel.
+
+    Drives the prototype-style experiments (Fig. 6–9): VM boot delays, rule
+    installation latencies, counter-polling loops and traffic sources are
+    all events on a single virtual clock.  Deterministic: ties in time are
+    broken by insertion order. *)
+
+type t
+(** A simulation world with its own clock and event queue. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays
+    are rejected. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute-time variant; the time must not be in the past. *)
+
+val every : t -> period:float -> ?until:float -> (t -> unit) -> unit
+(** Periodic callback starting one period from now, stopping after
+    [until] (absolute) when given. *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the queue is empty or the clock passes [until]. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+(** Time-series recorder: samples of (time, value). *)
+module Series : sig
+  type series
+
+  val create : string -> series
+  val record : series -> time:float -> float -> unit
+  val name : series -> string
+  val points : series -> (float * float) list
+  (** Chronological samples. *)
+
+  val values : series -> float array
+  val between : series -> float -> float -> (float * float) list
+  (** Samples with [t0 <= time < t1]. *)
+end
+
+(** Monotone counters (packets sent/received/dropped...). *)
+module Counter : sig
+  type counter
+
+  val create : string -> counter
+  val add : counter -> float -> unit
+  val value : counter -> float
+  val name : counter -> string
+end

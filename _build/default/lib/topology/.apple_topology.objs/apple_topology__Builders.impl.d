@@ -1,0 +1,1 @@
+lib/topology/builders.ml: Apple_prelude Array Graph List Printf

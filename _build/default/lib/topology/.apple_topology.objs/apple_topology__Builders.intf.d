@@ -1,0 +1,1 @@
+lib/topology/builders.mli: Apple_prelude Graph

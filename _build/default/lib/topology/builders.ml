@@ -1,0 +1,198 @@
+module Rng = Apple_prelude.Rng
+
+type named = {
+  graph : Graph.t;
+  label : string;
+  ingress : int list;
+  core : int list;
+}
+
+let all_nodes g = List.init (Graph.num_nodes g) (fun i -> i)
+
+(* Internet2/Abilene-style backbone: 12 PoPs, 15 links.  The node names are
+   the historical PoP cities; the link set follows the published backbone
+   shape (two coastal chains bridged across the middle). *)
+let internet2 () =
+  let cities =
+    [|
+      "Seattle"; "Sunnyvale"; "LosAngeles"; "Denver"; "KansasCity"; "Houston";
+      "Chicago"; "Indianapolis"; "Atlanta"; "WashingtonDC"; "NewYork"; "Dallas";
+    |]
+  in
+  let g = Graph.create ~n:12 in
+  Array.iteri (fun i c -> Graph.set_name g i c) cities;
+  let links =
+    [
+      (0, 1); (0, 3); (1, 2); (1, 3); (2, 5); (3, 4); (4, 6); (4, 5); (5, 8);
+      (6, 7); (7, 8); (8, 9); (9, 10); (6, 10); (5, 11);
+    ]
+  in
+  List.iter (fun (u, v) -> Graph.add_edge g u v ~capacity:10_000.0) links;
+  assert (Graph.num_edges g = 15);
+  assert (Graph.is_connected g);
+  { graph = g; label = "Internet2"; ingress = all_nodes g; core = [] }
+
+(* GEANT-style pan-European research mesh: 23 nodes, 37 undirected links
+   (74 unidirectional as TOTEM counts them).  Built deterministically:
+   a backbone ring over the large PoPs with chords and leaf attachments
+   mirroring the real degree distribution (min 2, max 9). *)
+let geant () =
+  let g = Graph.create ~n:23 in
+  let labels =
+    [|
+      "AT"; "BE"; "CH"; "CZ"; "DE"; "ES"; "FR"; "GR"; "HR"; "HU"; "IE"; "IL";
+      "IT"; "LU"; "NL"; "PL"; "PT"; "SE"; "SI"; "SK"; "UK"; "NY"; "RO";
+    |]
+  in
+  Array.iteri (fun i c -> Graph.set_name g i c) labels;
+  let links =
+    [
+      (* central European high-degree core: DE, FR, IT, NL, UK *)
+      (4, 6); (4, 12); (4, 14); (4, 20); (6, 12); (6, 20); (12, 14); (14, 20);
+      (* ring of mid-size PoPs through the core *)
+      (0, 4); (0, 9); (0, 18); (1, 14); (1, 6); (2, 6); (2, 12); (3, 4);
+      (3, 15); (3, 19); (5, 6); (5, 16); (5, 12); (7, 12); (7, 22); (8, 9);
+      (8, 18); (9, 19); (10, 20); (10, 14); (11, 12); (11, 20); (13, 4);
+      (13, 6); (15, 4); (16, 20); (17, 4); (21, 20); (22, 9);
+    ]
+  in
+  List.iter (fun (u, v) -> Graph.add_edge g u v ~capacity:10_000.0) links;
+  assert (Graph.num_edges g = 37);
+  assert (Graph.is_connected g);
+  { graph = g; label = "GEANT"; ingress = all_nodes g; core = [] }
+
+(* UNIV1: 2-tier campus data center, 23 switches and 43 links: 2 cores,
+   21 edge switches each dual-homed to both cores (42 links) plus the
+   core-core link. *)
+let univ1 () =
+  let g = Graph.create ~n:23 in
+  Graph.set_name g 0 "core1";
+  Graph.set_name g 1 "core2";
+  for i = 2 to 22 do
+    Graph.set_name g i (Printf.sprintf "edge%d" (i - 1))
+  done;
+  Graph.add_edge g 0 1 ~capacity:40_000.0;
+  for i = 2 to 22 do
+    Graph.add_edge g 0 i ~capacity:10_000.0;
+    Graph.add_edge g 1 i ~capacity:10_000.0
+  done;
+  assert (Graph.num_edges g = 43);
+  { graph = g; label = "UNIV1"; ingress = List.init 21 (fun i -> i + 2); core = [ 0; 1 ] }
+
+(* Rocketfuel-style router-level ISP backbone: a fixed-seed
+   preferential-attachment process builds a spanning tree plus
+   degree-biased chords, giving the heavy-tailed degree distribution of
+   measured ISP maps. *)
+let rocketfuel ~asn ~nodes ~links =
+  if links < nodes - 1 then invalid_arg "Builders.rocketfuel: too few links";
+  let n = nodes in
+  let g = Graph.create ~n in
+  let rng = Rng.create asn in
+  for i = 0 to n - 1 do
+    Graph.set_name g i (Printf.sprintf "r%d" i)
+  done;
+  (* Preferential-attachment spanning tree. *)
+  let degree_weight u = float_of_int (1 + Graph.degree g u) in
+  for v = 1 to n - 1 do
+    let candidates = List.init v (fun u -> (u, degree_weight u)) in
+    let u = Rng.sample_weighted rng candidates in
+    Graph.add_edge g u v ~capacity:10_000.0
+  done;
+  (* Extra chords up to the target link count. *)
+  let added = ref 0 in
+  while !added < links - (n - 1) do
+    let candidates = List.init n (fun u -> (u, degree_weight u)) in
+    let u = Rng.sample_weighted rng candidates in
+    let v = Rng.sample_weighted rng candidates in
+    if u <> v && not (Graph.has_edge g u v) then begin
+      Graph.add_edge g u v ~capacity:10_000.0;
+      incr added
+    end
+  done;
+  assert (Graph.num_edges g = links);
+  assert (Graph.is_connected g);
+  {
+    graph = g;
+    label = Printf.sprintf "AS-%d" asn;
+    ingress = all_nodes g;
+    core = [];
+  }
+
+(* The paper's 79-router ISP (its counts match Rocketfuel's AS 3967
+   reduced map; we keep the paper's AS-3679 label). *)
+let as3679 () =
+  { (rocketfuel ~asn:3679 ~nodes:79 ~links:147) with label = "AS-3679" }
+
+let as1221 () = rocketfuel ~asn:1221 ~nodes:104 ~links:151
+let as1755 () = rocketfuel ~asn:1755 ~nodes:87 ~links:161
+let as3257 () = rocketfuel ~asn:3257 ~nodes:161 ~links:328
+
+let all_paper_topologies () = [ internet2 (); geant (); univ1 (); as3679 () ]
+let simulation_topologies () = [ internet2 (); geant (); univ1 () ]
+
+let fat_tree ~k =
+  if k <= 0 || k mod 2 <> 0 then invalid_arg "Builders.fat_tree: k must be even";
+  let cores = k * k / 4 in
+  let aggs = k * k / 2 in
+  let edges_count = k * k / 2 in
+  let n = cores + aggs + edges_count in
+  let g = Graph.create ~n in
+  let core i = i in
+  let agg pod j = cores + (pod * (k / 2)) + j in
+  let edge pod j = cores + aggs + (pod * (k / 2)) + j in
+  for i = 0 to cores - 1 do
+    Graph.set_name g (core i) (Printf.sprintf "core%d" i)
+  done;
+  for pod = 0 to k - 1 do
+    for j = 0 to (k / 2) - 1 do
+      Graph.set_name g (agg pod j) (Printf.sprintf "agg%d_%d" pod j);
+      Graph.set_name g (edge pod j) (Printf.sprintf "edge%d_%d" pod j);
+      (* edge-agg full bipartite within the pod *)
+      for j' = 0 to (k / 2) - 1 do
+        Graph.add_edge g (edge pod j) (agg pod j') ~capacity:10_000.0
+      done;
+      (* agg j connects to core group j *)
+      for c = 0 to (k / 2) - 1 do
+        Graph.add_edge g (agg pod j) (core ((j * (k / 2)) + c)) ~capacity:40_000.0
+      done
+    done
+  done;
+  {
+    graph = g;
+    label = Printf.sprintf "fat-tree-k%d" k;
+    ingress = List.init edges_count (fun i -> cores + aggs + i);
+    core = List.init cores (fun i -> i);
+  }
+
+let waxman rng ~n ~alpha ~beta =
+  let rec attempt () =
+    let g = Graph.create ~n in
+    let xs = Array.init n (fun _ -> Rng.uniform rng) in
+    let ys = Array.init n (fun _ -> Rng.uniform rng) in
+    let max_dist = sqrt 2.0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let d = sqrt (((xs.(u) -. xs.(v)) ** 2.0) +. ((ys.(u) -. ys.(v)) ** 2.0)) in
+        let p = alpha *. exp (-.d /. (beta *. max_dist)) in
+        if Rng.uniform rng < p then Graph.add_edge g u v
+      done
+    done;
+    if Graph.is_connected g then g else attempt ()
+  in
+  let g = attempt () in
+  { graph = g; label = "waxman"; ingress = all_nodes g; core = [] }
+
+let linear ~n =
+  let g = Graph.create ~n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  { graph = g; label = "linear"; ingress = all_nodes g; core = [] }
+
+let ring ~n =
+  if n < 3 then invalid_arg "Builders.ring: need n >= 3";
+  let g = Graph.create ~n in
+  for i = 0 to n - 1 do
+    Graph.add_edge g i ((i + 1) mod n)
+  done;
+  { graph = g; label = "ring"; ingress = all_nodes g; core = [] }

@@ -1,0 +1,64 @@
+(** The evaluation topologies of the paper (Sec. IX-A) plus generic
+    generators used by tests and examples.
+
+    The real datasets (Abilene TM archive, TOTEM, UNIV1 traces, Rocketfuel
+    maps) are not redistributable, so each builder synthesizes a
+    deterministic graph with the node/link counts the paper reports:
+    Internet2 12/15, GEANT 23/74 directed (37 undirected), UNIV1 23/43,
+    AS-3679 79/147.  Structure follows the published descriptions (Abilene
+    ring-of-meshes, GEANT mesh, 2-tier data center, power-law ISP). *)
+
+type named = {
+  graph : Graph.t;
+  label : string;
+  ingress : int list;  (** nodes where traffic enters (all, for WANs) *)
+  core : int list;  (** designated core switches (data center only) *)
+}
+
+val internet2 : unit -> named
+(** 12 nodes, 15 links — the Abilene/Internet2 research backbone. *)
+
+val geant : unit -> named
+(** 23 nodes, 37 undirected links (74 directed as counted by TOTEM). *)
+
+val univ1 : unit -> named
+(** 23 nodes, 43 links — 2-tier campus data center: 2 cores, 21 edge
+    switches dual-homed to both cores, plus one core-core link. *)
+
+val as3679 : unit -> named
+(** 79 nodes, 147 links — Rocketfuel-style router-level ISP synthesized
+    with preferential attachment from a fixed seed.  (The paper labels it
+    AS-3679; the node/link counts match Rocketfuel's reduced backbone map
+    of AS 3967, Exodus.) *)
+
+val rocketfuel : asn:int -> nodes:int -> links:int -> named
+(** Synthesize a Rocketfuel-style ISP backbone with the given size:
+    preferential-attachment spanning tree plus degree-biased chords,
+    deterministic in [asn].  [links] must be at least [nodes - 1]. *)
+
+val as1221 : unit -> named
+(** 104 nodes / 151 links (Telstra's reduced backbone map). *)
+
+val as1755 : unit -> named
+(** 87 nodes / 161 links (Ebone). *)
+
+val as3257 : unit -> named
+(** 161 nodes / 328 links (Tiscali) — the "gigantic network" regime the
+    paper defers to heuristics. *)
+
+val all_paper_topologies : unit -> named list
+(** The four above, in the paper's order. *)
+
+val simulation_topologies : unit -> named list
+(** The three used in Fig. 10–12 (Internet2, GEANT, UNIV1). *)
+
+val fat_tree : k:int -> named
+(** Standard k-ary fat-tree (k even): k²/4 cores, k pods. *)
+
+val waxman : Apple_prelude.Rng.t -> n:int -> alpha:float -> beta:float -> named
+(** Random geometric Waxman graph, retried until connected. *)
+
+val linear : n:int -> named
+(** Path topology for unit tests. *)
+
+val ring : n:int -> named

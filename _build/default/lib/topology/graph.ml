@@ -1,0 +1,303 @@
+type edge = { mutable weight : float; mutable capacity : float }
+
+type t = {
+  n : int;
+  adj : (int, edge) Hashtbl.t array;  (* adj.(u) maps v -> edge *)
+  names : string array;
+  by_name : (string, int) Hashtbl.t;
+  mutable m : int;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Graph.create: n must be positive";
+  {
+    n;
+    adj = Array.init n (fun _ -> Hashtbl.create 4);
+    names = Array.init n (fun i -> Printf.sprintf "n%d" i);
+    by_name = Hashtbl.create n;
+    m = 0;
+  }
+
+let check_node t u =
+  if u < 0 || u >= t.n then invalid_arg "Graph: node out of range"
+
+let add_edge t ?(weight = 1.0) ?(capacity = 10_000.0) u v =
+  check_node t u;
+  check_node t v;
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  if Hashtbl.mem t.adj.(u) v then invalid_arg "Graph.add_edge: duplicate edge";
+  let e = { weight; capacity } in
+  Hashtbl.add t.adj.(u) v e;
+  Hashtbl.add t.adj.(v) u e;
+  t.m <- t.m + 1
+
+let remove_edge t u v =
+  check_node t u;
+  check_node t v;
+  if not (Hashtbl.mem t.adj.(u) v) then raise Not_found;
+  Hashtbl.remove t.adj.(u) v;
+  Hashtbl.remove t.adj.(v) u;
+  t.m <- t.m - 1
+
+let set_name t u name =
+  check_node t u;
+  Hashtbl.remove t.by_name t.names.(u);
+  t.names.(u) <- name;
+  Hashtbl.replace t.by_name name u
+
+let name t u =
+  check_node t u;
+  t.names.(u)
+
+let node_by_name t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some u -> Some u
+  | None ->
+      (* fall back to the default "n<i>" names *)
+      let rec scan i = if i >= t.n then None else if t.names.(i) = s then Some i else scan (i + 1) in
+      scan 0
+
+let num_nodes t = t.n
+let num_edges t = t.m
+let has_edge t u v = check_node t u; check_node t v; Hashtbl.mem t.adj.(u) v
+
+let neighbors t u =
+  check_node t u;
+  Hashtbl.fold (fun v e acc -> (v, e.weight) :: acc) t.adj.(u) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let edge_capacity t u v =
+  check_node t u;
+  check_node t v;
+  match Hashtbl.find_opt t.adj.(u) v with
+  | Some e -> e.capacity
+  | None -> raise Not_found
+
+let degree t u =
+  check_node t u;
+  Hashtbl.length t.adj.(u)
+
+let is_connected t =
+  let seen = Array.make t.n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  seen.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Hashtbl.iter
+      (fun v _ ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          incr count;
+          Queue.add v queue
+        end)
+      t.adj.(u)
+  done;
+  !count = t.n
+
+(* Dijkstra with deterministic tie-break: among equal-distance relaxations
+   prefer the predecessor path that visits smaller node ids first. *)
+module Pq = struct
+  (* tiny binary heap of (dist, node) *)
+  type heap = { mutable data : (float * int) array; mutable size : int }
+
+  let make () = { data = Array.make 16 (0.0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.data.(l) < h.data.(!smallest) then smallest := l;
+        if r < h.size && h.data.(r) < h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let dijkstra t src ~blocked_nodes ~blocked_edges =
+  let dist = Array.make t.n infinity in
+  let prev = Array.make t.n (-1) in
+  let heap = Pq.make () in
+  dist.(src) <- 0.0;
+  Pq.push heap (0.0, src);
+  let finished = Array.make t.n false in
+  let rec drain () =
+    match Pq.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not finished.(u) then begin
+          finished.(u) <- true;
+          Hashtbl.iter
+            (fun v e ->
+              let edge_key = if u < v then (u, v) else (v, u) in
+              if
+                (not blocked_nodes.(v))
+                && (not (Hashtbl.mem blocked_edges edge_key))
+                && not finished.(v)
+              then begin
+                let nd = d +. e.weight in
+                if
+                  nd < dist.(v) -. 1e-12
+                  || (abs_float (nd -. dist.(v)) <= 1e-12
+                     && prev.(v) >= 0 && u < prev.(v))
+                then begin
+                  dist.(v) <- nd;
+                  prev.(v) <- u;
+                  Pq.push heap (nd, v)
+                end
+              end)
+            t.adj.(u);
+          drain ()
+        end
+        else drain ()
+  in
+  drain ();
+  (dist, prev)
+
+let no_blocked_edges : (int * int, unit) Hashtbl.t = Hashtbl.create 1
+
+let shortest_path_internal t src dst ~blocked_nodes ~blocked_edges =
+  if blocked_nodes.(src) || blocked_nodes.(dst) then None
+  else if src = dst then Some [ src ]
+  else begin
+    let dist, prev = dijkstra t src ~blocked_nodes ~blocked_edges in
+    if dist.(dst) = infinity then None
+    else begin
+      let rec build acc v = if v = src then src :: acc else build (v :: acc) prev.(v) in
+      Some (build [] dst)
+    end
+  end
+
+let shortest_path t src dst =
+  check_node t src;
+  check_node t dst;
+  let blocked_nodes = Array.make t.n false in
+  shortest_path_internal t src dst ~blocked_nodes ~blocked_edges:no_blocked_edges
+
+let path_length t path =
+  let rec go acc = function
+    | [] | [ _ ] -> acc
+    | u :: (v :: _ as rest) -> (
+        match Hashtbl.find_opt t.adj.(u) v with
+        | Some e -> go (acc +. e.weight) rest
+        | None -> raise Not_found)
+  in
+  go 0.0 path
+
+let k_shortest_paths t src dst ~k =
+  check_node t src;
+  check_node t dst;
+  if k <= 0 then []
+  else
+    match shortest_path t src dst with
+    | None -> []
+    | Some first ->
+        (* Yen's algorithm. *)
+        let accepted = ref [ first ] in
+        let candidates = ref [] in
+        let path_cost p = path_length t p in
+        let rec take_prefix p i =
+          match (p, i) with
+          | x :: _, 0 -> [ x ]
+          | x :: rest, i -> x :: take_prefix rest (i - 1)
+          | [], _ -> []
+        in
+        let rec loop () =
+          if List.length !accepted >= k then ()
+          else begin
+            let last = List.hd !accepted in
+            let len_last = List.length last in
+            for i = 0 to len_last - 2 do
+              let root = take_prefix last i in
+              let spur = List.nth last i in
+              let blocked_nodes = Array.make t.n false in
+              List.iteri
+                (fun j v -> if j < i then blocked_nodes.(v) <- true)
+                last;
+              let blocked_edges = Hashtbl.create 8 in
+              List.iter
+                (fun p ->
+                  (* block the edge following the shared root *)
+                  let rec matches a b =
+                    match (a, b) with
+                    | [], _ -> true
+                    | x :: xs, y :: ys -> x = y && matches xs ys
+                    | _ :: _, [] -> false
+                  in
+                  if matches root p then
+                    match List.filteri (fun j _ -> j = i || j = i + 1) p with
+                    | [ a; b ] ->
+                        let key = if a < b then (a, b) else (b, a) in
+                        Hashtbl.replace blocked_edges key ()
+                    | _ -> ())
+                (!accepted @ List.map snd !candidates);
+              (match
+                 shortest_path_internal t spur dst ~blocked_nodes ~blocked_edges
+               with
+              | None -> ()
+              | Some spur_path ->
+                  let total = root @ List.tl spur_path in
+                  let rec loopless seen = function
+                    | [] -> true
+                    | x :: rest -> (not (List.mem x seen)) && loopless (x :: seen) rest
+                  in
+                  if
+                    loopless [] total
+                    && (not (List.exists (fun p -> p = total) !accepted))
+                    && not (List.exists (fun (_, p) -> p = total) !candidates)
+                  then candidates := (path_cost total, total) :: !candidates)
+            done;
+            match List.sort compare !candidates with
+            | [] -> ()
+            | (_, best) :: rest ->
+                candidates := rest;
+                accepted := best :: !accepted;
+                loop ()
+          end
+        in
+        loop ();
+        List.rev !accepted
+
+let edges t =
+  let acc = ref [] in
+  for u = 0 to t.n - 1 do
+    Hashtbl.iter
+      (fun v e -> if u < v then acc := (u, v, e.weight) :: !acc)
+      t.adj.(u)
+  done;
+  List.sort compare !acc
+
+let pp ppf t =
+  Format.fprintf ppf "graph(%d nodes, %d links)" t.n t.m

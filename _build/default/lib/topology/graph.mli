@@ -1,0 +1,54 @@
+(** Undirected network graphs with weighted, capacitated links.
+
+    Nodes are dense integers [0 .. num_nodes-1]; the paper's topologies
+    attach human-readable names.  Links are undirected (each stored once);
+    routing treats them as bidirectional. *)
+
+type t
+
+val create : n:int -> t
+(** Graph with [n] isolated nodes. *)
+
+val add_edge : t -> ?weight:float -> ?capacity:float -> int -> int -> unit
+(** Add an undirected link.  Default [weight = 1.], [capacity = 10_000.]
+    (Mbps).  Self-loops and duplicate edges are rejected. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove an undirected link (e.g. to model a link failure).  Raises
+    [Not_found] if absent. *)
+
+val set_name : t -> int -> string -> unit
+val name : t -> int -> string
+(** Node name; defaults to ["n<i>"]. *)
+
+val node_by_name : t -> string -> int option
+
+val num_nodes : t -> int
+val num_edges : t -> int
+(** Undirected link count. *)
+
+val has_edge : t -> int -> int -> bool
+val neighbors : t -> int -> (int * float) list
+(** [(neighbor, weight)] pairs, ascending by neighbor id. *)
+
+val edge_capacity : t -> int -> int -> float
+(** Raises [Not_found] for a missing link. *)
+
+val degree : t -> int -> int
+val is_connected : t -> bool
+
+val shortest_path : t -> int -> int -> int list option
+(** Dijkstra by weight; deterministic tie-break on smaller node id.
+    Includes both endpoints; [Some [src]] when [src = dst]. *)
+
+val path_length : t -> int list -> float
+(** Sum of link weights along a node sequence.  Raises [Not_found] if a
+    hop is not a link. *)
+
+val k_shortest_paths : t -> int -> int -> k:int -> int list list
+(** Yen's algorithm; loopless paths, shortest first, at most [k]. *)
+
+val edges : t -> (int * int * float) list
+(** All undirected links [(u, v, weight)] with [u < v]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/traffic/io.ml: Array Buffer Filename Float List Printf String Sys

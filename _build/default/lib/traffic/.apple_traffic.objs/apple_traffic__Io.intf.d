@@ -1,0 +1,1 @@
+lib/traffic/io.mli: Matrix

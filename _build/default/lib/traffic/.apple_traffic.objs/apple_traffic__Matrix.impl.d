@@ -1,0 +1,1 @@
+lib/traffic/matrix.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/traffic/synth.ml: Apple_prelude Apple_topology Array Float List Matrix

@@ -1,0 +1,1 @@
+lib/traffic/synth.mli: Apple_prelude Apple_topology Matrix

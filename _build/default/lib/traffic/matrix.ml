@@ -1,0 +1,29 @@
+type t = float array array
+
+let zeros n = Array.make_matrix n n 0.0
+let size t = Array.length t
+let copy t = Array.map Array.copy t
+
+let total t =
+  Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 t
+
+let scale t f = Array.map (Array.map (fun x -> x *. f)) t
+
+let add a b =
+  if Array.length a <> Array.length b then invalid_arg "Matrix.add: size mismatch";
+  Array.mapi (fun i row -> Array.mapi (fun j x -> x +. b.(i).(j)) row) a
+
+let mean_of = function
+  | [] -> invalid_arg "Matrix.mean_of: empty list"
+  | first :: rest ->
+      let acc = List.fold_left add (copy first) rest in
+      scale acc (1.0 /. float_of_int (1 + List.length rest))
+
+let max_entry t =
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 0.0 t
+
+let map f t = Array.map (Array.map f) t
+
+let pp ppf t =
+  let n = size t in
+  Format.fprintf ppf "tm %dx%d total=%.1f Mbps" n n (total t)

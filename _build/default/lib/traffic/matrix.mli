@@ -1,0 +1,21 @@
+(** Traffic matrices: [tm.(i).(j)] is the offered load (Mbps) from ingress
+    node [i] to egress node [j]. *)
+
+type t = float array array
+
+val zeros : int -> t
+val size : t -> int
+val copy : t -> t
+val total : t -> float
+(** Sum of all demands. *)
+
+val scale : t -> float -> t
+val add : t -> t -> t
+
+val mean_of : t list -> t
+(** Element-wise mean of a non-empty list (the paper feeds the mean of all
+    672 snapshots to the Optimization Engine). *)
+
+val max_entry : t -> float
+val map : (float -> float) -> t -> t
+val pp : Format.formatter -> t -> unit

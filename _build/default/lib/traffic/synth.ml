@@ -1,0 +1,103 @@
+module Rng = Apple_prelude.Rng
+
+type profile = {
+  snapshots : int;
+  period : int;
+  total_rate : float;
+  diurnal_depth : float;
+  mvr_scale : float;
+  mvr_exponent : float;
+  burst_probability : float;
+  burst_factor : float;
+  burst_length : int;
+}
+
+let default_profile =
+  {
+    snapshots = 672;
+    period = 96;
+    total_rate = 20_000.0;
+    diurnal_depth = 0.35;
+    mvr_scale = 0.5;
+    mvr_exponent = 1.6;
+    burst_probability = 0.02;
+    burst_factor = 6.0;
+    burst_length = 4;
+  }
+
+let gravity rng ~n ~total =
+  if n < 2 then invalid_arg "Synth.gravity: need at least 2 nodes";
+  (* Lognormal activity levels: exp(N(0,1)). *)
+  let activity = Array.init n (fun _ -> exp (Rng.gaussian rng ~mu:0.0 ~sigma:1.0)) in
+  let tm = Matrix.zeros n in
+  let weight_sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        tm.(i).(j) <- activity.(i) *. activity.(j);
+        weight_sum := !weight_sum +. tm.(i).(j)
+      end
+    done
+  done;
+  Matrix.map (fun w -> w /. !weight_sum *. total) tm
+
+type burst = { mutable remaining : int; src : int; dst : int }
+
+let sequence rng profile ~base =
+  let n = Matrix.size base in
+  let bursts : burst list ref = ref [] in
+  List.init profile.snapshots (fun t ->
+      let phase =
+        2.0 *. Float.pi *. float_of_int (t mod profile.period)
+        /. float_of_int profile.period
+      in
+      (* Peak near midday of each cycle. *)
+      let diurnal = 1.0 +. (profile.diurnal_depth *. sin phase) in
+      (* Start new bursts, age old ones. *)
+      bursts := List.filter (fun b -> b.remaining > 0) !bursts;
+      if Rng.uniform rng < profile.burst_probability then begin
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        if src <> dst then
+          bursts := { remaining = profile.burst_length; src; dst } :: !bursts
+      end;
+      let snapshot = Matrix.zeros n in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && base.(i).(j) > 0.0 then begin
+            let mean = base.(i).(j) *. diurnal in
+            let sigma = sqrt (profile.mvr_scale *. (mean ** profile.mvr_exponent)) in
+            let v = Rng.gaussian rng ~mu:mean ~sigma in
+            snapshot.(i).(j) <- max 0.0 v
+          end
+        done
+      done;
+      List.iter
+        (fun b ->
+          b.remaining <- b.remaining - 1;
+          snapshot.(b.src).(b.dst) <-
+            snapshot.(b.src).(b.dst) *. profile.burst_factor)
+        !bursts;
+      snapshot)
+
+let for_topology rng profile (named : Apple_topology.Builders.named) =
+  let n = Apple_topology.Graph.num_nodes named.Apple_topology.Builders.graph in
+  let ingress = named.Apple_topology.Builders.ingress in
+  let base_full = gravity rng ~n ~total:profile.total_rate in
+  (* Zero out demands whose endpoints are not ingress-capable (e.g. the
+     UNIV1 core switches originate no traffic). *)
+  let allowed = Array.make n false in
+  List.iter (fun i -> allowed.(i) <- true) ingress;
+  let masked =
+    Array.mapi
+      (fun i row ->
+        Array.mapi (fun j v -> if allowed.(i) && allowed.(j) then v else 0.0) row)
+      base_full
+  in
+  (* Re-normalize to the requested total. *)
+  let t = Matrix.total masked in
+  let base =
+    if t > 0.0 then Matrix.scale masked (profile.total_rate /. t) else masked
+  in
+  sequence rng profile ~base
+
+let mean = Matrix.mean_of

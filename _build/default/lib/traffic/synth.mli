@@ -1,0 +1,45 @@
+(** Synthetic time-varying traffic matrices.
+
+    Replaces the paper's trace archives (Abilene TM collection, TOTEM
+    GEANT matrices, UNIV1 packet traces, FNSS-synthesized AS-3679
+    matrices) with the standard generative pipeline those toolchains use:
+
+    + a {b gravity model} gives the spatial structure (demand between two
+      nodes proportional to the product of their activity levels);
+    + a {b diurnal cycle} modulates the total over time;
+    + {b mean–variance power-law noise} (Gunnar et al., IMC 2004; the MVR
+      relation the paper invokes in Sec. IV-A) gives per-snapshot jitter;
+    + optional {b bursts} multiply a random demand for a short interval —
+      the small-time-scale dynamics that fast failover must absorb. *)
+
+type profile = {
+  snapshots : int;  (** number of matrices in the sequence (paper: 672) *)
+  period : int;  (** snapshots per diurnal cycle (paper: 96 = 1 day) *)
+  total_rate : float;  (** network-wide offered load at the diurnal mean *)
+  diurnal_depth : float;  (** peak-to-mean swing in [0,1) *)
+  mvr_scale : float;  (** a in var = a * mean^b *)
+  mvr_exponent : float;  (** b; measured backbones give b in [1.5, 2] *)
+  burst_probability : float;  (** chance a snapshot starts a burst *)
+  burst_factor : float;  (** multiplicative burst height *)
+  burst_length : int;  (** snapshots a burst lasts *)
+}
+
+val default_profile : profile
+(** 672 snapshots, 96-per-day cycle, moderate MVR noise and bursts. *)
+
+val gravity : Apple_prelude.Rng.t -> n:int -> total:float -> Matrix.t
+(** Spatial base matrix.  Node activities are lognormal, so a few nodes
+    dominate — matching measured ISP matrices.  Diagonal is zero. *)
+
+val sequence :
+  Apple_prelude.Rng.t -> profile -> base:Matrix.t -> Matrix.t list
+(** Time-varying snapshots derived from a base matrix. *)
+
+val for_topology :
+  Apple_prelude.Rng.t -> profile -> Apple_topology.Builders.named -> Matrix.t list
+(** Gravity base restricted to the topology's ingress nodes, then
+    {!sequence}.  For UNIV1 this reproduces the paper's replay "between
+    random source-destination pairs" among edge switches. *)
+
+val mean : Matrix.t list -> Matrix.t
+(** Convenience alias for {!Matrix.mean_of}. *)

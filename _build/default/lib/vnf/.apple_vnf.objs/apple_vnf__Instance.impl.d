@@ -1,0 +1,1 @@
+lib/vnf/instance.ml: Format Nf

@@ -1,0 +1,1 @@
+lib/vnf/instance.mli: Format Nf

@@ -1,0 +1,1 @@
+lib/vnf/lifecycle.ml: Apple_prelude Apple_sim

@@ -1,0 +1,1 @@
+lib/vnf/lifecycle.mli: Apple_prelude Apple_sim

@@ -1,0 +1,1 @@
+lib/vnf/nf.ml: Format List Printf String

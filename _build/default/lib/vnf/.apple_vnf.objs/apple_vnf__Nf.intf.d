@@ -1,0 +1,1 @@
+lib/vnf/nf.mli: Format

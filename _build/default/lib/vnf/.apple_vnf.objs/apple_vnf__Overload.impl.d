@@ -1,0 +1,1 @@
+lib/vnf/overload.ml: Apple_sim

@@ -1,0 +1,1 @@
+lib/vnf/overload.mli: Apple_sim

@@ -1,0 +1,46 @@
+type t = {
+  id : int;
+  spec : Nf.spec;
+  host : int;
+  mutable offered : float;
+}
+
+let create ~id ~spec ~host = { id; spec; host; offered = 0.0 }
+
+let id t = t.id
+let spec t = t.spec
+let kind t = t.spec.Nf.kind
+let host t = t.host
+let offered t = t.offered
+let set_offered t v = t.offered <- max 0.0 v
+let add_offered t v = t.offered <- max 0.0 (t.offered +. v)
+
+let utilization t =
+  if t.spec.Nf.capacity_mbps <= 0.0 then 0.0
+  else t.offered /. t.spec.Nf.capacity_mbps
+
+(* Loss knee: the instance forwards up to [headroom * capacity]; the
+   excess is dropped.  headroom = 1.02 reflects the small buffer the
+   prototype measured before the loss rate "soars rapidly". *)
+let headroom = 1.02
+
+let loss_curve ~capacity ~offered =
+  if offered <= 0.0 then 0.0
+  else
+    let deliverable = headroom *. capacity in
+    if offered <= deliverable then 0.0
+    else (offered -. deliverable) /. offered
+
+let loss_at ~spec ~offered = loss_curve ~capacity:spec.Nf.capacity_mbps ~offered
+
+let loss_at_pps ~capacity_pps ~offered_pps =
+  loss_curve ~capacity:capacity_pps ~offered:offered_pps
+
+let loss_fraction t = loss_at ~spec:t.spec ~offered:t.offered
+
+let overloaded t ~high_watermark =
+  t.offered > high_watermark *. t.spec.Nf.capacity_mbps
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d@sw%d load=%.1f/%.1f Mbps" (Nf.name t.spec.Nf.kind)
+    t.id t.host t.offered t.spec.Nf.capacity_mbps

@@ -1,0 +1,44 @@
+(** A running VNF instance and its load/loss model.
+
+    The prototype measurement behind Fig. 6 found that for most VNFs the
+    loss rate depends on the packet {e receiving rate}, not the packet
+    size: essentially zero below a capacity knee, then climbing steeply as
+    the instance saturates.  We model an M/D/1-style overload: the
+    delivered rate is capped slightly above nominal capacity (a small
+    burst-absorption headroom), everything beyond is dropped. *)
+
+type t
+
+val create :
+  id:int -> spec:Nf.spec -> host:int -> t
+(** [host] is the switch id whose APPLE host runs the instance. *)
+
+val id : t -> int
+val spec : t -> Nf.spec
+val kind : t -> Nf.kind
+val host : t -> int
+
+val offered : t -> float
+(** Current offered load in Mbps. *)
+
+val set_offered : t -> float -> unit
+val add_offered : t -> float -> unit
+
+val utilization : t -> float
+(** offered / capacity. *)
+
+val loss_fraction : t -> float
+(** Fraction of offered traffic dropped at the current load. *)
+
+val loss_at : spec:Nf.spec -> offered:float -> float
+(** Stateless version of {!loss_fraction}: the Fig. 6 curve. *)
+
+val loss_at_pps :
+  capacity_pps:float -> offered_pps:float -> float
+(** Same curve in packets per second, for the passive-monitor experiments
+    that reason in Kpps (Fig. 6 and Fig. 9). *)
+
+val overloaded : t -> high_watermark:float -> bool
+(** offered > high_watermark * capacity. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+module Rng = Apple_prelude.Rng
+module Engine = Apple_sim.Engine
+
+type boot_path = Raw_clickos | Openstack | Reconfigure | Normal_vm
+
+let rule_install_time = 0.070
+let reconfigure_time = 0.030
+let raw_clickos_boot = 0.030
+let normal_vm_boot = 30.0
+
+let boot_time rng = function
+  | Raw_clickos -> raw_clickos_boot
+  | Reconfigure -> reconfigure_time
+  | Openstack -> 3.9 +. Rng.float rng 0.7
+  | Normal_vm -> normal_vm_boot
+
+let provision world rng path ~on_ready =
+  let delay = boot_time rng path +. rule_install_time in
+  Engine.schedule world ~delay on_ready

@@ -1,0 +1,64 @@
+type kind = Firewall | Proxy | Nat | Ids
+
+let all_kinds = [ Firewall; Proxy; Nat; Ids ]
+
+let kind_index = function Firewall -> 0 | Proxy -> 1 | Nat -> 2 | Ids -> 3
+
+let kind_of_index = function
+  | 0 -> Firewall
+  | 1 -> Proxy
+  | 2 -> Nat
+  | 3 -> Ids
+  | i -> invalid_arg (Printf.sprintf "Nf.kind_of_index: %d" i)
+
+let num_kinds = 4
+
+let name = function
+  | Firewall -> "firewall"
+  | Proxy -> "proxy"
+  | Nat -> "nat"
+  | Ids -> "ids"
+
+let kind_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "firewall" | "fw" -> Some Firewall
+  | "proxy" -> Some Proxy
+  | "nat" -> Some Nat
+  | "ids" -> Some Ids
+  | _ -> None
+
+type spec = { kind : kind; cores : int; capacity_mbps : float; clickos : bool }
+
+(* Table IV. *)
+let spec = function
+  | Firewall -> { kind = Firewall; cores = 4; capacity_mbps = 900.0; clickos = true }
+  | Proxy -> { kind = Proxy; cores = 4; capacity_mbps = 900.0; clickos = false }
+  | Nat -> { kind = Nat; cores = 2; capacity_mbps = 900.0; clickos = true }
+  | Ids -> { kind = Ids; cores = 8; capacity_mbps = 600.0; clickos = false }
+
+let rewrites_header = function
+  | Nat -> true
+  | Firewall | Proxy | Ids -> false
+
+let chain_of_string s =
+  let parts =
+    (* accept both "a -> b" and "a,b" separators *)
+    String.split_on_char '>' (String.concat "" (String.split_on_char '-' s))
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then invalid_arg "Nf.chain_of_string: empty chain";
+  List.map
+    (fun p ->
+      match kind_of_name p with
+      | Some k -> k
+      | None -> invalid_arg ("Nf.chain_of_string: unknown NF " ^ p))
+    parts
+
+let chain_to_string chain = String.concat " -> " (List.map name chain)
+
+let pp_kind ppf k = Format.pp_print_string ppf (name k)
+
+let pp_chain ppf chain =
+  Format.pp_print_string ppf (chain_to_string chain)

@@ -1,0 +1,46 @@
+(** Network-function catalog (paper Table IV).
+
+    Four NF kinds are evaluated: firewall, proxy, NAT and IDS.  Capacity
+    and core requirements come from the VNF-OP survey the paper cites
+    (Bari et al., CNSM 2015); the firewall and NAT run as ClickOS
+    unikernels, the proxy and IDS as normal VMs. *)
+
+type kind = Firewall | Proxy | Nat | Ids
+
+val all_kinds : kind list
+(** In Table IV order. *)
+
+val kind_index : kind -> int
+(** Dense 0..3 index, Table IV order. *)
+
+val kind_of_index : int -> kind
+val num_kinds : int
+
+val name : kind -> string
+val kind_of_name : string -> kind option
+(** Case-insensitive; accepts "fw"/"firewall", "ids", "nat", "proxy". *)
+
+type spec = {
+  kind : kind;
+  cores : int;  (** CPU cores one instance occupies *)
+  capacity_mbps : float;  (** processing capacity of one instance *)
+  clickos : bool;  (** boots as a ClickOS unikernel *)
+}
+
+val spec : kind -> spec
+(** Table IV data sheet for a kind. *)
+
+val rewrites_header : kind -> bool
+(** Whether instances of this NF change packet headers (true for NAT).
+    Header-rewriting NFs invalidate downstream header-based sub-class
+    classification; the paper's fix (Sec. X) is the global sub-class tag
+    mode of the Rule Generator. *)
+
+val chain_of_string : string -> kind list
+(** Parse a policy chain like ["fw -> ids -> proxy"].  Raises
+    [Invalid_argument] on unknown NF names or an empty chain. *)
+
+val chain_to_string : kind list -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_chain : Format.formatter -> kind list -> unit

@@ -1,0 +1,38 @@
+(** Overload detection with hysteresis (prototype Sec. VII-B, Fig. 9).
+
+    The prototype polls per-port packet counters of Open vSwitch (the
+    per-port counters update almost instantly, unlike per-flow counters
+    which refresh about once a second) and declares a VNF overloaded when
+    its receive rate exceeds a high watermark; the workload distribution
+    rolls back when the rate drops below a low watermark. *)
+
+type state = Normal | Overloaded
+
+type t
+
+val create :
+  ?poll_period:float ->
+  high_watermark:float ->
+  low_watermark:float ->
+  unit ->
+  t
+(** Watermarks are absolute rates (e.g. Kpps or Mbps — the caller picks
+    the unit and sticks to it).  [poll_period] defaults to 0.05 s, the
+    effective refresh granularity of the per-port counters. *)
+
+val poll_period : t -> float
+val state : t -> state
+
+val observe : t -> rate:float -> state * [ `Went_overloaded | `Recovered | `No_change ]
+(** Feed one counter sample; returns the new state and the transition. *)
+
+val attach :
+  t ->
+  Apple_sim.Engine.t ->
+  rate:(unit -> float) ->
+  on_overload:(Apple_sim.Engine.t -> unit) ->
+  on_recover:(Apple_sim.Engine.t -> unit) ->
+  until:float ->
+  unit
+(** Install the polling loop on a simulation world: every [poll_period]
+    the current [rate] is observed and the transition callbacks fire. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Apple_core Apple_prelude Apple_topology Apple_traffic Apple_vnf Array List

@@ -1,0 +1,1 @@
+test/test_aggregation.ml: Alcotest Apple_classifier Apple_core Apple_topology Apple_vnf Array List

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Apple_bdd Array List QCheck QCheck_alcotest

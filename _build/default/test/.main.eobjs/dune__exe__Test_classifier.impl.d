@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest Apple_classifier Array Gen List Printf QCheck QCheck_alcotest

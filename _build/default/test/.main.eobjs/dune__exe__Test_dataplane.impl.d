@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Apple_classifier Apple_dataplane Apple_vnf Array

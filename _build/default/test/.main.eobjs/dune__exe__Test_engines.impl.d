@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Apple_core Apple_topology Apple_vnf Array Helpers List Unix

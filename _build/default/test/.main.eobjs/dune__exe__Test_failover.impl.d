@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Apple_core Apple_vnf Array Helpers List

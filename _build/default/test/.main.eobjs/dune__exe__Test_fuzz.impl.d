@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Apple_core Apple_dataplane Apple_prelude Apple_topology Apple_traffic Apple_vnf Array Gen Hashtbl Helpers List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apple_core Apple_dataplane Apple_prelude Apple_topology Apple_traffic Array Hashtbl List Option String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Apple_lp Array Float List QCheck QCheck_alcotest

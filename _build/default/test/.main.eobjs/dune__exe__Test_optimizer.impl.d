@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Apple_core Apple_topology Apple_vnf Array Helpers List

@@ -1,0 +1,1 @@
+test/test_orchestrator.ml: Alcotest Apple_core Apple_prelude Apple_sim Apple_vnf Array List

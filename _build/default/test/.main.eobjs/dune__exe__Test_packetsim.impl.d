@@ -1,0 +1,1 @@
+test/test_packetsim.ml: Alcotest Apple_classifier Apple_core Apple_dataplane Apple_packetsim Apple_vnf Array Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_policy_file.ml: Alcotest Apple_classifier Apple_core Apple_topology Apple_vnf Array Filename List Sys

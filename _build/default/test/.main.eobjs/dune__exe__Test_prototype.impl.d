@@ -1,0 +1,1 @@
+test/test_prototype.ml: Alcotest Apple_core Apple_packetsim Apple_prelude Array List

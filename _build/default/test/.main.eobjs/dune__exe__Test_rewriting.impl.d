@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Apple_classifier Apple_core Apple_dataplane Apple_prelude Apple_topology Apple_traffic Apple_vnf Array Hashtbl Helpers List

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Apple_sched Array List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Apple_prelude Apple_sim List

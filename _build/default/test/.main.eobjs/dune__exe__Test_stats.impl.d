@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Apple_prelude Array Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_subclass.ml: Alcotest Apple_core Apple_prelude Apple_topology Apple_vnf Array Hashtbl Helpers List Option QCheck QCheck_alcotest

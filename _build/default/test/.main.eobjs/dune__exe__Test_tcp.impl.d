@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Apple_packetsim

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Apple_prelude Apple_topology Array Fun List QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Apple_prelude Apple_topology Apple_traffic Array Filename List Sys

@@ -1,0 +1,1 @@
+test/test_vnf.ml: Alcotest Apple_prelude Apple_sim Apple_vnf List

@@ -1,0 +1,47 @@
+(* Shared scenario builders for the core test suites. *)
+
+module C = Apple_core
+module B = Apple_topology.Builders
+module Tr = Apple_traffic
+module Rng = Apple_prelude.Rng
+
+let small_scenario ?(seed = 77) ?(total = 4000.0) ?(max_classes = 40)
+    ?(named = B.internet2 ()) () =
+  let rng = Rng.create seed in
+  let n = Apple_topology.Graph.num_nodes named.B.graph in
+  let tm = Tr.Synth.gravity rng ~n ~total in
+  let config = { C.Scenario.default_config with C.Scenario.max_classes } in
+  C.Scenario.build ~config ~seed named tm
+
+(* A 4-node line with two hand-written classes: deterministic and small
+   enough for exact reasoning (and for the exact ILP). *)
+let tiny_scenario () =
+  let named = B.linear ~n:4 in
+  let mk id src dst path chain rate =
+    {
+      C.Types.id;
+      src;
+      dst;
+      path = Array.of_list path;
+      chain = Array.of_list chain;
+      src_block = C.Scenario.src_block_of_class_id id;
+      rate;
+    }
+  in
+  let classes =
+    [|
+      mk 0 0 3 [ 0; 1; 2; 3 ] [ Apple_vnf.Nf.Firewall; Apple_vnf.Nf.Ids ] 500.0;
+      mk 1 1 3 [ 1; 2; 3 ] [ Apple_vnf.Nf.Firewall ] 400.0;
+    |]
+  in
+  {
+    C.Types.topo = named;
+    classes;
+    host_cores = Array.make 4 C.Types.default_host_cores;
+    seed = 0;
+  }
+
+let subclasses_of (asg : C.Subclass.assignment) class_id =
+  List.filter
+    (fun s -> s.C.Subclass.class_id = class_id)
+    asg.C.Subclass.subclasses

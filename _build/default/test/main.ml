@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "apple"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("lp", Test_lp.suite);
+      ("bdd", Test_bdd.suite);
+      ("classifier", Test_classifier.suite);
+      ("topology", Test_topology.suite);
+      ("traffic", Test_traffic.suite);
+      ("sim", Test_sim.suite);
+      ("vnf", Test_vnf.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("subclass", Test_subclass.suite);
+      ("failover", Test_failover.suite);
+      ("orchestrator", Test_orchestrator.suite);
+      ("baselines", Test_baselines.suite);
+      ("prototype", Test_prototype.suite);
+      ("integration", Test_integration.suite);
+      ("engines", Test_engines.suite);
+      ("sched", Test_sched.suite);
+      ("rewriting", Test_rewriting.suite);
+      ("packetsim", Test_packetsim.suite);
+      ("tcp", Test_tcp.suite);
+      ("aggregation", Test_aggregation.suite);
+      ("policy-file", Test_policy_file.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

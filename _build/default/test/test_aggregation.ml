@@ -1,0 +1,168 @@
+module C = Apple_core
+module FA = C.Flow_aggregation
+module P = Apple_classifier.Predicate
+module H = Apple_classifier.Header
+module Nf = Apple_vnf.Nf
+module B = Apple_topology.Builders
+
+let mk_flows e =
+  (* Four flow families on Internet2 (0=Seattle ... 10=NewYork):
+     two share (path, chain) and must merge. *)
+  [
+    {
+      FA.description = "web-a";
+      predicate = P.(src_prefix e "10.1.0.0" 16 &&& dst_port e 80);
+      ingress = 0;
+      egress = 10;
+      chain = [ Nf.Firewall; Nf.Proxy ];
+      rate = 120.0;
+    };
+    {
+      FA.description = "web-b";
+      predicate = P.(src_prefix e "10.2.0.0" 16 &&& dst_port e 80);
+      ingress = 0;
+      egress = 10;
+      chain = [ Nf.Firewall; Nf.Proxy ];
+      rate = 80.0;
+    };
+    {
+      FA.description = "dmz-inspect";
+      predicate = P.(src_prefix e "10.3.0.0" 16);
+      ingress = 0;
+      egress = 10;
+      chain = [ Nf.Firewall; Nf.Ids ];
+      rate = 50.0;
+    };
+    {
+      FA.description = "east-out";
+      predicate = P.(src_prefix e "10.4.0.0" 16);
+      ingress = 10;
+      egress = 0;
+      chain = [ Nf.Nat; Nf.Firewall ];
+      rate = 60.0;
+    };
+  ]
+
+let test_merging () =
+  let e = P.env () in
+  let r = FA.aggregate ~env:e (B.internet2 ()) (mk_flows e) in
+  (* web-a and web-b merge: 3 classes from 4 flows *)
+  Alcotest.(check int) "3 classes" 3 (Array.length r.FA.scenario.C.Types.classes);
+  let merged =
+    List.find (fun i -> List.length i.FA.members = 2) r.FA.classes_info
+  in
+  Alcotest.(check (list int)) "members 0 and 1" [ 0; 1 ] merged.FA.members;
+  let cls = r.FA.scenario.C.Types.classes.(merged.FA.class_id) in
+  Alcotest.(check (float 1e-9)) "rates summed" 200.0 cls.C.Types.rate
+
+let test_distinct_chains_stay_separate () =
+  let e = P.env () in
+  let r = FA.aggregate ~env:e (B.internet2 ()) (mk_flows e) in
+  (* same path but different chain (dmz) stays its own class *)
+  let singles = List.filter (fun i -> List.length i.FA.members = 1) r.FA.classes_info in
+  Alcotest.(check int) "two singleton classes" 2 (List.length singles)
+
+let test_class_predicate_union () =
+  let e = P.env () in
+  let flows = mk_flows e in
+  let r = FA.aggregate ~env:e (B.internet2 ()) flows in
+  let merged = List.find (fun i -> List.length i.FA.members = 2) r.FA.classes_info in
+  let p_a = (List.nth flows 0).FA.predicate in
+  let p_b = (List.nth flows 1).FA.predicate in
+  Alcotest.(check bool) "covers member a" true (P.subset p_a merged.FA.class_predicate);
+  Alcotest.(check bool) "covers member b" true (P.subset p_b merged.FA.class_predicate);
+  Alcotest.(check bool) "nothing extra" true
+    (P.equal merged.FA.class_predicate P.(p_a ||| p_b))
+
+let test_class_of_packet () =
+  let e = P.env () in
+  let r = FA.aggregate ~env:e (B.internet2 ()) (mk_flows e) in
+  let packet src dport =
+    {
+      H.src_ip = H.ip_of_string src;
+      dst_ip = H.ip_of_string "8.8.8.8";
+      proto = 6;
+      src_port = 1234;
+      dst_port = dport;
+    }
+  in
+  (* 10.1.x with dport 80 -> merged web class (id 0) *)
+  Alcotest.(check (option int)) "web-a packet" (Some 0)
+    (FA.class_of_packet r (packet "10.1.5.5" 80));
+  Alcotest.(check (option int)) "web-b packet" (Some 0)
+    (FA.class_of_packet r (packet "10.2.1.1" 80));
+  (* 10.3.x any port -> dmz class *)
+  (match FA.class_of_packet r (packet "10.3.0.9" 443) with
+  | Some id -> Alcotest.(check bool) "dmz class distinct" true (id <> 0)
+  | None -> Alcotest.fail "dmz packet unclassified");
+  (* unrelated traffic matches nothing *)
+  Alcotest.(check (option int)) "miss" None
+    (FA.class_of_packet r (packet "11.0.0.1" 80))
+
+let test_atoms_partition () =
+  let e = P.env () in
+  let r = FA.aggregate ~env:e (B.internet2 ()) (mk_flows e) in
+  (* atoms partition header space *)
+  let union =
+    List.fold_left (fun acc a -> P.(acc ||| a)) (P.never e) r.FA.atoms
+  in
+  Alcotest.(check bool) "atoms cover" true (P.equal union (P.always e));
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "atoms disjoint" true (P.is_empty P.(a &&& b)))
+        r.FA.atoms)
+    r.FA.atoms
+
+let test_tcam_rule_counts () =
+  let e = P.env () in
+  let r = FA.aggregate ~env:e (B.internet2 ()) (mk_flows e) in
+  List.iter
+    (fun info ->
+      Alcotest.(check bool) "positive rule count" true (info.FA.tcam_rules >= 1))
+    r.FA.classes_info
+
+let test_no_route () =
+  let e = P.env () in
+  let named = B.linear ~n:3 in
+  Apple_topology.Graph.remove_edge named.B.graph 0 1;
+  let flows =
+    [
+      {
+        FA.description = "stranded";
+        predicate = P.src_prefix e "10.0.0.0" 8;
+        ingress = 0;
+        egress = 2;
+        chain = [ Nf.Firewall ];
+        rate = 1.0;
+      };
+    ]
+  in
+  Alcotest.(check bool) "raises No_route" true
+    (try
+       ignore (FA.aggregate ~env:e named flows);
+       false
+     with FA.No_route _ -> true)
+
+let test_aggregated_scenario_solves () =
+  let e = P.env () in
+  let r = FA.aggregate ~env:e (B.internet2 ()) (mk_flows e) in
+  let controller = C.Controller.create r.FA.scenario in
+  let _ = C.Controller.run_epoch controller in
+  match C.Controller.verify controller with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "same path+chain merge" `Quick test_merging;
+    Alcotest.test_case "distinct chains separate" `Quick test_distinct_chains_stay_separate;
+    Alcotest.test_case "class predicate union" `Quick test_class_predicate_union;
+    Alcotest.test_case "class_of_packet" `Quick test_class_of_packet;
+    Alcotest.test_case "atoms partition" `Quick test_atoms_partition;
+    Alcotest.test_case "tcam rule counts" `Quick test_tcam_rule_counts;
+    Alcotest.test_case "no route" `Quick test_no_route;
+    Alcotest.test_case "aggregated scenario solves" `Quick test_aggregated_scenario_solves;
+  ]

@@ -1,0 +1,83 @@
+module C = Apple_core
+module OE = C.Optimization_engine
+
+let test_ingress_distribution_valid () =
+  let s = Helpers.small_scenario () in
+  let p = C.Baselines.ingress_placement s in
+  (* All mass at hop 0 trivially satisfies Eq. (2)-(4); capacity counts
+     are computed from the same loads, so the whole check must pass apart
+     from Eq. (6), which the strawman is allowed to ignore.  Check the
+     policy-side constraints directly. *)
+  Array.iteri
+    (fun h c ->
+      let d = p.OE.distribution.(h) in
+      Array.iteri
+        (fun j _ ->
+          Alcotest.(check (float 1e-9)) "all at ingress" 1.0 d.(0).(j);
+          let rest = ref 0.0 in
+          for i = 1 to Array.length c.C.Types.path - 1 do
+            rest := !rest +. d.(i).(j)
+          done;
+          Alcotest.(check (float 1e-9)) "nothing downstream" 0.0 !rest)
+        c.C.Types.chain)
+    s.C.Types.classes
+
+let test_ingress_covers_load () =
+  let s = Helpers.small_scenario () in
+  let p = C.Baselines.ingress_placement s in
+  let n = Apple_topology.Graph.num_nodes s.C.Types.topo.Apple_topology.Builders.graph in
+  for v = 0 to n - 1 do
+    for k = 0 to Apple_vnf.Nf.num_kinds - 1 do
+      let offered = OE.load s p ~v ~k in
+      let cap = (Apple_vnf.Nf.spec (Apple_vnf.Nf.kind_of_index k)).Apple_vnf.Nf.capacity_mbps in
+      Alcotest.(check bool) "capacity covered" true
+        (offered <= (float_of_int p.OE.counts.(v).(k) *. cap) +. 1e-3)
+    done
+  done
+
+let test_apple_beats_ingress () =
+  let s = Helpers.small_scenario () in
+  let apple = OE.solve s in
+  let ingress = C.Baselines.ingress_placement s in
+  Alcotest.(check bool) "APPLE uses fewer or equal cores" true
+    (OE.core_count apple <= OE.core_count ingress);
+  Alcotest.(check bool) "APPLE uses fewer or equal instances" true
+    (OE.instance_count apple <= OE.instance_count ingress)
+
+let test_steering_stats () =
+  let s = Helpers.small_scenario () in
+  let st = C.Baselines.steering_stats ~seed:5 s in
+  Alcotest.(check bool) "stretch >= 1" true (st.C.Baselines.mean_stretch >= 1.0);
+  Alcotest.(check bool) "max >= mean" true
+    (st.C.Baselines.max_stretch >= st.C.Baselines.mean_stretch -. 1e-9);
+  Alcotest.(check bool) "steering reroutes some traffic" true
+    (st.C.Baselines.flows_rerouted > 0.0);
+  Alcotest.(check bool) "fraction" true
+    (st.C.Baselines.flows_rerouted <= 1.0)
+
+let test_properties_table () =
+  let s = Helpers.small_scenario ~max_classes:15 () in
+  let rows = C.Baselines.properties_table s in
+  Alcotest.(check int) "eight frameworks" 8 (List.length rows);
+  let name, pe, ifree, iso = List.nth rows 7 in
+  Alcotest.(check string) "last row is APPLE" "APPLE" name;
+  Alcotest.(check bool) "policy enforcement verified" true pe;
+  Alcotest.(check bool) "interference freedom verified" true ifree;
+  Alcotest.(check bool) "isolation" true iso;
+  (* Table I: the steering frameworks are not interference-free. *)
+  List.iter
+    (fun fw ->
+      let _, _, ifree, _ = List.find (fun (n, _, _, _) -> n = fw) rows in
+      Alcotest.(check bool) (fw ^ " interferes") false ifree)
+    [ "StEERING"; "SIMPLE"; "Stratos"; "E2"; "VNF-OP" ];
+  let _, _, _, comb_iso = List.find (fun (n, _, _, _) -> n = "CoMb") rows in
+  Alcotest.(check bool) "CoMb lacks isolation" false comb_iso
+
+let suite =
+  [
+    Alcotest.test_case "ingress distribution" `Quick test_ingress_distribution_valid;
+    Alcotest.test_case "ingress covers load" `Quick test_ingress_covers_load;
+    Alcotest.test_case "APPLE beats ingress" `Quick test_apple_beats_ingress;
+    Alcotest.test_case "steering stats" `Quick test_steering_stats;
+    Alcotest.test_case "properties table" `Quick test_properties_table;
+  ]

@@ -1,0 +1,192 @@
+module B = Apple_bdd.Bdd
+
+let num_vars = 6
+
+(* Random BDD expression generator over [num_vars] variables. *)
+type expr =
+  | Var of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | True
+  | False
+
+let expr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof [ map (fun i -> Var i) (int_range 0 (num_vars - 1)); return True; return False ]
+        else
+          frequency
+            [
+              (2, map (fun i -> Var i) (int_range 0 (num_vars - 1)));
+              (1, map (fun e -> Not e) (self (n / 2)));
+              (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+              (2, map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2)));
+            ]))
+
+let rec build m = function
+  | Var i -> B.var m i
+  | Not e -> B.bdd_not m (build m e)
+  | And (a, b) -> B.bdd_and m (build m a) (build m b)
+  | Or (a, b) -> B.bdd_or m (build m a) (build m b)
+  | Xor (a, b) -> B.bdd_xor m (build m a) (build m b)
+  | True -> B.bdd_true m
+  | False -> B.bdd_false m
+
+let rec eval env = function
+  | Var i -> env.(i)
+  | Not e -> not (eval env e)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+  | True -> true
+  | False -> false
+
+let all_envs =
+  List.init (1 lsl num_vars) (fun bits ->
+      Array.init num_vars (fun i -> (bits lsr i) land 1 = 1))
+
+let bdd_eval m node env =
+  let cube = B.cube m (List.init num_vars (fun i -> (i, env.(i)))) in
+  not (B.is_false m (B.bdd_and m cube node))
+
+let test_terminals () =
+  let m = B.man () in
+  Alcotest.(check bool) "true is true" true (B.is_true m (B.bdd_true m));
+  Alcotest.(check bool) "false is false" true (B.is_false m (B.bdd_false m));
+  Alcotest.(check bool) "not true = false" true
+    (B.equal (B.bdd_not m (B.bdd_true m)) (B.bdd_false m))
+
+let test_var_semantics () =
+  let m = B.man () in
+  let x = B.var m 0 in
+  Alcotest.(check bool) "x(1)" true (bdd_eval m x [| true; false; false; false; false; false |]);
+  Alcotest.(check bool) "x(0)" false (bdd_eval m x [| false; false; false; false; false; false |]);
+  Alcotest.(check bool) "nvar = not var" true (B.equal (B.nvar m 0) (B.bdd_not m x))
+
+let test_hash_consing () =
+  let m = B.man () in
+  let a = B.bdd_and m (B.var m 0) (B.var m 1) in
+  let b = B.bdd_and m (B.var m 1) (B.var m 0) in
+  Alcotest.(check bool) "commutative results share node" true (B.equal a b)
+
+let test_ite () =
+  let m = B.man () in
+  let f = B.var m 0 and g = B.var m 1 and h = B.var m 2 in
+  let ite = B.ite m f g h in
+  let manual = B.bdd_or m (B.bdd_and m f g) (B.bdd_and m (B.bdd_not m f) h) in
+  Alcotest.(check bool) "ite = (f&g)|(~f&h)" true (B.equal ite manual)
+
+let test_exists () =
+  let m = B.man () in
+  (* exists x0. (x0 & x1) = x1 *)
+  let e = B.exists m [ 0 ] (B.bdd_and m (B.var m 0) (B.var m 1)) in
+  Alcotest.(check bool) "projects away" true (B.equal e (B.var m 1));
+  (* exists x0. (x0 | x1) = true *)
+  let e2 = B.exists m [ 0 ] (B.bdd_or m (B.var m 0) (B.var m 1)) in
+  Alcotest.(check bool) "saturates" true (B.is_true m e2)
+
+let test_sat_count () =
+  let m = B.man () in
+  Alcotest.(check (float 1e-9)) "var splits space" (2.0 ** 5.0)
+    (B.sat_count m ~num_vars (B.var m 0));
+  Alcotest.(check (float 1e-9)) "true is full space" (2.0 ** 6.0)
+    (B.sat_count m ~num_vars (B.bdd_true m));
+  Alcotest.(check (float 1e-9)) "false is empty" 0.0
+    (B.sat_count m ~num_vars (B.bdd_false m));
+  let cube = B.cube m [ (0, true); (3, false) ] in
+  Alcotest.(check (float 1e-9)) "cube fixes two bits" (2.0 ** 4.0)
+    (B.sat_count m ~num_vars cube)
+
+let test_any_sat () =
+  let m = B.man () in
+  Alcotest.(check bool) "false has no witness" true (B.any_sat m (B.bdd_false m) = None);
+  let f = B.bdd_and m (B.var m 1) (B.nvar m 3) in
+  match B.any_sat m f with
+  | None -> Alcotest.fail "expected witness"
+  | Some lits ->
+      let env = Array.make num_vars false in
+      List.iter (fun (i, v) -> env.(i) <- v) lits;
+      Alcotest.(check bool) "witness satisfies" true (bdd_eval m f env)
+
+let test_fold_paths_count () =
+  let m = B.man () in
+  let f = B.bdd_or m (B.var m 0) (B.var m 1) in
+  let paths = B.fold_paths m f ~init:0 ~f:(fun acc _ -> acc + 1) in
+  (* ROBDD for x0|x1: paths {x0=1}, {x0=0,x1=1} *)
+  Alcotest.(check int) "two true paths" 2 paths
+
+let test_size () =
+  let m = B.man () in
+  Alcotest.(check int) "terminal size" 0 (B.size m (B.bdd_true m));
+  Alcotest.(check int) "single var" 1 (B.size m (B.var m 2))
+
+(* Property: BDD operations agree with boolean evaluation on all envs. *)
+let prop_semantics =
+  QCheck.Test.make ~name:"bdd agrees with boolean semantics" ~count:100
+    (QCheck.make ~print:(fun _ -> "<expr>") expr_gen) (fun e ->
+      let m = B.man () in
+      let node = build m e in
+      List.for_all (fun env -> bdd_eval m node env = eval env e) all_envs)
+
+let prop_sat_count_complement =
+  QCheck.Test.make ~name:"sat_count f + sat_count ~f = 2^n" ~count:100
+    (QCheck.make ~print:(fun _ -> "<expr>") expr_gen) (fun e ->
+      let m = B.man () in
+      let node = build m e in
+      let total =
+        B.sat_count m ~num_vars node +. B.sat_count m ~num_vars (B.bdd_not m node)
+      in
+      abs_float (total -. (2.0 ** float_of_int num_vars)) < 1e-6)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"de morgan" ~count:100
+    (QCheck.make ~print:(fun _ -> "<expr>") QCheck.Gen.(pair expr_gen expr_gen))
+    (fun (ea, eb) ->
+      let m = B.man () in
+      let a = build m ea and b = build m eb in
+      B.equal
+        (B.bdd_not m (B.bdd_and m a b))
+        (B.bdd_or m (B.bdd_not m a) (B.bdd_not m b)))
+
+let prop_xor_definition =
+  QCheck.Test.make ~name:"xor = (a&~b)|(~a&b)" ~count:100
+    (QCheck.make ~print:(fun _ -> "<expr>") QCheck.Gen.(pair expr_gen expr_gen))
+    (fun (ea, eb) ->
+      let m = B.man () in
+      let a = build m ea and b = build m eb in
+      B.equal (B.bdd_xor m a b)
+        (B.bdd_or m (B.bdd_diff m a b) (B.bdd_diff m b a)))
+
+let prop_fold_paths_disjoint_cover =
+  QCheck.Test.make ~name:"true paths partition the on-set" ~count:60
+    (QCheck.make ~print:(fun _ -> "<expr>") expr_gen) (fun e ->
+      let m = B.man () in
+      let node = build m e in
+      (* Sum of cube sizes over true paths equals sat_count. *)
+      let total =
+        B.fold_paths m node ~init:0.0 ~f:(fun acc lits ->
+            acc +. (2.0 ** float_of_int (num_vars - List.length lits)))
+      in
+      abs_float (total -. B.sat_count m ~num_vars node) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "var semantics" `Quick test_var_semantics;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "ite" `Quick test_ite;
+    Alcotest.test_case "exists" `Quick test_exists;
+    Alcotest.test_case "sat count" `Quick test_sat_count;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "fold_paths count" `Quick test_fold_paths_count;
+    Alcotest.test_case "size" `Quick test_size;
+    QCheck_alcotest.to_alcotest prop_semantics;
+    QCheck_alcotest.to_alcotest prop_sat_count_complement;
+    QCheck_alcotest.to_alcotest prop_de_morgan;
+    QCheck_alcotest.to_alcotest prop_xor_definition;
+    QCheck_alcotest.to_alcotest prop_fold_paths_disjoint_cover;
+  ]

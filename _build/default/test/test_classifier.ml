@@ -1,0 +1,275 @@
+module H = Apple_classifier.Header
+module P = Apple_classifier.Predicate
+module A = Apple_classifier.Atoms
+module Pfx = Apple_classifier.Prefix_split
+module CH = Apple_classifier.Consistent_hash
+
+let packet ?(src = "10.0.0.1") ?(dst = "192.168.1.1") ?(proto = 6)
+    ?(sport = 1234) ?(dport = 80) () =
+  {
+    H.src_ip = H.ip_of_string src;
+    dst_ip = H.ip_of_string dst;
+    proto;
+    src_port = sport;
+    dst_port = dport;
+  }
+
+let test_ip_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (H.string_of_ip (H.ip_of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.1.2.3"; "192.168.0.1" ]
+
+let test_ip_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (H.ip_of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "10.0.0"; "10.0.0.256"; "a.b.c.d"; "" ]
+
+let test_packet_bits () =
+  let p = packet ~src:"128.0.0.0" () in
+  Alcotest.(check bool) "msb of src" true (H.packet_bit p 0);
+  Alcotest.(check bool) "next bit clear" false (H.packet_bit p 1)
+
+let test_prefix_match () =
+  let e = P.env () in
+  let pred = P.src_prefix e "10.1.0.0" 16 in
+  Alcotest.(check bool) "inside" true (P.matches pred (packet ~src:"10.1.200.3" ()));
+  Alcotest.(check bool) "outside" false (P.matches pred (packet ~src:"10.2.0.1" ()))
+
+let test_zero_length_prefix () =
+  let e = P.env () in
+  let pred = P.src_prefix e "1.2.3.4" 0 in
+  Alcotest.(check bool) "matches everything" true (P.equal pred (P.always e))
+
+let test_proto_and_ports () =
+  let e = P.env () in
+  let web = P.(proto e 6 &&& dst_port e 80) in
+  Alcotest.(check bool) "tcp port 80" true (P.matches web (packet ()));
+  Alcotest.(check bool) "udp rejected" false (P.matches web (packet ~proto:17 ()));
+  Alcotest.(check bool) "port 81 rejected" false (P.matches web (packet ~dport:81 ()))
+
+let test_port_range () =
+  let e = P.env () in
+  let range = P.dst_port_range e 1000 2000 in
+  let member v = P.matches range (packet ~dport:v ()) in
+  Alcotest.(check bool) "low edge" true (member 1000);
+  Alcotest.(check bool) "high edge" true (member 2000);
+  Alcotest.(check bool) "inside" true (member 1500);
+  Alcotest.(check bool) "below" false (member 999);
+  Alcotest.(check bool) "above" false (member 2001)
+
+let test_port_range_exhaustive () =
+  let e = P.env () in
+  let lo = 123 and hi = 4567 in
+  let range = P.src_port_range e lo hi in
+  (* fraction of space must equal range size / 2^16 *)
+  let expected = float_of_int (hi - lo + 1) /. 65536.0 in
+  Alcotest.(check (float 1e-12)) "exact fraction" expected (P.fraction_of_space range)
+
+let test_boolean_algebra () =
+  let e = P.env () in
+  let a = P.src_prefix e "10.0.0.0" 8 in
+  let b = P.dst_prefix e "192.168.0.0" 16 in
+  Alcotest.(check bool) "a - b subset a" true (P.subset (P.diff a b) a);
+  Alcotest.(check bool) "a & b subset a" true (P.subset P.(a &&& b) a);
+  Alcotest.(check bool) "a subset a | b" true (P.subset a P.(a ||| b));
+  Alcotest.(check bool) "a & ~a empty" true (P.is_empty P.(a &&& neg a))
+
+let test_witness () =
+  let e = P.env () in
+  let pred = P.(src_prefix e "10.7.0.0" 16 &&& proto e 17) in
+  match P.witness pred with
+  | None -> Alcotest.fail "expected witness"
+  | Some p ->
+      Alcotest.(check bool) "witness matches" true (P.matches pred p);
+      Alcotest.(check int) "witness proto" 17 p.H.proto
+
+let test_atoms_partition () =
+  let e = P.env () in
+  let preds =
+    [
+      P.src_prefix e "10.0.0.0" 8;
+      P.src_prefix e "10.1.0.0" 16;
+      P.dst_port e 80;
+    ]
+  in
+  let atoms = A.compute e preds in
+  (* pairwise disjoint *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "disjoint" true (P.is_empty P.(a &&& b)))
+        atoms)
+    atoms;
+  (* cover the space *)
+  let union = List.fold_left (fun acc a -> P.(acc ||| a)) (P.never e) atoms in
+  Alcotest.(check bool) "covers" true (P.equal union (P.always e));
+  (* every predicate decomposes *)
+  List.iter (fun p -> ignore (A.decompose p atoms)) preds
+
+let test_atoms_decompose_exact () =
+  let e = P.env () in
+  let a = P.src_prefix e "10.0.0.0" 8 in
+  let b = P.dst_port e 443 in
+  let atoms = A.compute e [ a; b ] in
+  let indices = A.decompose a atoms in
+  (* union of chosen atoms equals a *)
+  let union =
+    List.fold_left
+      (fun acc i -> P.(acc ||| List.nth atoms i))
+      (P.never e) indices
+  in
+  Alcotest.(check bool) "reconstructs" true (P.equal union a)
+
+let test_atoms_same_atom () =
+  let e = P.env () in
+  let atoms = A.compute e [ P.src_prefix e "10.0.0.0" 8 ] in
+  Alcotest.(check bool) "same block" true
+    (A.same_atom atoms (packet ~src:"10.1.1.1" ()) (packet ~src:"10.9.9.9" ()));
+  Alcotest.(check bool) "different blocks" false
+    (A.same_atom atoms (packet ~src:"10.1.1.1" ()) (packet ~src:"11.1.1.1" ()))
+
+(* ---- prefix splitting ---- *)
+
+let test_prefix_parse () =
+  let p = Pfx.prefix_of_string "10.1.2.128/25" in
+  Alcotest.(check int) "len" 25 p.Pfx.len;
+  Alcotest.(check string) "addr normalized" "10.1.2.128" (H.string_of_ip p.Pfx.addr);
+  let q = Pfx.prefix_of_string "10.1.2.129/25" in
+  Alcotest.(check string) "low bits cleared" "10.1.2.128" (H.string_of_ip q.Pfx.addr)
+
+let test_split_half () =
+  let base = Pfx.prefix_of_string "10.0.0.0/24" in
+  let split = Pfx.split ~base ~weights:[| 0.5; 0.5 |] ~depth:6 in
+  Alcotest.(check int) "one prefix each" 2 (Pfx.rule_count split);
+  let rw = Pfx.realized_weights split ~base in
+  Alcotest.(check (float 1e-9)) "first half" 0.5 rw.(0);
+  Alcotest.(check (float 1e-9)) "second half" 0.5 rw.(1)
+
+let test_split_partition_property () =
+  let base = Pfx.prefix_of_string "10.0.0.0/24" in
+  let split = Pfx.split ~base ~weights:[| 0.7; 0.2; 0.1 |] ~depth:6 in
+  (* Every address in the block is owned by exactly one sub-class. *)
+  for a = 0 to 255 do
+    let addr = base.Pfx.addr + a in
+    let owners =
+      Array.to_list split
+      |> List.filteri (fun _ pfxs -> List.exists (fun p -> Pfx.member p addr) pfxs)
+    in
+    Alcotest.(check int) "single owner" 1 (List.length owners)
+  done
+
+let prop_split_partition =
+  QCheck.Test.make ~name:"prefix split partitions the block" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 8) (float_range 0.01 1.0))
+    (fun raw ->
+      let total = List.fold_left ( +. ) 0.0 raw in
+      let weights = Array.of_list (List.map (fun w -> w /. total) raw) in
+      let base = Pfx.prefix_of_string "10.0.0.0/24" in
+      let split = Pfx.split ~base ~weights ~depth:6 in
+      let ok = ref true in
+      for a = 0 to 255 do
+        let addr = base.Pfx.addr + a in
+        let owners =
+          Array.fold_left
+            (fun acc pfxs ->
+              if List.exists (fun p -> Pfx.member p addr) pfxs then acc + 1 else acc)
+            0 split
+        in
+        if owners <> 1 then ok := false
+      done;
+      !ok)
+
+let prop_split_weights_close =
+  QCheck.Test.make ~name:"realized weights approximate requests" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range 0.05 1.0))
+    (fun raw ->
+      let total = List.fold_left ( +. ) 0.0 raw in
+      let weights = Array.of_list (List.map (fun w -> w /. total) raw) in
+      let base = Pfx.prefix_of_string "10.0.0.0/24" in
+      let depth = 6 in
+      let split = Pfx.split ~base ~weights ~depth in
+      let realized = Pfx.realized_weights split ~base in
+      let quantum = 1.0 /. float_of_int (1 lsl depth) in
+      Array.for_all2
+        (fun r w -> abs_float (r -. w) <= (float_of_int (Array.length weights) *. quantum) +. 1e-9)
+        realized weights)
+
+(* ---- consistent hashing ---- *)
+
+let test_chash_deterministic () =
+  let t = CH.create ~weights:[| 0.5; 0.5 |] in
+  let p = packet () in
+  Alcotest.(check int) "same packet same bucket" (CH.assign t p) (CH.assign t p)
+
+let test_chash_proportional () =
+  let t = CH.create ~weights:[| 0.25; 0.75 |] in
+  let hits = [| 0; 0 |] in
+  for i = 0 to 9999 do
+    let p = packet ~src:(Printf.sprintf "10.%d.%d.%d" (i mod 256) (i / 256) 1) () in
+    let b = CH.assign t p in
+    hits.(b) <- hits.(b) + 1
+  done;
+  let frac = float_of_int hits.(1) /. 10_000.0 in
+  Alcotest.(check bool) "about 75%" true (frac > 0.72 && frac < 0.78)
+
+let test_chash_point_boundaries () =
+  let t = CH.create ~weights:[| 0.5; 0.5 |] in
+  Alcotest.(check int) "0 -> first" 0 (CH.assign_point t 0.0);
+  Alcotest.(check int) "0.49 -> first" 0 (CH.assign_point t 0.49);
+  Alcotest.(check int) "0.51 -> second" 1 (CH.assign_point t 0.51);
+  Alcotest.(check int) "0.999 -> second" 1 (CH.assign_point t 0.999)
+
+let test_chash_reweight_stability () =
+  (* Shrinking one interval only moves flows whose point crossed the
+     boundary. *)
+  let t1 = CH.create ~weights:[| 0.5; 0.5 |] in
+  let t2 = CH.reweight t1 [| 0.4; 0.6 |] in
+  let moved = ref 0 and total = 10_000 in
+  for i = 0 to total - 1 do
+    let x = float_of_int i /. float_of_int total in
+    if CH.assign_point t1 x <> CH.assign_point t2 x then incr moved
+  done;
+  Alcotest.(check bool) "moved about 10%" true
+    (let f = float_of_int !moved /. float_of_int total in
+     f > 0.08 && f < 0.12)
+
+let test_chash_rejects_bad_weights () =
+  Alcotest.(check bool) "zero total rejected" true
+    (try
+       ignore (CH.create ~weights:[| 0.0; 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "ip roundtrip" `Quick test_ip_roundtrip;
+    Alcotest.test_case "ip invalid" `Quick test_ip_invalid;
+    Alcotest.test_case "packet bits" `Quick test_packet_bits;
+    Alcotest.test_case "prefix match" `Quick test_prefix_match;
+    Alcotest.test_case "zero-length prefix" `Quick test_zero_length_prefix;
+    Alcotest.test_case "proto and ports" `Quick test_proto_and_ports;
+    Alcotest.test_case "port range edges" `Quick test_port_range;
+    Alcotest.test_case "port range fraction" `Quick test_port_range_exhaustive;
+    Alcotest.test_case "boolean algebra" `Quick test_boolean_algebra;
+    Alcotest.test_case "witness" `Quick test_witness;
+    Alcotest.test_case "atoms partition" `Quick test_atoms_partition;
+    Alcotest.test_case "atoms decompose" `Quick test_atoms_decompose_exact;
+    Alcotest.test_case "atoms same_atom" `Quick test_atoms_same_atom;
+    Alcotest.test_case "prefix parse" `Quick test_prefix_parse;
+    Alcotest.test_case "split half" `Quick test_split_half;
+    Alcotest.test_case "split partition" `Quick test_split_partition_property;
+    QCheck_alcotest.to_alcotest prop_split_partition;
+    QCheck_alcotest.to_alcotest prop_split_weights_close;
+    Alcotest.test_case "chash deterministic" `Quick test_chash_deterministic;
+    Alcotest.test_case "chash proportional" `Quick test_chash_proportional;
+    Alcotest.test_case "chash boundaries" `Quick test_chash_point_boundaries;
+    Alcotest.test_case "chash reweight stability" `Quick test_chash_reweight_stability;
+    Alcotest.test_case "chash bad weights" `Quick test_chash_rejects_bad_weights;
+  ]

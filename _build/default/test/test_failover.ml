@@ -1,0 +1,156 @@
+module C = Apple_core
+module DH = C.Dynamic_handler
+module NS = C.Netstate
+module OE = C.Optimization_engine
+module SC = C.Subclass
+
+let setup ?(total = 4000.0) () =
+  let s = Helpers.small_scenario ~total () in
+  let p = OE.solve s in
+  let asg = SC.assign s p in
+  let state = NS.of_assignment s asg in
+  NS.recompute_loads state;
+  (s, state)
+
+let burst_rates (s : C.Types.scenario) factor =
+  (* Multiply the largest class's rate. *)
+  let largest = ref s.C.Types.classes.(0) in
+  Array.iter
+    (fun c -> if c.C.Types.rate > !largest.C.Types.rate then largest := c)
+    s.C.Types.classes;
+  !largest.C.Types.rate <- !largest.C.Types.rate *. factor;
+  !largest
+
+let test_quiet_network_no_events () =
+  let _, state = setup () in
+  let handler = DH.create state in
+  DH.step handler;
+  Alcotest.(check int) "no overloads at base load" 0
+    (List.assoc "overloads" (DH.events handler));
+  Alcotest.(check bool) "weights valid" true (NS.weights_valid state)
+
+let test_burst_triggers_failover () =
+  let s, state = setup () in
+  let handler = DH.create state in
+  let loss_before = (NS.recompute_loads state; NS.network_loss state) in
+  Alcotest.(check (float 1e-9)) "no loss at base" 0.0 loss_before;
+  let _ = burst_rates s 10.0 in
+  NS.recompute_loads state;
+  let loss_static = NS.network_loss state in
+  Alcotest.(check bool) "static drops packets under burst" true (loss_static > 0.0);
+  (* One control round per snapshot: a large burst converges over a few
+     rounds of halving and spawning. *)
+  for _ = 1 to 4 do
+    DH.step handler
+  done;
+  let loss_failover = NS.network_loss state in
+  Alcotest.(check bool) "failover reduces loss" true
+    (loss_failover < loss_static /. 2.0);
+  Alcotest.(check bool) "an overload was handled" true
+    (List.assoc "overloads" (DH.events handler) > 0);
+  Alcotest.(check bool) "weights still valid" true (NS.weights_valid state)
+
+let test_rollback_restores () =
+  let s, state = setup () in
+  let handler = DH.create state in
+  let original_weights =
+    Array.map
+      (fun subs -> List.map (fun p -> p.NS.weight) subs)
+      state.NS.per_class
+  in
+  let victim = burst_rates s 10.0 in
+  let base_rate = victim.C.Types.rate /. 10.0 in
+  for _ = 1 to 3 do
+    DH.step handler
+  done;
+  Alcotest.(check bool) "spawn or rebalance happened" true
+    (List.assoc "overloads" (DH.events handler) > 0);
+  (* Burst subsides. *)
+  victim.C.Types.rate <- base_rate;
+  DH.step handler;
+  Alcotest.(check bool) "episode rolled back" true
+    (List.assoc "rollbacks" (DH.events handler) > 0);
+  Alcotest.(check int) "extra cores released" 0 (DH.spawned_cores handler);
+  (* Weights back to the original distribution. *)
+  Array.iteri
+    (fun h subs ->
+      let restored = List.map (fun p -> p.NS.weight) subs in
+      let original = original_weights.(h) in
+      if List.length restored = List.length original then
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool) "weight restored" true (abs_float (a -. b) < 1e-9))
+          restored original)
+    state.NS.per_class;
+  Alcotest.(check bool) "weights valid" true (NS.weights_valid state)
+
+let test_spawn_disallowed_still_rebalances () =
+  let s, state = setup () in
+  let config = { DH.default_config with DH.spawn_allowed = false } in
+  let handler = DH.create ~config state in
+  let _ = burst_rates s 20.0 in
+  DH.step handler;
+  Alcotest.(check int) "no spawns" 0 (List.assoc "spawns" (DH.events handler));
+  Alcotest.(check int) "no extra cores" 0 (DH.spawned_cores handler);
+  Alcotest.(check bool) "weights valid" true (NS.weights_valid state)
+
+let test_extra_cores_accounting () =
+  let s, state = setup () in
+  let handler = DH.create state in
+  let _ = burst_rates s 25.0 in
+  DH.step handler;
+  let spawns = List.assoc "spawns" (DH.events handler) in
+  if spawns > 0 then
+    Alcotest.(check bool) "cores tracked when spawning" true
+      (DH.spawned_cores handler > 0)
+  else
+    Alcotest.(check int) "no cores without spawns" 0 (DH.spawned_cores handler)
+
+let test_netstate_loss_model () =
+  let _, state = setup () in
+  NS.recompute_loads state;
+  let loss = NS.network_loss state in
+  Alcotest.(check bool) "loss in [0,1]" true (loss >= 0.0 && loss <= 1.0)
+
+let test_netstate_instances_in_use () =
+  let _, state = setup () in
+  let used = NS.instances_in_use state in
+  Alcotest.(check bool) "some instances used" true (used <> []);
+  (* every used instance is referenced by a positive-weight subclass *)
+  List.iter
+    (fun inst ->
+      let referenced =
+        Array.exists
+          (fun subs ->
+            List.exists
+              (fun p ->
+                p.NS.weight > 0.0
+                && Array.exists
+                     (fun i -> Apple_vnf.Instance.id i = Apple_vnf.Instance.id inst)
+                     p.NS.stage_instances)
+              subs)
+          state.NS.per_class
+      in
+      Alcotest.(check bool) "referenced" true referenced)
+    used
+
+let test_repeated_steps_stable () =
+  let s, state = setup () in
+  let handler = DH.create state in
+  let _ = burst_rates s 20.0 in
+  for _ = 1 to 10 do
+    DH.step handler;
+    Alcotest.(check bool) "weights remain valid" true (NS.weights_valid state)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "quiet network" `Quick test_quiet_network_no_events;
+    Alcotest.test_case "burst triggers failover" `Quick test_burst_triggers_failover;
+    Alcotest.test_case "rollback restores" `Quick test_rollback_restores;
+    Alcotest.test_case "rebalance without spawning" `Quick test_spawn_disallowed_still_rebalances;
+    Alcotest.test_case "extra cores accounting" `Quick test_extra_cores_accounting;
+    Alcotest.test_case "loss model bounds" `Quick test_netstate_loss_model;
+    Alcotest.test_case "instances in use" `Quick test_netstate_instances_in_use;
+    Alcotest.test_case "repeated steps stable" `Quick test_repeated_steps_stable;
+  ]

@@ -1,0 +1,196 @@
+(* Cross-module fuzzing: whole-pipeline invariants under random seeds,
+   topologies, policy mixes and traffic dynamics. *)
+
+module C = Apple_core
+module B = Apple_topology.Builders
+module Tr = Apple_traffic
+module Rng = Apple_prelude.Rng
+module Instance = Apple_vnf.Instance
+module Nf = Apple_vnf.Nf
+
+let topo_of = function
+  | 0 -> B.internet2 ()
+  | 1 -> B.geant ()
+  | 2 -> B.univ1 ()
+  | _ -> B.linear ~n:6
+
+let build_random seed =
+  let named = topo_of (seed mod 4) in
+  let rng = Rng.create seed in
+  let n = Apple_topology.Graph.num_nodes named.B.graph in
+  let total = 1000.0 +. Rng.float rng 6000.0 in
+  let tm = Tr.Synth.gravity rng ~n ~total in
+  let config =
+    { C.Scenario.default_config with C.Scenario.max_classes = 15 + Rng.int rng 25 }
+  in
+  C.Scenario.build ~config ~seed named tm
+
+(* End-to-end pipeline: every random scenario must verify. *)
+let prop_pipeline_verifies =
+  QCheck.Test.make ~name:"pipeline verifies on random scenarios" ~count:10
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let s = build_random seed in
+      let controller = C.Controller.create s in
+      match C.Controller.run_epoch controller with
+      | exception C.Optimization_engine.Infeasible _ -> true (* acceptable *)
+      | _ -> (
+          match C.Controller.verify controller with
+          | Ok () -> true
+          | Error _ -> false))
+
+(* Dynamic handler: under arbitrary rate trajectories the sub-class
+   weights stay a valid distribution and extra cores return to zero when
+   rates return to base. *)
+let prop_failover_invariants =
+  QCheck.Test.make ~name:"failover invariants under random rate swings"
+    ~count:8
+    QCheck.(pair (int_range 0 10_000) (list_of_size (Gen.int_range 3 8) (float_range 0.5 12.0)))
+    (fun (seed, swings) ->
+      let s = build_random seed in
+      match C.Engine_select.solve_best s with
+      | exception C.Optimization_engine.Infeasible _ -> true
+      | p ->
+          let asg = C.Subclass.assign s p in
+          let state = C.Netstate.of_assignment s asg in
+          let handler = C.Dynamic_handler.create state in
+          let base = Array.map (fun c -> c.C.Types.rate) s.C.Types.classes in
+          let rng = Rng.create (seed + 1) in
+          let ok = ref true in
+          List.iter
+            (fun factor ->
+              (* random class gets the swing *)
+              let h = Rng.int rng (Array.length s.C.Types.classes) in
+              s.C.Types.classes.(h).C.Types.rate <- base.(h) *. factor;
+              C.Dynamic_handler.step handler;
+              if not (C.Netstate.weights_valid state) then ok := false;
+              let loss = C.Netstate.network_loss state in
+              if loss < 0.0 || loss > 1.0 then ok := false)
+            swings;
+          (* restore all rates; after a few rounds the episodes unwind *)
+          Array.iteri (fun h r -> s.C.Types.classes.(h).C.Types.rate <- r) base;
+          for _ = 1 to 4 do
+            C.Dynamic_handler.step handler
+          done;
+          if C.Netstate.extra_cores state <> 0 then ok := false;
+          if not (C.Netstate.weights_valid state) then ok := false;
+          !ok)
+
+(* Walks: every sub-class of every random scenario traverses its chain in
+   order on its own path — with a witness packet from every prefix of the
+   sub-class, not just the first. *)
+let prop_every_prefix_walks =
+  QCheck.Test.make ~name:"every classification prefix routes correctly"
+    ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let s = build_random seed in
+      match C.Engine_select.solve_best s with
+      | exception C.Optimization_engine.Infeasible _ -> true
+      | p ->
+          let asg = C.Subclass.assign s p in
+          let built = C.Rule_generator.build s asg in
+          let inst_kind = Hashtbl.create 64 in
+          List.iter
+            (fun i -> Hashtbl.replace inst_kind (Instance.id i) (Instance.kind i))
+            asg.C.Subclass.instances;
+          let rewriters i =
+            match Hashtbl.find_opt inst_kind i with
+            | Some k -> Nf.rewrites_header k
+            | None -> false
+          in
+          let ok = ref true in
+          Array.iter
+            (fun c ->
+              let subs = Helpers.subclasses_of asg c.C.Types.id in
+              let prefixes =
+                C.Rule_generator.subclass_prefixes c subs
+                  ~depth:built.C.Rule_generator.split_depth
+              in
+              List.iteri
+                (fun idx _ ->
+                  List.iter
+                    (fun (pfx : C.Types.Prefix.prefix) ->
+                      let path = Array.to_list c.C.Types.path in
+                      (* last address of the block, not just the first *)
+                      let last =
+                        pfx.C.Types.Prefix.addr + (1 lsl (32 - pfx.C.Types.Prefix.len)) - 1
+                      in
+                      List.iter
+                        (fun src_ip ->
+                          match
+                            Apple_dataplane.Walk.run
+                              built.C.Rule_generator.network ~path
+                              ~cls:c.C.Types.id ~src_ip ~rewriters ()
+                          with
+                          | Error _ -> ok := false
+                          | Ok trace ->
+                              if
+                                not
+                                  (Apple_dataplane.Walk.policy_enforced trace
+                                     ~instance_kind:(Hashtbl.find inst_kind)
+                                     ~chain:(Array.to_list c.C.Types.chain))
+                              then ok := false;
+                              if
+                                not
+                                  (Apple_dataplane.Walk.interference_free trace
+                                     ~path)
+                              then ok := false)
+                        [ pfx.C.Types.Prefix.addr; last ])
+                    prefixes.(idx))
+                subs)
+            s.C.Types.classes;
+          !ok)
+
+(* Online arrivals on top of random scenarios: accepted flows never break
+   instance capacity. *)
+let prop_online_never_overloads =
+  QCheck.Test.make ~name:"online admissions never overload instances"
+    ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let s = build_random seed in
+      match C.Engine_select.solve_best s with
+      | exception C.Optimization_engine.Infeasible _ -> true
+      | p ->
+          let asg = C.Subclass.assign s p in
+          let state = C.Netstate.of_assignment s asg in
+          C.Netstate.recompute_loads state;
+          let rng = Rng.create (seed + 7) in
+          let g = s.C.Types.topo.B.graph in
+          let n = Apple_topology.Graph.num_nodes g in
+          for _ = 1 to 10 do
+            let src = Rng.int rng n and dst = Rng.int rng n in
+            if src <> dst then
+              match Apple_topology.Graph.shortest_path g src dst with
+              | None -> ()
+              | Some path ->
+                  let id = Array.length state.C.Netstate.scenario.C.Types.classes in
+                  let cls =
+                    {
+                      C.Types.id;
+                      src;
+                      dst;
+                      path = Array.of_list path;
+                      chain =
+                        Array.of_list
+                          (C.Policy.draw rng C.Policy.default_mix);
+                      src_block = C.Scenario.src_block_of_class_id id;
+                      rate = 20.0 +. Rng.float rng 400.0;
+                    }
+                  in
+                  ignore (C.Online_engine.admit state cls)
+          done;
+          List.for_all
+            (fun inst ->
+              Instance.offered inst
+              <= (Instance.spec inst).Nf.capacity_mbps +. 1e-6)
+            (C.Resource_orchestrator.instances state.C.Netstate.orchestrator))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pipeline_verifies;
+    QCheck_alcotest.to_alcotest prop_failover_invariants;
+    QCheck_alcotest.to_alcotest prop_every_prefix_walks;
+    QCheck_alcotest.to_alcotest prop_online_never_overloads;
+  ]

@@ -1,0 +1,202 @@
+module C = Apple_core
+module B = Apple_topology.Builders
+module Tr = Apple_traffic
+module Rng = Apple_prelude.Rng
+
+let run_controller named =
+  let rng = Rng.create 20160627 in
+  let n = Apple_topology.Graph.num_nodes named.B.graph in
+  let tm = Tr.Synth.gravity rng ~n ~total:4000.0 in
+  let config = { C.Scenario.default_config with C.Scenario.max_classes = 50 } in
+  let scenario = C.Scenario.build ~config ~seed:1 named tm in
+  let controller = C.Controller.create scenario in
+  let report = C.Controller.run_epoch controller in
+  (controller, report)
+
+let test_epoch_internet2 () =
+  let controller, report = run_controller (B.internet2 ()) in
+  Alcotest.(check bool) "instances placed" true (report.C.Controller.instances > 0);
+  Alcotest.(check bool) "tcam rules installed" true (report.C.Controller.tcam_entries > 0);
+  match C.Controller.verify controller with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_epoch_geant () =
+  let controller, _ = run_controller (B.geant ()) in
+  match C.Controller.verify controller with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_epoch_univ1 () =
+  let controller, _ = run_controller (B.univ1 ()) in
+  match C.Controller.verify controller with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_snapshot_loop () =
+  let named = B.internet2 () in
+  let controller, _ = run_controller named in
+  let rng = Rng.create 9 in
+  let profile = { Tr.Synth.default_profile with Tr.Synth.snapshots = 20; total_rate = 4000.0 } in
+  let snapshots = Tr.Synth.for_topology rng profile named in
+  List.iter
+    (fun tm ->
+      let loss = C.Controller.handle_snapshot controller tm in
+      Alcotest.(check bool) "loss bounded" true (loss >= 0.0 && loss <= 1.0))
+    snapshots
+
+let test_snapshot_requires_epoch () =
+  let named = B.internet2 () in
+  let rng = Rng.create 3 in
+  let tm = Tr.Synth.gravity rng ~n:12 ~total:1000.0 in
+  let scenario = C.Scenario.build ~seed:2 named tm in
+  let controller = C.Controller.create scenario in
+  Alcotest.(check bool) "raises without epoch" true
+    (try
+       ignore (C.Controller.handle_snapshot controller tm);
+       false
+     with Invalid_argument _ -> true)
+
+let test_update_rates_conservation () =
+  let named = B.internet2 () in
+  let rng = Rng.create 4 in
+  let tm = Tr.Synth.gravity rng ~n:12 ~total:5000.0 in
+  let config = { C.Scenario.default_config with C.Scenario.min_rate = 0.0; max_classes = 1000 } in
+  let scenario = C.Scenario.build ~config ~seed:3 named tm in
+  let tm2 = Tr.Matrix.scale tm 2.0 in
+  C.Scenario.update_rates scenario tm2;
+  (* every pair's class rates sum to the pair demand *)
+  let by_pair = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let key = C.Types.pair_group c in
+      Hashtbl.replace by_pair key
+        (c.C.Types.rate +. Option.value ~default:0.0 (Hashtbl.find_opt by_pair key)))
+    scenario.C.Types.classes;
+  Hashtbl.iter
+    (fun (src, dst) total ->
+      Alcotest.(check bool) "pair demand preserved" true
+        (abs_float (total -. tm2.(src).(dst)) < 1e-6))
+    by_pair
+
+let test_scenario_block_disjointness () =
+  let a = C.Scenario.src_block_of_class_id 0 in
+  let b = C.Scenario.src_block_of_class_id 1 in
+  let c = C.Scenario.src_block_of_class_id 256 in
+  Alcotest.(check bool) "0 and 1 differ" true (a.C.Types.Prefix.addr <> b.C.Types.Prefix.addr);
+  Alcotest.(check bool) "0 and 256 differ" true (a.C.Types.Prefix.addr <> c.C.Types.Prefix.addr);
+  (* all /24 aligned *)
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "24-bit prefix" 24 p.C.Types.Prefix.len;
+      Alcotest.(check int) "aligned" 0 (p.C.Types.Prefix.addr land 0xff))
+    [ a; b; c ]
+
+let test_scenario_ecmp_siblings () =
+  let named = B.univ1 () in
+  let rng = Rng.create 8 in
+  let tm = Tr.Synth.gravity rng ~n:23 ~total:5000.0 in
+  (* mask core rows like for_topology does *)
+  for j = 0 to 22 do
+    tm.(0).(j) <- 0.0;
+    tm.(1).(j) <- 0.0;
+    tm.(j).(0) <- 0.0;
+    tm.(j).(1) <- 0.0
+  done;
+  let scenario = C.Scenario.build ~seed:5 named tm in
+  (* UNIV1 edge pairs have two equal-cost paths through the two cores ->
+     ECMP siblings must exist *)
+  let pairs = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let key = C.Types.pair_group c in
+      Hashtbl.replace pairs key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt pairs key)))
+    scenario.C.Types.classes;
+  let has_siblings = Hashtbl.fold (fun _ n acc -> acc || n = 2) pairs false in
+  Alcotest.(check bool) "ECMP siblings exist" true has_siblings
+
+let test_experiment_scaled_smoke () =
+  (* A severely scaled-down pass over the cheap experiment drivers. *)
+  let opts = { C.Experiments.seed = 1; scale = 0.02 } in
+  let rendered =
+    [
+      C.Experiments.table4 opts;
+      C.Experiments.fig6 opts;
+      C.Experiments.fig7 opts;
+      C.Experiments.fig8 opts;
+      C.Experiments.fig9 opts;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "has title" true (String.length r.C.Experiments.title > 0);
+      Alcotest.(check bool) "has body" true (String.length r.C.Experiments.body > 0))
+    rendered
+
+let suite =
+  [
+    Alcotest.test_case "epoch internet2" `Quick test_epoch_internet2;
+    Alcotest.test_case "epoch geant" `Quick test_epoch_geant;
+    Alcotest.test_case "epoch univ1" `Quick test_epoch_univ1;
+    Alcotest.test_case "snapshot loop" `Quick test_snapshot_loop;
+    Alcotest.test_case "snapshot requires epoch" `Quick test_snapshot_requires_epoch;
+    Alcotest.test_case "rate conservation" `Quick test_update_rates_conservation;
+    Alcotest.test_case "block disjointness" `Quick test_scenario_block_disjointness;
+    Alcotest.test_case "ecmp siblings" `Quick test_scenario_ecmp_siblings;
+    Alcotest.test_case "experiments smoke" `Quick test_experiment_scaled_smoke;
+  ]
+
+let test_production_vm_origin () =
+  (* Fig. 3's ip3 -> ip4 case: traffic born inside an APPLE host.  Pick a
+     class whose first processing hop is its ingress switch and start the
+     walk inside that host. *)
+  let controller, report = run_controller (B.internet2 ()) in
+  match
+    ( C.Controller.last_report controller,
+      C.Controller.netstate controller )
+  with
+  | Some _, Some state ->
+      let scenario = C.Controller.scenario controller in
+      let network = report.C.Controller.rules.C.Rule_generator.network in
+      let candidates =
+        Array.to_list scenario.C.Types.classes
+        |> List.filter_map (fun cls ->
+               let subs =
+                 List.concat_map
+                   (fun p ->
+                     if p.C.Netstate.p_class = cls.C.Types.id then [ p ] else [])
+                   (Array.to_list state.C.Netstate.per_class
+                   |> List.concat_map (fun l -> [ l ])
+                   |> List.concat)
+               in
+               match subs with
+               | p :: _
+                 when Array.length p.C.Netstate.hops > 0
+                      && p.C.Netstate.hops.(0) = 0 ->
+                   Some cls
+               | _ -> None)
+      in
+      (match candidates with
+      | [] -> () (* no class processes at its ingress in this draw *)
+      | cls :: _ -> (
+          let src_ip = cls.C.Types.src_block.C.Types.Prefix.addr in
+          match
+            Apple_dataplane.Walk.run network
+              ~path:(Array.to_list cls.C.Types.path)
+              ~cls:cls.C.Types.id ~src_ip ~start_in_host:true ()
+          with
+          | Error e ->
+              Alcotest.failf "vm-origin walk: %a" Apple_dataplane.Walk.pp_error e
+          | Ok trace ->
+              Alcotest.(check bool) "processed full chain" true
+                (List.length trace.Apple_dataplane.Walk.instances
+                = Array.length cls.C.Types.chain);
+              Alcotest.(check bool) "path unchanged" true
+                (Apple_dataplane.Walk.interference_free trace
+                   ~path:(Array.to_list cls.C.Types.path))))
+  | _ -> Alcotest.fail "epoch missing"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "production-VM origin" `Quick test_production_vm_origin ]

@@ -1,0 +1,133 @@
+module C = Apple_core
+module OE = C.Optimization_engine
+module Nf = Apple_vnf.Nf
+
+let test_tiny_solves () =
+  let s = Helpers.tiny_scenario () in
+  let p = OE.solve s in
+  (match OE.check_distribution s p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* 500 Mbps fw+ids and 400 Mbps fw: one firewall covers 900, one IDS
+     covers 500 -> 2 instances is the optimum. *)
+  Alcotest.(check int) "optimal count" 2 (OE.instance_count p)
+
+let test_tiny_ilp_matches () =
+  let s = Helpers.tiny_scenario () in
+  let lp = OE.solve ~method_:OE.Lp_round s in
+  let ilp = OE.solve ~method_:(OE.Ilp 2000) s in
+  Alcotest.(check int) "heuristic meets exact optimum on the tiny case"
+    (OE.instance_count ilp) (OE.instance_count lp);
+  match OE.check_distribution s ilp with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("ilp: " ^ e)
+
+let test_lp_bound_respected () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  Alcotest.(check bool) "rounded >= relaxation" true
+    (p.OE.objective_value >= p.OE.lp_objective -. 1e-6)
+
+let test_feasibility_small () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  match OE.check_distribution s p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_feasibility_geant () =
+  let s = Helpers.small_scenario ~named:(Apple_topology.Builders.geant ()) () in
+  let p = OE.solve s in
+  match OE.check_distribution s p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_capacity_eq5 () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  let n = Apple_topology.Graph.num_nodes s.C.Types.topo.Apple_topology.Builders.graph in
+  for v = 0 to n - 1 do
+    for k = 0 to Nf.num_kinds - 1 do
+      let offered = OE.load s p ~v ~k in
+      let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+      Alcotest.(check bool) "Eq. (5)" true
+        (offered <= (float_of_int p.OE.counts.(v).(k) *. cap) +. 1e-3)
+    done
+  done
+
+let test_resource_eq6 () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  Array.iteri
+    (fun v row ->
+      let cores =
+        Array.to_list row
+        |> List.mapi (fun k c -> c * (Nf.spec (Nf.kind_of_index k)).Nf.cores)
+        |> List.fold_left ( + ) 0
+      in
+      Alcotest.(check bool) "Eq. (6)" true (cores <= s.C.Types.host_cores.(v)))
+    p.OE.counts
+
+let test_infeasible_raises () =
+  let s = Helpers.tiny_scenario () in
+  let starved = { s with C.Types.host_cores = Array.make 4 2 } in
+  Alcotest.(check bool) "raises Infeasible" true
+    (try
+       ignore (OE.solve starved);
+       false
+     with OE.Infeasible _ -> true)
+
+let test_min_cores_objective () =
+  let s = Helpers.small_scenario () in
+  let pi = OE.solve ~objective:OE.Min_instances s in
+  let pc = OE.solve ~objective:OE.Min_cores s in
+  (* optimizing cores never yields more cores than optimizing counts
+     (up to rounding noise, which we bound loosely) *)
+  Alcotest.(check bool) "cores objective helps cores" true
+    (OE.core_count pc <= OE.core_count pi + 8);
+  match OE.check_distribution s pc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_instances_on_path_only () =
+  let s = Helpers.tiny_scenario () in
+  let p = OE.solve s in
+  (* class paths cover switches 0..3; nothing can be placed elsewhere
+     (there is no elsewhere on the line) — but kinds not in any chain must
+     have zero instances. *)
+  Array.iteri
+    (fun _ row ->
+      Alcotest.(check int) "no proxy" 0 row.(Nf.kind_index Nf.Proxy);
+      Alcotest.(check int) "no nat" 0 row.(Nf.kind_index Nf.Nat))
+    p.OE.counts
+
+let test_solve_deterministic () =
+  let s1 = Helpers.small_scenario () in
+  let s2 = Helpers.small_scenario () in
+  let p1 = OE.solve s1 and p2 = OE.solve s2 in
+  Alcotest.(check int) "same instances" (OE.instance_count p1) (OE.instance_count p2);
+  Alcotest.(check bool) "same counts" true (p1.OE.counts = p2.OE.counts)
+
+let test_zero_rate_class () =
+  let s = Helpers.tiny_scenario () in
+  s.C.Types.classes.(1).C.Types.rate <- 0.0;
+  let p = OE.solve s in
+  match OE.check_distribution s p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "tiny optimum" `Quick test_tiny_solves;
+    Alcotest.test_case "tiny ILP agreement" `Quick test_tiny_ilp_matches;
+    Alcotest.test_case "LP bound respected" `Quick test_lp_bound_respected;
+    Alcotest.test_case "feasible internet2" `Quick test_feasibility_small;
+    Alcotest.test_case "feasible geant" `Quick test_feasibility_geant;
+    Alcotest.test_case "capacity Eq5" `Quick test_capacity_eq5;
+    Alcotest.test_case "resources Eq6" `Quick test_resource_eq6;
+    Alcotest.test_case "infeasible raises" `Quick test_infeasible_raises;
+    Alcotest.test_case "min-cores objective" `Quick test_min_cores_objective;
+    Alcotest.test_case "kind pruning" `Quick test_instances_on_path_only;
+    Alcotest.test_case "deterministic" `Quick test_solve_deterministic;
+    Alcotest.test_case "zero-rate class" `Quick test_zero_rate_class;
+  ]

@@ -1,0 +1,103 @@
+module Rng = Apple_prelude.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy_independence () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let x = Rng.bits64 a in
+  let y = Rng.bits64 b in
+  Alcotest.(check int64) "copy replays" x y;
+  ignore (Rng.bits64 a);
+  let x2 = Rng.bits64 a and y2 = Rng.bits64 b in
+  Alcotest.(check bool) "then diverges after unequal draws" false (x2 = y2)
+
+let test_split () =
+  let a = Rng.create 7 in
+  let child = Rng.split a in
+  Alcotest.(check bool) "child differs from parent stream" false
+    (Rng.bits64 child = Rng.bits64 a)
+
+let test_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_uniform_range () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_uniform_mean () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 20_000 (fun _ -> Rng.uniform rng) in
+  let m = Apple_prelude.Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (m -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 6 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let m = Apple_prelude.Stats.mean xs in
+  let sd = Apple_prelude.Stats.stddev xs in
+  Alcotest.(check bool) "mean near 3" true (abs_float (m -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (abs_float (sd -. 2.0) < 0.1)
+
+let test_exponential_mean () =
+  let rng = Rng.create 8 in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng ~rate:4.0) in
+  let m = Apple_prelude.Stats.mean xs in
+  Alcotest.(check bool) "mean near 1/4" true (abs_float (m -. 0.25) < 0.02)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_sample_weighted () =
+  let rng = Rng.create 10 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.sample_weighted rng [ ("a", 1.0); ("b", 3.0) ] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let b = float_of_int (Hashtbl.find counts "b") in
+  Alcotest.(check bool) "weight-proportional" true (b /. 10_000.0 > 0.70 && b /. 10_000.0 < 0.80)
+
+let test_pareto_support () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.pareto rng ~shape:1.5 ~scale:2.0 in
+    Alcotest.(check bool) "at least scale" true (v >= 2.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independence;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "weighted sampling" `Quick test_sample_weighted;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+  ]

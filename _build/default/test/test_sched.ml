@@ -1,0 +1,150 @@
+module D = Apple_sched.Drfq
+
+let mk () = D.create ~resources:[| "cpu"; "nic" |]
+
+let test_rejects_bad_flows () =
+  let t = mk () in
+  Alcotest.(check bool) "dimension mismatch" true
+    (try
+       ignore (D.add_flow t ~name:"x" ~cost_per_kb:[| 1.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero costs" true
+    (try
+       ignore (D.add_flow t ~name:"x" ~cost_per_kb:[| 0.0; 0.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad weight" true
+    (try
+       ignore (D.add_flow t ~weight:0.0 ~name:"x" ~cost_per_kb:[| 1.0; 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fifo_within_flow () =
+  let t = mk () in
+  let f = D.add_flow t ~name:"a" ~cost_per_kb:[| 1e-3; 1e-4 |] in
+  D.enqueue t f ~bytes:100;
+  D.enqueue t f ~bytes:200;
+  D.enqueue t f ~bytes:300;
+  let sizes =
+    List.filter_map
+      (fun _ -> match D.dequeue t with Some (_, b) -> Some b | None -> None)
+      [ (); (); () ]
+  in
+  Alcotest.(check (list int)) "in order" [ 100; 200; 300 ] sizes
+
+let test_work_conservation () =
+  let t = mk () in
+  let f = D.add_flow t ~name:"a" ~cost_per_kb:[| 2e-3; 1e-3 |] in
+  (* 1024-byte packets: dominant cost = 2e-3 s each. *)
+  for _ = 1 to 5 do
+    D.enqueue t f ~bytes:1024
+  done;
+  let served = D.run t ~duration:1.0 in
+  Alcotest.(check int) "all served" 5 (List.length served);
+  Alcotest.(check (float 1e-9)) "elapsed = sum of dominant costs" 0.01 (D.elapsed t)
+
+let test_equal_dominant_shares () =
+  (* One CPU-heavy and one NIC-heavy flow, both backlogged: DRFQ equalizes
+     their dominant shares. *)
+  let t = mk () in
+  let cpu = D.add_flow t ~name:"cpu-heavy" ~cost_per_kb:[| 4e-3; 1e-3 |] in
+  let nic = D.add_flow t ~name:"nic-heavy" ~cost_per_kb:[| 1e-3; 4e-3 |] in
+  for _ = 1 to 2000 do
+    D.enqueue t cpu ~bytes:1024;
+    D.enqueue t nic ~bytes:1024
+  done;
+  let _ = D.run t ~duration:1.0 in
+  let s1 = D.dominant_share t cpu and s2 = D.dominant_share t nic in
+  Alcotest.(check bool) "both still backlogged" true
+    (D.backlog t cpu > 0 && D.backlog t nic > 0);
+  Alcotest.(check bool) "dominant shares within 5%" true
+    (abs_float (s1 -. s2) < 0.05);
+  Alcotest.(check bool) "shares sum to ~1" true (s1 +. s2 > 0.9)
+
+let test_weighted_shares () =
+  let t = mk () in
+  let heavy = D.add_flow t ~weight:2.0 ~name:"w2" ~cost_per_kb:[| 2e-3; 1e-3 |] in
+  let light = D.add_flow t ~weight:1.0 ~name:"w1" ~cost_per_kb:[| 2e-3; 1e-3 |] in
+  for _ = 1 to 3000 do
+    D.enqueue t heavy ~bytes:1024;
+    D.enqueue t light ~bytes:1024
+  done;
+  let _ = D.run t ~duration:1.0 in
+  let sh = D.dominant_share t heavy and sl = D.dominant_share t light in
+  Alcotest.(check bool) "2:1 ratio" true (abs_float ((sh /. sl) -. 2.0) < 0.1)
+
+let test_varying_packet_sizes () =
+  (* Fairness must hold in resource-time, not packet counts: a flow of
+     small packets gets more packets through, same dominant share. *)
+  let t = mk () in
+  let small = D.add_flow t ~name:"small" ~cost_per_kb:[| 2e-3; 1e-3 |] in
+  let large = D.add_flow t ~name:"large" ~cost_per_kb:[| 2e-3; 1e-3 |] in
+  for _ = 1 to 20_000 do
+    D.enqueue t small ~bytes:128
+  done;
+  for _ = 1 to 3000 do
+    D.enqueue t large ~bytes:1500
+  done;
+  let served = D.run t ~duration:1.0 in
+  let count f =
+    List.length (List.filter (fun (g, _) -> D.flow_name g = f) served)
+  in
+  Alcotest.(check bool) "both backlogged" true
+    (D.backlog t small > 0 && D.backlog t large > 0);
+  Alcotest.(check bool) "shares equal" true
+    (abs_float (D.dominant_share t small -. D.dominant_share t large) < 0.05);
+  Alcotest.(check bool) "small-packet flow sends more packets" true
+    (count "small" > count "large" * 5)
+
+let test_idle_flow_no_credit () =
+  (* A flow that was idle must not burst ahead when it wakes up: its start
+     tag is max(V, own finish), so it resumes at the current virtual time
+     rather than claiming the past. *)
+  let t = mk () in
+  let busy = D.add_flow t ~name:"busy" ~cost_per_kb:[| 1e-3; 1e-3 |] in
+  let sleeper = D.add_flow t ~name:"sleeper" ~cost_per_kb:[| 1e-3; 1e-3 |] in
+  for _ = 1 to 1000 do
+    D.enqueue t busy ~bytes:1024
+  done;
+  let _ = D.run t ~duration:0.5 in
+  (* sleeper wakes with a big burst *)
+  for _ = 1 to 1000 do
+    D.enqueue t sleeper ~bytes:1024
+  done;
+  let served = D.run t ~duration:0.1 in
+  let busy_served =
+    List.length (List.filter (fun (g, _) -> D.flow_name g = "busy") served)
+  in
+  let sleeper_served = List.length served - busy_served in
+  (* After waking, service alternates (roughly 50/50) rather than the
+     sleeper monopolizing to catch up. *)
+  Alcotest.(check bool) "no catch-up monopoly" true
+    (busy_served > sleeper_served / 3)
+
+let test_empty_dequeue () =
+  let t = mk () in
+  let _ = D.add_flow t ~name:"a" ~cost_per_kb:[| 1e-3; 1e-3 |] in
+  Alcotest.(check bool) "none when empty" true (D.dequeue t = None)
+
+let test_work_processed_accounting () =
+  let t = mk () in
+  let f = D.add_flow t ~name:"a" ~cost_per_kb:[| 2e-3; 1e-3 |] in
+  D.enqueue t f ~bytes:2048;
+  ignore (D.dequeue t);
+  let w = D.work_processed t f in
+  Alcotest.(check (float 1e-9)) "cpu seconds" 4e-3 w.(0);
+  Alcotest.(check (float 1e-9)) "nic seconds" 2e-3 w.(1)
+
+let suite =
+  [
+    Alcotest.test_case "rejects bad flows" `Quick test_rejects_bad_flows;
+    Alcotest.test_case "fifo within flow" `Quick test_fifo_within_flow;
+    Alcotest.test_case "work conservation" `Quick test_work_conservation;
+    Alcotest.test_case "equal dominant shares" `Quick test_equal_dominant_shares;
+    Alcotest.test_case "weighted shares" `Quick test_weighted_shares;
+    Alcotest.test_case "varying packet sizes" `Quick test_varying_packet_sizes;
+    Alcotest.test_case "no idle credit" `Quick test_idle_flow_no_credit;
+    Alcotest.test_case "empty dequeue" `Quick test_empty_dequeue;
+    Alcotest.test_case "work accounting" `Quick test_work_processed_accounting;
+  ]

@@ -1,0 +1,134 @@
+module E = Apple_sim.Engine
+
+let test_event_order () =
+  let w = E.create () in
+  let log = ref [] in
+  E.schedule w ~delay:2.0 (fun _ -> log := "b" :: !log);
+  E.schedule w ~delay:1.0 (fun _ -> log := "a" :: !log);
+  E.schedule w ~delay:3.0 (fun _ -> log := "c" :: !log);
+  E.run w;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_tie_break_fifo () =
+  let w = E.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    E.schedule w ~delay:1.0 (fun _ -> log := i :: !log)
+  done;
+  E.run w;
+  Alcotest.(check (list int)) "insertion order at same time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let w = E.create () in
+  let seen = ref [] in
+  E.schedule w ~delay:1.5 (fun w' -> seen := E.now w' :: !seen);
+  E.schedule w ~delay:0.5 (fun w' -> seen := E.now w' :: !seen);
+  E.run w;
+  Alcotest.(check (list (float 1e-9))) "times" [ 0.5; 1.5 ] (List.rev !seen)
+
+let test_nested_scheduling () =
+  let w = E.create () in
+  let fired = ref 0.0 in
+  E.schedule w ~delay:1.0 (fun w' ->
+      E.schedule w' ~delay:2.0 (fun w'' -> fired := E.now w''));
+  E.run w;
+  Alcotest.(check (float 1e-9)) "relative to firing time" 3.0 !fired
+
+let test_negative_delay_rejected () =
+  let w = E.create () in
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       E.schedule w ~delay:(-1.0) (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_schedule_at_past_rejected () =
+  let w = E.create () in
+  E.schedule w ~delay:5.0 (fun w' ->
+      Alcotest.(check bool) "past rejected" true
+        (try
+           E.schedule_at w' ~time:1.0 (fun _ -> ());
+           false
+         with Invalid_argument _ -> true));
+  E.run w
+
+let test_run_until () =
+  let w = E.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    E.schedule w ~delay:(float_of_int i) (fun _ -> incr count)
+  done;
+  E.run ~until:5.5 w;
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock parked at limit" 5.5 (E.now w)
+
+let test_every () =
+  let w = E.create () in
+  let count = ref 0 in
+  E.every w ~period:1.0 ~until:5.0 (fun _ -> incr count);
+  E.run w;
+  Alcotest.(check int) "five ticks" 5 !count
+
+let test_every_unbounded_with_run_until () =
+  let w = E.create () in
+  let count = ref 0 in
+  E.every w ~period:0.5 (fun _ -> incr count);
+  E.run ~until:3.2 w;
+  Alcotest.(check int) "six ticks before 3.2" 6 !count
+
+let test_pending () =
+  let w = E.create () in
+  Alcotest.(check int) "empty" 0 (E.pending w);
+  E.schedule w ~delay:1.0 (fun _ -> ());
+  E.schedule w ~delay:2.0 (fun _ -> ());
+  Alcotest.(check int) "two queued" 2 (E.pending w)
+
+let test_series () =
+  let s = E.Series.create "loss" in
+  E.Series.record s ~time:1.0 0.5;
+  E.Series.record s ~time:2.0 0.7;
+  Alcotest.(check string) "name" "loss" (E.Series.name s);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "points"
+    [ (1.0, 0.5); (2.0, 0.7) ]
+    (E.Series.points s);
+  Alcotest.(check (array (float 1e-9))) "values" [| 0.5; 0.7 |] (E.Series.values s);
+  Alcotest.(check int) "between" 1 (List.length (E.Series.between s 1.5 2.5))
+
+let test_counter () =
+  let c = E.Counter.create "pkts" in
+  E.Counter.add c 10.0;
+  E.Counter.add c 2.5;
+  Alcotest.(check (float 1e-9)) "accumulates" 12.5 (E.Counter.value c)
+
+let test_heap_stress () =
+  (* Push many events in random order; they must fire sorted. *)
+  let w = E.create () in
+  let rng = Apple_prelude.Rng.create 123 in
+  let last = ref (-1.0) in
+  let monotone = ref true in
+  for _ = 1 to 2000 do
+    let t = Apple_prelude.Rng.float rng 100.0 in
+    E.schedule w ~delay:t (fun w' ->
+        if E.now w' < !last then monotone := false;
+        last := E.now w')
+  done;
+  E.run w;
+  Alcotest.(check bool) "monotone firing" true !monotone
+
+let suite =
+  [
+    Alcotest.test_case "event order" `Quick test_event_order;
+    Alcotest.test_case "fifo tie-break" `Quick test_tie_break_fifo;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "past schedule_at" `Quick test_schedule_at_past_rejected;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "every bounded" `Quick test_every;
+    Alcotest.test_case "every unbounded" `Quick test_every_unbounded_with_run_until;
+    Alcotest.test_case "pending" `Quick test_pending;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "heap stress" `Quick test_heap_stress;
+  ]

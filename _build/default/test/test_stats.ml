@@ -1,0 +1,149 @@
+module Stats = Apple_prelude.Stats
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.mean [||])
+
+let test_variance () =
+  Alcotest.(check (float 1e-9)) "variance" (2.0 /. 3.0)
+    (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "singleton" 0.0 (Stats.variance [| 5.0 |])
+
+let test_minmax () =
+  Alcotest.(check (float 1e-9)) "min" (-1.0) (Stats.minimum [| 3.0; -1.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.maximum [| 3.0; -1.0; 2.0 |]);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.minimum: empty sample")
+    (fun () -> ignore (Stats.minimum [||]))
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile xs 25.0);
+  Alcotest.(check (float 1e-9)) "interpolates" 1.5 (Stats.percentile xs 12.5)
+
+let test_median_unsorted () =
+  Alcotest.(check (float 1e-9)) "median of shuffled" 3.0
+    (Stats.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |])
+
+let test_boxplot () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let b = Stats.boxplot xs in
+  Alcotest.(check (float 1e-9)) "median" 50.0 b.Stats.med;
+  Alcotest.(check (float 1e-9)) "q1" 25.0 b.Stats.q1;
+  Alcotest.(check (float 1e-9)) "q3" 75.0 b.Stats.q3;
+  Alcotest.(check (float 1e-9)) "whisker low" 5.0 b.Stats.whisker_low;
+  Alcotest.(check (float 1e-9)) "whisker high" 95.0 b.Stats.whisker_high
+
+let test_cdf () =
+  let cdf = Stats.cdf [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check int) "points" 3 (List.length cdf);
+  (match cdf with
+  | (x1, p1) :: _ ->
+      Alcotest.(check bool) "first sorted" true (feq x1 1.0 && feq p1 (1.0 /. 3.0))
+  | [] -> Alcotest.fail "empty cdf");
+  let last_x, last_p = List.nth cdf 2 in
+  Alcotest.(check bool) "last is max with p=1" true (feq last_x 3.0 && feq last_p 1.0)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.0; 0.1; 0.9; 1.0 |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples counted" 4 total
+
+let test_kahan_sum () =
+  let xs = Array.make 10_000 0.1 in
+  Alcotest.(check bool) "compensated" true (abs_float (Stats.sum xs -. 1000.0) < 1e-9)
+
+(* qcheck properties *)
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let arr = Array.of_list xs in
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile arr lo <= Stats.percentile arr hi +. 1e-9)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let m = Stats.mean arr in
+      m >= Stats.minimum arr -. 1e-9 && m <= Stats.maximum arr +. 1e-9)
+
+let prop_boxplot_ordered =
+  QCheck.Test.make ~name:"boxplot five numbers are ordered" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-50.) 50.))
+    (fun xs ->
+      let b = Stats.boxplot (Array.of_list xs) in
+      b.Stats.whisker_low <= b.Stats.q1 +. 1e-9
+      && b.Stats.q1 <= b.Stats.med +. 1e-9
+      && b.Stats.med <= b.Stats.q3 +. 1e-9
+      && b.Stats.q3 <= b.Stats.whisker_high +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "min/max" `Quick test_minmax;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "median unsorted" `Quick test_median_unsorted;
+    Alcotest.test_case "boxplot" `Quick test_boxplot;
+    Alcotest.test_case "cdf" `Quick test_cdf;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_bounded;
+    QCheck_alcotest.to_alcotest prop_boxplot_ordered;
+  ]
+
+(* ---- Text_table ---- *)
+
+module Tbl = Apple_prelude.Text_table
+
+let test_table_render () =
+  let t = Tbl.create [ "a"; "bb" ] in
+  Tbl.add_row t [ "1"; "2" ];
+  Tbl.add_row t [ "333"; "4" ];
+  let s = Tbl.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  (* all lines equally wide (alignment) *)
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header padded" true
+        (String.length header >= String.length "a   bb")
+  | [] -> Alcotest.fail "empty render");
+  Alcotest.(check bool) "first column padded to 3" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 3))
+
+let test_table_short_rows_padded () =
+  let t = Tbl.create [ "x"; "y"; "z" ] in
+  Tbl.add_row t [ "only" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "renders without exception" true (String.length s > 0)
+
+let test_table_rowf () =
+  let t = Tbl.create [ "k"; "v" ] in
+  Tbl.add_rowf t "%s\t%d" "answer" 42;
+  let s = Tbl.render t in
+  Alcotest.(check bool) "formatted cells split on tab" true
+    (let rec contains_sub h n i =
+       if i + String.length n > String.length h then false
+       else if String.sub h i (String.length n) = n then true
+       else contains_sub h n (i + 1)
+     in
+     contains_sub s "answer  42" 0 || contains_sub s "answer" 0)
+
+let table_suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table short rows" `Quick test_table_short_rows_padded;
+    Alcotest.test_case "table rowf" `Quick test_table_rowf;
+  ]
+
+let suite = suite @ table_suite

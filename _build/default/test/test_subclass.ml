@@ -1,0 +1,183 @@
+module C = Apple_core
+module SC = C.Subclass
+module OE = C.Optimization_engine
+module Rng = Apple_prelude.Rng
+
+let test_decompose_trivial () =
+  let s = Helpers.tiny_scenario () in
+  let c = s.C.Types.classes.(1) in
+  (* single-stage class, all processing at hop 0 *)
+  let d = [| [| 1.0 |]; [| 0.0 |]; [| 0.0 |] |] in
+  let subs = SC.decompose c d in
+  Alcotest.(check int) "one subclass" 1 (List.length subs);
+  let sub = List.hd subs in
+  Alcotest.(check (float 1e-9)) "weight 1" 1.0 sub.SC.weight;
+  Alcotest.(check (array int)) "hops" [| 0 |] sub.SC.hops
+
+let test_decompose_split () =
+  let s = Helpers.tiny_scenario () in
+  let c = s.C.Types.classes.(1) in
+  let d = [| [| 0.3 |]; [| 0.5 |]; [| 0.2 |] |] in
+  let subs = SC.decompose c d in
+  Alcotest.(check int) "three subclasses" 3 (List.length subs);
+  Alcotest.(check bool) "weights realize d" true (SC.weights_consistent c d subs)
+
+let test_decompose_chain_order () =
+  let s = Helpers.tiny_scenario () in
+  let c = s.C.Types.classes.(0) in
+  (* two-stage class: fw split 0.5/0.5 at hops 0,2; ids all at hop 3 *)
+  let d =
+    [| [| 0.5; 0.0 |]; [| 0.0; 0.0 |]; [| 0.5; 0.0 |]; [| 0.0; 1.0 |] |]
+  in
+  let subs = SC.decompose c d in
+  Alcotest.(check bool) "consistent" true (SC.weights_consistent c d subs);
+  List.iter
+    (fun sub ->
+      let hops = sub.SC.hops in
+      for j = 1 to Array.length hops - 1 do
+        Alcotest.(check bool) "non-decreasing hops" true (hops.(j) >= hops.(j - 1))
+      done)
+    subs
+
+let test_decompose_sums_to_one () =
+  let s = Helpers.tiny_scenario () in
+  let c = s.C.Types.classes.(0) in
+  let d =
+    [| [| 0.25; 0.1 |]; [| 0.25; 0.2 |]; [| 0.25; 0.3 |]; [| 0.25; 0.4 |] |]
+  in
+  let subs = SC.decompose c d in
+  let total = List.fold_left (fun acc sub -> acc +. sub.SC.weight) 0.0 subs in
+  Alcotest.(check (float 1e-6)) "weights sum to 1" 1.0 total;
+  Alcotest.(check bool) "consistent" true (SC.weights_consistent c d subs)
+
+let test_empty_chain_class () =
+  let named = Apple_topology.Builders.linear ~n:2 in
+  let c =
+    {
+      C.Types.id = 0;
+      src = 0;
+      dst = 1;
+      path = [| 0; 1 |];
+      chain = [||];
+      src_block = C.Scenario.src_block_of_class_id 0;
+      rate = 10.0;
+    }
+  in
+  ignore named;
+  let subs = SC.decompose c [| [||]; [||] |] in
+  Alcotest.(check int) "one trivial subclass" 1 (List.length subs);
+  Alcotest.(check (float 1e-9)) "full weight" 1.0 (List.hd subs).SC.weight
+
+(* Property: decomposition of real LP outputs is always consistent and
+   order-respecting. *)
+let prop_decompose_on_lp_outputs =
+  QCheck.Test.make ~name:"decompose realizes every LP distribution" ~count:12
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let s = Helpers.small_scenario ~seed ~max_classes:25 () in
+      let p = OE.solve s in
+      Array.for_all
+        (fun c ->
+          let d = p.OE.distribution.(c.C.Types.id) in
+          let subs = SC.decompose c d in
+          SC.weights_consistent c d subs
+          && List.for_all
+               (fun sub ->
+                 let ok = ref true in
+                 Array.iteri
+                   (fun j i ->
+                     if j > 0 && i < sub.SC.hops.(j - 1) then ok := false)
+                   sub.SC.hops;
+                 !ok)
+               subs)
+        s.C.Types.classes)
+
+let test_assign_all_pinned () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  let asg = SC.assign s p in
+  List.iter
+    (fun sub ->
+      Array.iteri
+        (fun j _ ->
+          Alcotest.(check bool) "stage pinned" true
+            (Hashtbl.mem asg.SC.instance_of (SC.key sub, j)))
+        sub.SC.hops)
+    asg.SC.subclasses
+
+let test_assign_respects_capacity () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  let asg = SC.assign s p in
+  Alcotest.(check bool) "no instance overloaded" true
+    (SC.instance_load_ok asg ~slack:1.0001)
+
+let test_assign_instance_host_matches_hop () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  let asg = SC.assign s p in
+  List.iter
+    (fun sub ->
+      let c = s.C.Types.classes.(sub.SC.class_id) in
+      Array.iteri
+        (fun j i ->
+          let inst = Hashtbl.find asg.SC.instance_of (SC.key sub, j) in
+          Alcotest.(check int) "instance at the hop's switch"
+            c.C.Types.path.(i)
+            (Apple_vnf.Instance.host inst);
+          Alcotest.(check bool) "instance of the right kind" true
+            (Apple_vnf.Instance.kind inst = c.C.Types.chain.(j)))
+        sub.SC.hops)
+    asg.SC.subclasses
+
+let test_assign_weights_still_sum () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  let asg = SC.assign s p in
+  Array.iter
+    (fun c ->
+      let subs = Helpers.subclasses_of asg c.C.Types.id in
+      let total = List.fold_left (fun acc sub -> acc +. sub.SC.weight) 0.0 subs in
+      Alcotest.(check (float 1e-6)) "per-class sum 1" 1.0 total)
+    s.C.Types.classes
+
+let test_assign_offered_matches_weights () =
+  let s = Helpers.small_scenario () in
+  let p = OE.solve s in
+  let asg = SC.assign s p in
+  (* Recompute each instance's offered load from scratch. *)
+  let expected = Hashtbl.create 64 in
+  List.iter
+    (fun sub ->
+      let c = s.C.Types.classes.(sub.SC.class_id) in
+      Array.iteri
+        (fun j _ ->
+          let inst = Hashtbl.find asg.SC.instance_of (SC.key sub, j) in
+          let id = Apple_vnf.Instance.id inst in
+          Hashtbl.replace expected id
+            ((c.C.Types.rate *. sub.SC.weight)
+            +. Option.value ~default:0.0 (Hashtbl.find_opt expected id)))
+        sub.SC.hops)
+    asg.SC.subclasses;
+  List.iter
+    (fun inst ->
+      let id = Apple_vnf.Instance.id inst in
+      let want = Option.value ~default:0.0 (Hashtbl.find_opt expected id) in
+      Alcotest.(check bool) "offered bookkeeping" true
+        (abs_float (Apple_vnf.Instance.offered inst -. want) < 1e-6))
+    asg.SC.instances
+
+let suite =
+  [
+    Alcotest.test_case "decompose trivial" `Quick test_decompose_trivial;
+    Alcotest.test_case "decompose split" `Quick test_decompose_split;
+    Alcotest.test_case "decompose chain order" `Quick test_decompose_chain_order;
+    Alcotest.test_case "decompose sums to one" `Quick test_decompose_sums_to_one;
+    Alcotest.test_case "empty chain" `Quick test_empty_chain_class;
+    QCheck_alcotest.to_alcotest prop_decompose_on_lp_outputs;
+    Alcotest.test_case "assign pins all stages" `Quick test_assign_all_pinned;
+    Alcotest.test_case "assign respects capacity" `Quick test_assign_respects_capacity;
+    Alcotest.test_case "assign host/kind correct" `Quick test_assign_instance_host_matches_hop;
+    Alcotest.test_case "assign weights sum" `Quick test_assign_weights_still_sum;
+    Alcotest.test_case "assign offered bookkeeping" `Quick test_assign_offered_matches_weights;
+  ]

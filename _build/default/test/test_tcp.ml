@@ -1,0 +1,104 @@
+module T = Apple_packetsim.Tcp_model
+
+let mb = 1024 * 1024
+
+let test_goodput_near_bottleneck () =
+  (* A long transfer converges to most of the bottleneck bandwidth. *)
+  let bytes = 100 * mb in
+  let o = T.transfer ~bytes () in
+  let goodput = T.goodput_mbps o ~bytes in
+  Alcotest.(check bool) "within [70%, 100%] of 100 Mbps" true
+    (goodput > 70.0 && goodput <= 100.0)
+
+let test_monotone_in_size () =
+  let t bytes = (T.transfer ~bytes ()).T.completion_time in
+  Alcotest.(check bool) "bigger takes longer" true
+    (t (1 * mb) < t (10 * mb) && t (10 * mb) < t (50 * mb))
+
+let test_tiny_transfer_one_rtt () =
+  let o = T.transfer ~bytes:1000 () in
+  Alcotest.(check bool) "about one RTT" true
+    (o.T.completion_time >= 0.019 && o.T.completion_time <= 0.05)
+
+let test_aimd_sawtooth () =
+  (* Loss events must occur on a long transfer, and each one halves the
+     window. *)
+  let o = T.transfer ~bytes:(50 * mb) () in
+  Alcotest.(check bool) "losses happen" true (o.T.loss_events > 0);
+  Alcotest.(check int) "no timeouts without outage" 0 o.T.timeouts;
+  (* find a halving in the trace *)
+  let rec halving = function
+    | a :: (b :: _ as rest) ->
+        if b.T.cwnd < a.T.cwnd *. 0.6 then true else halving rest
+    | _ -> false
+  in
+  Alcotest.(check bool) "sawtooth visible" true (halving o.T.trace)
+
+let test_slow_start_doubles () =
+  let o = T.transfer ~bytes:(50 * mb) () in
+  match o.T.trace with
+  | p0 :: p1 :: _ ->
+      Alcotest.(check (float 1e-9)) "initial window" 2.0 p0.T.cwnd;
+      Alcotest.(check (float 1e-9)) "doubles" 4.0 p1.T.cwnd
+  | _ -> Alcotest.fail "trace too short"
+
+let test_outage_costs_at_least_its_duration () =
+  let bytes = 20 * mb in
+  let clean = (T.transfer ~bytes ()).T.completion_time in
+  let o =
+    T.transfer ~outage:{ T.outage_start = 0.5; outage_duration = 4.2 } ~bytes ()
+  in
+  Alcotest.(check bool) "timeouts recorded" true (o.T.timeouts > 0);
+  Alcotest.(check bool) "at least the blackout is lost" true
+    (o.T.completion_time >= clean +. 4.2);
+  Alcotest.(check bool) "but bounded (backoff is not unbounded)" true
+    (o.T.completion_time <= clean +. 15.0)
+
+let test_outage_after_completion_is_free () =
+  let bytes = 5 * mb in
+  let clean = (T.transfer ~bytes ()).T.completion_time in
+  let o =
+    T.transfer
+      ~outage:{ T.outage_start = clean +. 10.0; outage_duration = 4.0 }
+      ~bytes ()
+  in
+  Alcotest.(check (float 1e-9)) "unaffected" clean o.T.completion_time
+
+let test_acked_monotone () =
+  let o = T.transfer ~bytes:(10 * mb) () in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.T.acked_bytes <= b.T.acked_bytes && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "acked bytes never regress" true (monotone o.T.trace)
+
+let test_bigger_buffer_fewer_losses () =
+  let run buffer =
+    (T.transfer
+       ~params:{ T.default_params with T.buffer_packets = buffer }
+       ~bytes:(50 * mb) ())
+      .T.loss_events
+  in
+  Alcotest.(check bool) "512-packet buffer loses less often" true
+    (run 512 <= run 16)
+
+let test_rejects_empty () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (T.transfer ~bytes:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "goodput near bottleneck" `Quick test_goodput_near_bottleneck;
+    Alcotest.test_case "monotone in size" `Quick test_monotone_in_size;
+    Alcotest.test_case "tiny transfer" `Quick test_tiny_transfer_one_rtt;
+    Alcotest.test_case "AIMD sawtooth" `Quick test_aimd_sawtooth;
+    Alcotest.test_case "slow start" `Quick test_slow_start_doubles;
+    Alcotest.test_case "outage cost" `Quick test_outage_costs_at_least_its_duration;
+    Alcotest.test_case "outage after completion" `Quick test_outage_after_completion_is_free;
+    Alcotest.test_case "acked monotone" `Quick test_acked_monotone;
+    Alcotest.test_case "buffer vs losses" `Quick test_bigger_buffer_fewer_losses;
+    Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+  ]

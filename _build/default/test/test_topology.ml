@@ -1,0 +1,246 @@
+module G = Apple_topology.Graph
+module B = Apple_topology.Builders
+
+let test_paper_counts () =
+  let expect = [ ("Internet2", 12, 15); ("GEANT", 23, 37); ("UNIV1", 23, 43); ("AS-3679", 79, 147) ] in
+  List.iter2
+    (fun (label, nodes, links) (t : B.named) ->
+      Alcotest.(check string) "label" label t.B.label;
+      Alcotest.(check int) "nodes" nodes (G.num_nodes t.B.graph);
+      Alcotest.(check int) "links" links (G.num_edges t.B.graph);
+      Alcotest.(check bool) "connected" true (G.is_connected t.B.graph))
+    expect
+    (B.all_paper_topologies ())
+
+let test_geant_directed_count () =
+  (* TOTEM counts 74 unidirectional links. *)
+  let t = B.geant () in
+  Alcotest.(check int) "74 directed" 74 (2 * G.num_edges t.B.graph)
+
+let test_univ1_structure () =
+  let t = B.univ1 () in
+  let g = t.B.graph in
+  Alcotest.(check int) "2 cores" 2 (List.length t.B.core);
+  List.iter
+    (fun edge ->
+      Alcotest.(check bool) "edge dual-homed" true
+        (G.has_edge g 0 edge && G.has_edge g 1 edge))
+    t.B.ingress;
+  Alcotest.(check bool) "core-core link" true (G.has_edge g 0 1)
+
+let test_self_loop_rejected () =
+  let g = G.create ~n:3 in
+  Alcotest.(check bool) "self loop" true
+    (try
+       G.add_edge g 1 1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_edge_rejected () =
+  let g = G.create ~n:3 in
+  G.add_edge g 0 1;
+  Alcotest.(check bool) "duplicate" true
+    (try
+       G.add_edge g 1 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_shortest_path_basic () =
+  let t = B.linear ~n:5 in
+  match G.shortest_path t.B.graph 0 4 with
+  | Some p -> Alcotest.(check (list int)) "straight line" [ 0; 1; 2; 3; 4 ] p
+  | None -> Alcotest.fail "no path"
+
+let test_shortest_path_self () =
+  let t = B.linear ~n:3 in
+  Alcotest.(check (option (list int))) "src=dst" (Some [ 1 ]) (G.shortest_path t.B.graph 1 1)
+
+let test_shortest_path_disconnected () =
+  let g = G.create ~n:4 in
+  G.add_edge g 0 1;
+  G.add_edge g 2 3;
+  Alcotest.(check (option (list int))) "no path" None (G.shortest_path g 0 3)
+
+let test_shortest_respects_weights () =
+  let g = G.create ~n:4 in
+  G.add_edge g 0 1 ~weight:1.0;
+  G.add_edge g 1 3 ~weight:1.0;
+  G.add_edge g 0 2 ~weight:0.5;
+  G.add_edge g 2 3 ~weight:0.5;
+  match G.shortest_path g 0 3 with
+  | Some p -> Alcotest.(check (list int)) "cheap detour" [ 0; 2; 3 ] p
+  | None -> Alcotest.fail "no path"
+
+let test_path_length () =
+  let g = G.create ~n:3 in
+  G.add_edge g 0 1 ~weight:2.0;
+  G.add_edge g 1 2 ~weight:3.0;
+  Alcotest.(check (float 1e-9)) "sum" 5.0 (G.path_length g [ 0; 1; 2 ]);
+  Alcotest.(check (float 1e-9)) "trivial" 0.0 (G.path_length g [ 0 ]);
+  Alcotest.check_raises "not a link" Not_found (fun () ->
+      ignore (G.path_length g [ 0; 2 ]))
+
+let test_k_shortest () =
+  let t = B.ring ~n:6 in
+  let ks = G.k_shortest_paths t.B.graph 0 3 ~k:2 in
+  Alcotest.(check int) "two paths in a ring" 2 (List.length ks);
+  (match ks with
+  | [ p1; p2 ] ->
+      Alcotest.(check bool) "sorted by length" true
+        (G.path_length t.B.graph p1 <= G.path_length t.B.graph p2);
+      Alcotest.(check bool) "distinct" true (p1 <> p2);
+      List.iter
+        (fun p ->
+          let sorted = List.sort_uniq compare p in
+          Alcotest.(check int) "loopless" (List.length p) (List.length sorted))
+        ks
+  | _ -> Alcotest.fail "expected 2 paths");
+  (* both ring directions have the same endpoints *)
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "starts at src" 0 (List.hd p);
+      Alcotest.(check int) "ends at dst" 3 (List.nth p (List.length p - 1)))
+    ks
+
+let test_k_shortest_k1 () =
+  let t = B.internet2 () in
+  let ks = G.k_shortest_paths t.B.graph 0 10 ~k:1 in
+  let sp = G.shortest_path t.B.graph 0 10 in
+  Alcotest.(check (option (list int))) "k=1 is shortest path" sp
+    (match ks with [ p ] -> Some p | _ -> None)
+
+let test_names () =
+  let t = B.internet2 () in
+  Alcotest.(check (option int)) "by name" (Some 0) (G.node_by_name t.B.graph "Seattle");
+  Alcotest.(check string) "name" "NewYork" (G.name t.B.graph 10)
+
+let test_fat_tree () =
+  let t = B.fat_tree ~k:4 in
+  let g = t.B.graph in
+  Alcotest.(check int) "k=4 nodes" 20 (G.num_nodes g);
+  (* 4 cores + 8 agg + 8 edge; links: edges-agg 4*(2*2)=16, agg-core 8*2=16 *)
+  Alcotest.(check int) "links" 32 (G.num_edges g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check bool) "odd k rejected" true
+    (try
+       ignore (B.fat_tree ~k:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_waxman_connected () =
+  let rng = Apple_prelude.Rng.create 99 in
+  let t = B.waxman rng ~n:20 ~alpha:0.8 ~beta:0.3 in
+  Alcotest.(check bool) "connected by construction" true (G.is_connected t.B.graph)
+
+let test_as3679_deterministic () =
+  let a = B.as3679 () and b = B.as3679 () in
+  Alcotest.(check (list (triple int int (float 1e-9)))) "same edges"
+    (G.edges a.B.graph) (G.edges b.B.graph)
+
+let test_degree_sum () =
+  let t = B.geant () in
+  let g = t.B.graph in
+  let sum = List.fold_left (fun acc v -> acc + G.degree g v) 0 (List.init 23 Fun.id) in
+  Alcotest.(check int) "handshake lemma" (2 * G.num_edges g) sum
+
+let prop_shortest_path_is_shortest =
+  (* Compare Dijkstra with BFS hop counts on unit-weight random graphs. *)
+  QCheck.Test.make ~name:"dijkstra matches bfs on unit weights" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Apple_prelude.Rng.create seed in
+      let t = B.waxman rng ~n:12 ~alpha:0.9 ~beta:0.4 in
+      let g = t.B.graph in
+      let bfs_dist src =
+        let dist = Array.make 12 max_int in
+        let q = Queue.create () in
+        dist.(src) <- 0;
+        Queue.add src q;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          List.iter
+            (fun (v, _) ->
+              if dist.(v) = max_int then begin
+                dist.(v) <- dist.(u) + 1;
+                Queue.add v q
+              end)
+            (G.neighbors g u)
+        done;
+        dist
+      in
+      let ok = ref true in
+      for src = 0 to 11 do
+        let dist = bfs_dist src in
+        for dst = 0 to 11 do
+          match G.shortest_path g src dst with
+          | Some p -> if List.length p - 1 <> dist.(dst) then ok := false
+          | None -> if dist.(dst) <> max_int then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "paper counts" `Quick test_paper_counts;
+    Alcotest.test_case "geant directed count" `Quick test_geant_directed_count;
+    Alcotest.test_case "univ1 structure" `Quick test_univ1_structure;
+    Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_edge_rejected;
+    Alcotest.test_case "shortest path basic" `Quick test_shortest_path_basic;
+    Alcotest.test_case "shortest path self" `Quick test_shortest_path_self;
+    Alcotest.test_case "disconnected" `Quick test_shortest_path_disconnected;
+    Alcotest.test_case "weights respected" `Quick test_shortest_respects_weights;
+    Alcotest.test_case "path length" `Quick test_path_length;
+    Alcotest.test_case "k-shortest ring" `Quick test_k_shortest;
+    Alcotest.test_case "k-shortest k=1" `Quick test_k_shortest_k1;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "fat tree" `Quick test_fat_tree;
+    Alcotest.test_case "waxman connected" `Quick test_waxman_connected;
+    Alcotest.test_case "as3679 deterministic" `Quick test_as3679_deterministic;
+    Alcotest.test_case "handshake lemma" `Quick test_degree_sum;
+    QCheck_alcotest.to_alcotest prop_shortest_path_is_shortest;
+  ]
+
+let test_remove_edge () =
+  let t = B.ring ~n:4 in
+  let g = t.B.graph in
+  G.remove_edge g 0 1;
+  Alcotest.(check bool) "edge gone" false (G.has_edge g 0 1);
+  Alcotest.(check int) "count drops" 3 (G.num_edges g);
+  (* path now goes the long way around *)
+  (match G.shortest_path g 0 1 with
+  | Some p -> Alcotest.(check (list int)) "detour" [ 0; 3; 2; 1 ] p
+  | None -> Alcotest.fail "still connected");
+  Alcotest.check_raises "absent edge" Not_found (fun () -> G.remove_edge g 0 1)
+
+let suite = suite @ [ Alcotest.test_case "remove edge" `Quick test_remove_edge ]
+
+let test_rocketfuel_suite () =
+  List.iter
+    (fun ((t : B.named), nodes, links) ->
+      Alcotest.(check int) (t.B.label ^ " nodes") nodes (G.num_nodes t.B.graph);
+      Alcotest.(check int) (t.B.label ^ " links") links (G.num_edges t.B.graph);
+      Alcotest.(check bool) (t.B.label ^ " connected") true (G.is_connected t.B.graph))
+    [ (B.as1221 (), 104, 151); (B.as1755 (), 87, 161); (B.as3257 (), 161, 328) ];
+  Alcotest.(check bool) "too few links rejected" true
+    (try
+       ignore (B.rocketfuel ~asn:1 ~nodes:10 ~links:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rocketfuel_heavy_tail () =
+  (* ISP maps have hubs: max degree far above the mean. *)
+  let t = B.as3257 () in
+  let g = t.B.graph in
+  let n = G.num_nodes g in
+  let degrees = Array.init n (G.degree g) in
+  let mean = float_of_int (Array.fold_left ( + ) 0 degrees) /. float_of_int n in
+  let dmax = Array.fold_left max 0 degrees in
+  Alcotest.(check bool) "hubby" true (float_of_int dmax > 4.0 *. mean)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "rocketfuel suite" `Quick test_rocketfuel_suite;
+      Alcotest.test_case "rocketfuel heavy tail" `Quick test_rocketfuel_heavy_tail;
+    ]

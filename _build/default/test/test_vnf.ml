@@ -1,0 +1,152 @@
+module Nf = Apple_vnf.Nf
+module I = Apple_vnf.Instance
+module L = Apple_vnf.Lifecycle
+module O = Apple_vnf.Overload
+module E = Apple_sim.Engine
+
+let test_table4 () =
+  let check kind cores cap clickos =
+    let s = Nf.spec kind in
+    Alcotest.(check int) (Nf.name kind ^ " cores") cores s.Nf.cores;
+    Alcotest.(check (float 1e-9)) (Nf.name kind ^ " cap") cap s.Nf.capacity_mbps;
+    Alcotest.(check bool) (Nf.name kind ^ " clickos") clickos s.Nf.clickos
+  in
+  check Nf.Firewall 4 900.0 true;
+  check Nf.Proxy 4 900.0 false;
+  check Nf.Nat 2 900.0 true;
+  check Nf.Ids 8 600.0 false
+
+let test_kind_index_roundtrip () =
+  List.iter
+    (fun k -> Alcotest.(check bool) "roundtrip" true (Nf.kind_of_index (Nf.kind_index k) = k))
+    Nf.all_kinds;
+  Alcotest.(check int) "4 kinds" 4 Nf.num_kinds
+
+let test_chain_parsing () =
+  Alcotest.(check bool) "arrow form" true
+    (Nf.chain_of_string "fw -> ids -> proxy" = [ Nf.Firewall; Nf.Ids; Nf.Proxy ]);
+  Alcotest.(check bool) "comma form" true
+    (Nf.chain_of_string "nat, firewall" = [ Nf.Nat; Nf.Firewall ]);
+  Alcotest.(check bool) "case insensitive" true
+    (Nf.chain_of_string "FW -> IDS" = [ Nf.Firewall; Nf.Ids ]);
+  Alcotest.(check bool) "unknown rejected" true
+    (try
+       ignore (Nf.chain_of_string "fw -> dpi");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Nf.chain_of_string "  ");
+       false
+     with Invalid_argument _ -> true)
+
+let test_chain_roundtrip () =
+  let c = [ Nf.Firewall; Nf.Ids; Nf.Proxy ] in
+  Alcotest.(check bool) "to_string/of_string" true
+    (Nf.chain_of_string (Nf.chain_to_string c) = c)
+
+let test_loss_curve () =
+  let spec = Nf.spec Nf.Firewall in
+  Alcotest.(check (float 1e-12)) "zero below capacity" 0.0
+    (I.loss_at ~spec ~offered:800.0);
+  Alcotest.(check (float 1e-12)) "zero at capacity" 0.0
+    (I.loss_at ~spec ~offered:900.0);
+  Alcotest.(check bool) "positive above knee" true
+    (I.loss_at ~spec ~offered:1200.0 > 0.2);
+  (* monotone in offered load *)
+  let prev = ref 0.0 in
+  for rate = 1 to 30 do
+    let l = I.loss_at ~spec ~offered:(float_of_int rate *. 100.0) in
+    Alcotest.(check bool) "monotone" true (l >= !prev -. 1e-12);
+    prev := l
+  done
+
+let test_loss_pps_size_independent () =
+  (* Fig 6: loss depends on packet rate, not size -- the pps entry point
+     uses the same knee for any size. *)
+  let a = I.loss_at_pps ~capacity_pps:9.0 ~offered_pps:12.0 in
+  Alcotest.(check bool) "loses at 12Kpps over 9" true (a > 0.2 && a < 0.3)
+
+let test_instance_accounting () =
+  let inst = I.create ~id:7 ~spec:(Nf.spec Nf.Ids) ~host:3 in
+  Alcotest.(check int) "id" 7 (I.id inst);
+  Alcotest.(check int) "host" 3 (I.host inst);
+  Alcotest.(check bool) "kind" true (I.kind inst = Nf.Ids);
+  I.set_offered inst 300.0;
+  Alcotest.(check (float 1e-9)) "util" 0.5 (I.utilization inst);
+  I.add_offered inst (-500.0);
+  Alcotest.(check (float 1e-9)) "clamped at zero" 0.0 (I.offered inst);
+  I.set_offered inst 600.0;
+  Alcotest.(check bool) "overloaded at cap" true (I.overloaded inst ~high_watermark:0.95);
+  I.set_offered inst 500.0;
+  Alcotest.(check bool) "not overloaded below" false (I.overloaded inst ~high_watermark:0.95)
+
+let test_boot_times () =
+  let rng = Apple_prelude.Rng.create 5 in
+  Alcotest.(check (float 1e-12)) "raw clickos 30ms" 0.030 (L.boot_time rng L.Raw_clickos);
+  Alcotest.(check (float 1e-12)) "reconfigure 30ms" 0.030 (L.boot_time rng L.Reconfigure);
+  for _ = 1 to 50 do
+    let t = L.boot_time rng L.Openstack in
+    Alcotest.(check bool) "openstack in [3.9,4.6]" true (t >= 3.9 && t <= 4.6)
+  done;
+  Alcotest.(check bool) "normal vm slowest" true
+    (L.boot_time rng L.Normal_vm > L.boot_time rng L.Openstack)
+
+let test_provision_schedules () =
+  let w = E.create () in
+  let rng = Apple_prelude.Rng.create 6 in
+  let ready_at = ref nan in
+  L.provision w rng L.Raw_clickos ~on_ready:(fun w' -> ready_at := E.now w');
+  E.run w;
+  Alcotest.(check (float 1e-9)) "boot + rule install" 0.100 !ready_at
+
+let test_overload_hysteresis () =
+  let d = O.create ~high_watermark:8.5 ~low_watermark:4.0 () in
+  Alcotest.(check bool) "starts normal" true (O.state d = O.Normal);
+  let _, t1 = O.observe d ~rate:5.0 in
+  Alcotest.(check bool) "below high: no change" true (t1 = `No_change);
+  let _, t2 = O.observe d ~rate:9.0 in
+  Alcotest.(check bool) "overload transition" true (t2 = `Went_overloaded);
+  let _, t3 = O.observe d ~rate:6.0 in
+  Alcotest.(check bool) "hysteresis holds" true (t3 = `No_change && O.state d = O.Overloaded);
+  let _, t4 = O.observe d ~rate:3.0 in
+  Alcotest.(check bool) "recovery" true (t4 = `Recovered && O.state d = O.Normal)
+
+let test_overload_bad_config () =
+  Alcotest.(check bool) "low > high rejected" true
+    (try
+       ignore (O.create ~high_watermark:4.0 ~low_watermark:8.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_overload_attach () =
+  let w = E.create () in
+  let d = O.create ~poll_period:0.1 ~high_watermark:8.0 ~low_watermark:4.0 () in
+  let rate = ref 1.0 in
+  let overloads = ref 0 and recoveries = ref 0 in
+  O.attach d w
+    ~rate:(fun () -> !rate)
+    ~on_overload:(fun _ -> incr overloads)
+    ~on_recover:(fun _ -> incr recoveries)
+    ~until:3.0;
+  E.schedule w ~delay:1.0 (fun _ -> rate := 10.0);
+  E.schedule w ~delay:2.0 (fun _ -> rate := 1.0);
+  E.run w;
+  Alcotest.(check int) "one overload" 1 !overloads;
+  Alcotest.(check int) "one recovery" 1 !recoveries
+
+let suite =
+  [
+    Alcotest.test_case "table IV" `Quick test_table4;
+    Alcotest.test_case "kind index" `Quick test_kind_index_roundtrip;
+    Alcotest.test_case "chain parsing" `Quick test_chain_parsing;
+    Alcotest.test_case "chain roundtrip" `Quick test_chain_roundtrip;
+    Alcotest.test_case "loss curve" `Quick test_loss_curve;
+    Alcotest.test_case "loss pps" `Quick test_loss_pps_size_independent;
+    Alcotest.test_case "instance accounting" `Quick test_instance_accounting;
+    Alcotest.test_case "boot times" `Quick test_boot_times;
+    Alcotest.test_case "provision" `Quick test_provision_schedules;
+    Alcotest.test_case "overload hysteresis" `Quick test_overload_hysteresis;
+    Alcotest.test_case "overload bad config" `Quick test_overload_bad_config;
+    Alcotest.test_case "overload attach" `Quick test_overload_attach;
+  ]
