@@ -1,0 +1,22 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+# Full paper-scale benchmark run (slow).
+bench:
+	dune exec bench/main.exe
+
+# One-stop gate: compile everything, run the full test suite, then a
+# scaled-down smoke of the jobs study so the parallel path is exercised
+# with jobs>1 even on single-core CI boxes.
+check: build test
+	APPLE_BENCH_SCALE=0.02 APPLE_JOBS=2 APPLE_BENCH_ONLY=jobs dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,12 +1,15 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation, then runs Bechamel micro-benchmarks on the hot kernels.
+   evaluation, runs the serial-vs-parallel jobs study, then runs Bechamel
+   micro-benchmarks on the hot kernels.
 
      dune exec bench/main.exe                 # full paper scale
      APPLE_BENCH_SCALE=0.05 dune exec bench/main.exe   # quick smoke run
+     APPLE_BENCH_ONLY=jobs dune exec bench/main.exe    # one section
 
-   One experiment driver per artifact (Table I/III/IV/V, Fig 6-12) lives
-   in Apple_core.Experiments; this harness prints them all and appends
-   kernel timings. *)
+   APPLE_BENCH_ONLY filters sections: paper | ablations | jobs | micro
+   (comma-separated to combine).  One experiment driver per artifact
+   (Table I/III/IV/V, Fig 6-12) lives in Apple_core.Experiments; this
+   harness prints them all and appends kernel timings. *)
 
 module C = Apple_core
 module B = Apple_topology.Builders
@@ -23,18 +26,36 @@ let seed =
   | Some s -> (try int_of_string s with _ -> 20160627)
   | None -> 20160627
 
+(* Section filter: APPLE_BENCH_ONLY="paper,jobs" runs just those. *)
+let sections =
+  match Sys.getenv_opt "APPLE_BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s))
+
+let wants name =
+  match sections with None -> true | Some l -> List.mem name l
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures.                             *)
 
 let reproduce_paper () =
   let opts = { C.Experiments.seed; scale } in
-  Printf.printf
-    "APPLE reproduction benchmarks (seed=%d scale=%.2f)\n\
-     =================================================\n\n%!"
-    seed scale;
-  List.iter C.Experiments.print (C.Experiments.all opts);
+  List.iter C.Experiments.print (C.Experiments.all opts)
+
+let run_ablations () =
+  let opts = { C.Experiments.seed; scale } in
   print_endline "---- ablations (beyond the paper's figures) ----\n";
   List.iter C.Experiments.print (C.Experiments.ablations opts)
+
+(* Serial vs parallel: the per-class decomposition at several jobs
+   values against the monolithic LP, plus the determinism check. *)
+let run_jobs () =
+  let opts = { C.Experiments.seed; scale } in
+  print_endline "---- jobs study (APPLE_JOBS / --jobs) ----\n";
+  Printf.printf "recommended_domain_count = %d\n\n%!"
+    (Domain.recommended_domain_count ());
+  let rendered, _ = C.Experiments.jobs_table opts in
+  C.Experiments.print rendered
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks on the framework's kernels.       *)
@@ -197,6 +218,12 @@ let run_micro () =
     tests
 
 let () =
-  reproduce_paper ();
-  run_micro ();
+  Printf.printf
+    "APPLE reproduction benchmarks (seed=%d scale=%.2f)\n\
+     =================================================\n\n%!"
+    seed scale;
+  if wants "paper" then reproduce_paper ();
+  if wants "ablations" then run_ablations ();
+  if wants "jobs" then run_jobs ();
+  if wants "micro" then run_micro ();
   print_endline "\nbench: done"

@@ -35,7 +35,7 @@ let scale_arg =
 
 let experiment_names =
   [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10"; "fig11"; "fig12"; "ablations"; "all" ]
+    "fig10"; "fig11"; "fig12"; "jobs"; "ablations"; "all" ]
 
 let run_experiment name seed scale =
   let opts = { C.Experiments.seed; scale } in
@@ -52,6 +52,7 @@ let run_experiment name seed scale =
   | "fig10" -> C.Experiments.print (first (C.Experiments.fig10 opts)); Ok ()
   | "fig11" -> C.Experiments.print (first (C.Experiments.fig11 opts)); Ok ()
   | "fig12" -> C.Experiments.print (first (C.Experiments.fig12 opts)); Ok ()
+  | "jobs" -> C.Experiments.print (first (C.Experiments.jobs_table opts)); Ok ()
   | "ablations" ->
       List.iter C.Experiments.print (C.Experiments.ablations opts);
       Ok ()
@@ -79,7 +80,28 @@ let experiment_cmd =
 
 (* --- solve command ------------------------------------------------- *)
 
-let solve_action topo seed total max_classes verify tm_file =
+let engine_conv =
+  let parse = function
+    | "best" -> Ok `Best
+    | "lp" -> Ok `Lp
+    | "per-class" -> Ok `Per_class
+    | "greedy" -> Ok `Greedy
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown engine %S (expected best|lp|per-class|greedy)" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | `Best -> "best"
+      | `Lp -> "lp"
+      | `Per_class -> "per-class"
+      | `Greedy -> "greedy")
+  in
+  Arg.conv (parse, print)
+
+let solve_action topo seed total max_classes engine jobs verify tm_file =
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let tm =
     match tm_file with
@@ -97,7 +119,7 @@ let solve_action topo seed total max_classes verify tm_file =
   in
   let config = { C.Scenario.default_config with C.Scenario.max_classes } in
   let scenario = C.Scenario.build ~config ~seed topo tm in
-  let controller = C.Controller.create scenario in
+  let controller = C.Controller.create ~engine ?jobs scenario in
   (try
      let report = C.Controller.run_epoch controller in
      Format.printf "topology:    %s (%d nodes, %d links)@." topo.B.label n
@@ -141,6 +163,22 @@ let solve_cmd =
     let doc = "Maximum number of origin-destination pairs carrying policies." in
     Arg.(value & opt int 120 & info [ "max-classes" ] ~docv:"N" ~doc)
   in
+  let engine_arg =
+    let doc =
+      "Placement engine: $(b,best) (LP/greedy selector), $(b,lp) \
+       (monolithic LP pipeline), $(b,per-class) (parallel per-class \
+       decomposition) or $(b,greedy)."
+    in
+    Arg.(value & opt engine_conv `Best & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the per-class/greedy engines' parallel sections \
+       (default: the APPLE_JOBS environment variable, else the machine's \
+       core count).  The placement is byte-identical for every value."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
   let verify_arg =
     let doc = "Run the end-to-end packet-walk verification after solving." in
     Arg.(value & flag & info [ "verify" ] ~doc)
@@ -155,7 +193,7 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the Optimization Engine once and print the placement summary")
-    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ verify_arg $ tm_arg))
+    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg))
 
 (* --- replay command ------------------------------------------------ *)
 

@@ -14,9 +14,13 @@ type epoch_report = {
   solve_seconds : float;
 }
 
+type engine = [ `Best | `Lp | `Per_class | `Greedy ]
+
 type t = {
   s : Types.scenario;
   objective : Optimization_engine.objective;
+  engine : engine;
+  jobs : int option;
   failover : Dynamic_handler.config;
   mutable report : epoch_report option;
   mutable state : Netstate.t option;
@@ -24,12 +28,30 @@ type t = {
   mutable assignment : Subclass.assignment option;
 }
 
-let create ?(objective = Optimization_engine.Min_instances)
-    ?(failover = Dynamic_handler.default_config) s =
-  { s; objective; failover; report = None; state = None; handler = None; assignment = None }
+let create ?(objective = Optimization_engine.Min_instances) ?(engine = `Best)
+    ?jobs ?(failover = Dynamic_handler.default_config) s =
+  {
+    s;
+    objective;
+    engine;
+    jobs;
+    failover;
+    report = None;
+    state = None;
+    handler = None;
+    assignment = None;
+  }
 
 let run_epoch t =
-  let placement = Engine_select.solve_best ~objective:t.objective t.s in
+  let placement =
+    match t.engine with
+    | `Best -> Engine_select.solve_best ~objective:t.objective t.s
+    | `Lp -> Optimization_engine.solve ~objective:t.objective t.s
+    | `Per_class ->
+        Optimization_engine.solve ~objective:t.objective
+          ~method_:Optimization_engine.Per_class ?jobs:t.jobs t.s
+    | `Greedy -> Heuristic_engine.solve ~objective:t.objective ?jobs:t.jobs t.s
+  in
   let assignment = Subclass.assign t.s placement in
   let rules = Rule_generator.build t.s assignment in
   let state = Netstate.of_assignment t.s assignment in

@@ -25,11 +25,22 @@ type epoch_report = {
   solve_seconds : float;
 }
 
+type engine = [ `Best | `Lp | `Per_class | `Greedy ]
+(** Placement engine for the epoch: the LP/greedy selector (default),
+    the monolithic LP pipeline, the parallel per-class decomposition, or
+    the greedy heuristic alone. *)
+
 val create :
   ?objective:Optimization_engine.objective ->
+  ?engine:engine ->
+  ?jobs:int ->
   ?failover:Dynamic_handler.config ->
   Types.scenario ->
   t
+(** [jobs] bounds the domains used by the [`Per_class] and [`Greedy]
+    engines' parallel sections (default
+    {!Apple_parallel.Pool.default_jobs}); placements are identical for
+    every value. *)
 
 val run_epoch : t -> epoch_report
 (** Global optimization for the scenario's current rates: solve, pin

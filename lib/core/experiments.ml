@@ -130,7 +130,16 @@ let table4 _opts =
   { title = "Table IV: VNF data sheets"; body = Table.render t }
 
 let table5 opts =
-  let t = Table.create [ "Topology"; "Nodes"; "Links"; "Classes"; "Time" ] in
+  (* Second per-class column always runs jobs>1 so the parallel path is
+     exercised even where recommended_domain_count is 1. *)
+  let jobs = max 2 (Apple_parallel.Pool.default_jobs ()) in
+  let t =
+    Table.create
+      [
+        "Topology"; "Nodes"; "Links"; "Classes"; "Time";
+        "Per-class j=1"; Printf.sprintf "Per-class j=%d" jobs;
+      ]
+  in
   let raw = ref [] in
   List.iter
     (fun (named : Builders.named) ->
@@ -139,6 +148,14 @@ let table5 opts =
       let tm = Synth.gravity rng ~n ~total:18_000.0 in
       let scenario = Scenario.build ~seed:opts.seed named tm in
       let placement = Engine_select.solve_best scenario in
+      let pc1 =
+        Optimization_engine.solve ~method_:Optimization_engine.Per_class
+          ~jobs:1 scenario
+      in
+      let pcn =
+        Optimization_engine.solve ~method_:Optimization_engine.Per_class ~jobs
+          scenario
+      in
       raw := (named.Builders.label, placement.Optimization_engine.solve_seconds) :: !raw;
       Table.add_row t
         [
@@ -149,10 +166,89 @@ let table5 opts =
           Printf.sprintf "%.3f second%s"
             placement.Optimization_engine.solve_seconds
             (if placement.Optimization_engine.solve_seconds >= 2.0 then "s" else "");
+          Printf.sprintf "%.3f s" pc1.Optimization_engine.solve_seconds;
+          Printf.sprintf "%.3f s" pcn.Optimization_engine.solve_seconds;
         ])
     (Builders.all_paper_topologies ());
   ( {
       title = "Table V: average computation time of different topologies";
+      body = Table.render t;
+    },
+    List.rev !raw )
+
+(* Serial vs parallel study for the decomposed engine: per-class solve
+   times at several [jobs] values against the monolithic LP, with a
+   mechanical check that every jobs value produced the same placement.
+   Minimum of [repeat] runs per cell — timing noise shrinks, results
+   cannot change (the engine is deterministic). *)
+let jobs_table ?(jobs_list = [ 1; 2; 4 ]) ?(repeat = 3) opts =
+  let t =
+    Table.create
+      ([ "Topology"; "Classes"; "Monolithic LP" ]
+      @ List.map (fun j -> Printf.sprintf "Per-class j=%d" j) jobs_list
+      @ [ "Decomposition speedup"; "Identical" ])
+  in
+  let raw = ref [] in
+  List.iter
+    (fun (named : Builders.named) ->
+      let rng = Rng.create opts.seed in
+      let n = Apple_topology.Graph.num_nodes named.Builders.graph in
+      let tm = Synth.gravity rng ~n ~total:18_000.0 in
+      let scenario = Scenario.build ~seed:opts.seed named tm in
+      let lp = Optimization_engine.solve scenario in
+      let per_class j =
+        let best = ref infinity and result = ref None in
+        for _ = 1 to max 1 repeat do
+          let p =
+            Optimization_engine.solve
+              ~method_:Optimization_engine.Per_class ~jobs:j scenario
+          in
+          if p.Optimization_engine.solve_seconds < !best then
+            best := p.Optimization_engine.solve_seconds;
+          result := Some p
+        done;
+        (Option.get !result, !best)
+      in
+      let runs = List.map per_class jobs_list in
+      let identical =
+        match runs with
+        | [] -> true
+        | (first, _) :: rest ->
+            List.for_all
+              (fun ((p : Optimization_engine.placement), _) ->
+                p.Optimization_engine.counts
+                  = first.Optimization_engine.counts
+                && p.Optimization_engine.distribution
+                   = first.Optimization_engine.distribution)
+              rest
+      in
+      let t1 = match runs with (_, s) :: _ -> s | [] -> nan in
+      raw :=
+        ( named.Builders.label,
+          lp.Optimization_engine.solve_seconds,
+          List.map2 (fun j (_, s) -> (j, s)) jobs_list runs,
+          identical )
+        :: !raw;
+      Table.add_row t
+        ([
+           named.Builders.label;
+           string_of_int (Array.length scenario.Types.classes);
+           Printf.sprintf "%.3f s (%d inst)"
+             lp.Optimization_engine.solve_seconds
+             (Optimization_engine.instance_count lp);
+         ]
+        @ List.map (fun (_, s) -> Printf.sprintf "%.3f s" s) runs
+        @ [
+            Printf.sprintf "%.1fx (%d inst)"
+              (lp.Optimization_engine.solve_seconds /. max 1e-9 t1)
+              (Optimization_engine.instance_count
+                 (fst (List.hd runs)));
+            check identical;
+          ]))
+    (Builders.all_paper_topologies ());
+  ( {
+      title =
+        "Jobs study: monolithic LP vs parallel per-class decomposition (APPLE_JOBS)";
       body = Table.render t;
     },
     List.rev !raw )

@@ -2,13 +2,24 @@ module Nf = Apple_vnf.Nf
 module Graph = Apple_topology.Graph
 module Builders = Apple_topology.Builders
 
-let solve ?(objective = Optimization_engine.Min_instances) (s : Types.scenario) =
+let solve ?(objective = Optimization_engine.Min_instances) ?jobs
+    (s : Types.scenario) =
   let t0 = Unix.gettimeofday () in
   let g = s.Types.topo.Builders.graph in
   let n = Graph.num_nodes g in
   let classes = s.Types.classes in
   let cap_of k = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
   let cores_of k = (Nf.spec (Nf.kind_of_index k)).Nf.cores in
+  (* Per-class chain kind indices, resolved up front across domains: the
+     greedy loop below is inherently serial (each placement reads the
+     state earlier placements left), but this pure per-class lookup fans
+     out — and lands in slots by class id, so results never depend on
+     [jobs]. *)
+  let kind_idx =
+    Apple_parallel.Pool.run ?jobs
+      (fun c -> Array.map Nf.kind_index c.Types.chain)
+      classes
+  in
   (* Hub score: how many classes traverse each switch — consolidating on
      hubs maximizes sharing opportunities for later classes. *)
   let hub_score = Array.make n 0 in
@@ -72,7 +83,7 @@ let solve ?(objective = Optimization_engine.Min_instances) (s : Types.scenario) 
         let min_hop = ref 0 in
         (try
            for j = 0 to clen - 1 do
-             let k = Nf.kind_index c.Types.chain.(j) in
+             let k = kind_idx.(c.Types.id).(j) in
              match choose_hop c ~min_hop:!min_hop k with
              | Some i ->
                  hops.(j) <- i;
@@ -90,21 +101,21 @@ let solve ?(objective = Optimization_engine.Min_instances) (s : Types.scenario) 
         Array.iteri
           (fun j i ->
             let v = c.Types.path.(i) in
-            let k = Nf.kind_index c.Types.chain.(j) in
+            let k = kind_idx.(c.Types.id).(j) in
             if spare v k <= 1e-9 then open_instance v k)
           hops;
         let slice = ref !remaining in
         Array.iteri
           (fun j i ->
             let v = c.Types.path.(i) in
-            let k = Nf.kind_index c.Types.chain.(j) in
+            let k = kind_idx.(c.Types.id).(j) in
             slice := min !slice (spare v k /. c.Types.rate))
           hops;
         let slice = max !slice 1e-9 in
         Array.iteri
           (fun j i ->
             let v = c.Types.path.(i) in
-            let k = Nf.kind_index c.Types.chain.(j) in
+            let k = kind_idx.(c.Types.id).(j) in
             load.(v).(k) <- load.(v).(k) +. (c.Types.rate *. slice);
             distribution.(c.Types.id).(i).(j) <-
               distribution.(c.Types.id).(i).(j) +. slice)

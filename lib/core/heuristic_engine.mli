@@ -18,7 +18,11 @@
 
 val solve :
   ?objective:Optimization_engine.objective ->
+  ?jobs:int ->
   Types.scenario ->
   Optimization_engine.placement
 (** Raises {!Optimization_engine.Infeasible} when the host core budgets
-    cannot accommodate the load. *)
+    cannot accommodate the load.  [jobs] (default
+    {!Apple_parallel.Pool.default_jobs}) parallelizes the pure per-class
+    precomputation; the greedy placement itself is serial and the result
+    is identical for every [jobs]. *)

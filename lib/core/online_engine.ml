@@ -26,7 +26,11 @@ let total_cores (state : Netstate.t) =
    new one at a switch. *)
 type stage_plan = Reuse of Instance.t | Create of int (* switch *)
 
-let admit (state : Netstate.t) (cls : Types.flow_class) =
+(* Plan a placement for [cls] against the current state WITHOUT mutating
+   anything: the DFS keeps its tentative commitments in local tables.
+   Pure with respect to [state], so a batch of arrivals can be planned
+   concurrently from different domains against the same snapshot. *)
+let plan_class (state : Netstate.t) (cls : Types.flow_class) =
   let orch = state.Netstate.orchestrator in
   let rate = cls.Types.rate in
   let plen = Array.length cls.Types.path in
@@ -135,45 +139,117 @@ let admit (state : Netstate.t) (cls : Types.flow_class) =
           | None -> try_grade 2)
     end
   in
-  match dfs 0 0 [] with
+  dfs 0 0 []
+
+(* Does a previously-computed plan still fit the (possibly advanced)
+   state?  Re-checks every capacity and core-budget condition with local
+   accumulation, so a plan reusing one instance at two stages is judged
+   on its total demand. *)
+let plan_applies (state : Netstate.t) (cls : Types.flow_class) plan =
+  let orch = state.Netstate.orchestrator in
+  let rate = cls.Types.rate in
+  let planned_load : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let planned_cores : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iteri
+    (fun stage (_hop, move) ->
+      if !ok then
+        match move with
+        | Reuse inst ->
+            let extra =
+              Option.value ~default:0.0
+                (Hashtbl.find_opt planned_load (Instance.id inst))
+            in
+            let spare =
+              (Instance.spec inst).Nf.capacity_mbps
+              -. Instance.offered inst -. extra
+            in
+            if spare >= rate -. 1e-9 then
+              Hashtbl.replace planned_load (Instance.id inst) (extra +. rate)
+            else ok := false
+        | Create v ->
+            let spec = Nf.spec cls.Types.chain.(stage) in
+            let planned =
+              Option.value ~default:0 (Hashtbl.find_opt planned_cores v)
+            in
+            if
+              Resource_orchestrator.available_cores orch v - planned
+              >= spec.Nf.cores
+            then Hashtbl.replace planned_cores v (planned + spec.Nf.cores)
+            else ok := false)
+    plan;
+  !ok
+
+let commit (state : Netstate.t) (cls : Types.flow_class) plan =
+  let orch = state.Netstate.orchestrator in
+  let rate = cls.Types.rate in
+  let clen = Array.length cls.Types.chain in
+  (* Commit: extend the scenario, launch planned instances, pin the
+     class's single full-weight sub-class. *)
+  state.Netstate.scenario <- extend_scenario state.Netstate.scenario cls;
+  let created = ref [] in
+  let hops = Array.make clen 0 in
+  let stage_instances =
+    Array.of_list
+      (List.mapi
+         (fun stage (hop, move) ->
+           hops.(stage) <- hop;
+           match move with
+           | Reuse inst -> inst
+           | Create v ->
+               let inst =
+                 Resource_orchestrator.launch orch cls.Types.chain.(stage)
+                   ~host:v
+               in
+               created := inst :: !created;
+               inst)
+         plan)
+  in
+  let pinned =
+    {
+      Netstate.weight = 1.0;
+      baseline = 1.0;
+      hops;
+      stage_instances;
+      p_class = cls.Types.id;
+      p_sub = 0;
+    }
+  in
+  state.Netstate.per_class <-
+    Array.append state.Netstate.per_class [| [ pinned ] |];
+  Array.iter (fun inst -> Instance.add_offered inst rate) stage_instances;
+  {
+    accepted = true;
+    new_instances = List.rev !created;
+    subclass = Some pinned;
+  }
+
+let admit (state : Netstate.t) (cls : Types.flow_class) =
+  match plan_class state cls with
   | None -> { accepted = false; new_instances = []; subclass = None }
-  | Some plan ->
-      (* Commit: extend the scenario, launch planned instances, pin the
-         class's single full-weight sub-class. *)
-      state.Netstate.scenario <- extend_scenario state.Netstate.scenario cls;
-      let created = ref [] in
-      let hops = Array.make clen 0 in
-      let stage_instances =
-        Array.of_list
-          (List.mapi
-             (fun stage (hop, move) ->
-               hops.(stage) <- hop;
-               match move with
-               | Reuse inst -> inst
-               | Create v ->
-                   let inst =
-                     Resource_orchestrator.launch orch cls.Types.chain.(stage)
-                       ~host:v
-                   in
-                   created := inst :: !created;
-                   inst)
-             plan)
+  | Some plan -> commit state cls plan
+
+let admit_batch ?jobs (state : Netstate.t) (classes : Types.flow_class array) =
+  (* Phase 1: plan every arrival in parallel against the same snapshot —
+     plan_class never writes, and results land in slots by index, so the
+     plan vector is independent of [jobs].  Phase 2: walk arrivals in
+     order; a snapshot plan that still fits is committed as-is, anything
+     stale (an earlier arrival consumed the capacity) or unplanned is
+     re-planned against the live state.  Both phases are deterministic,
+     so the outcomes equal the sequential [admit] fold whenever every
+     snapshot plan survives validation, and remain [jobs]-independent
+     even when some don't. *)
+  let plans =
+    Apple_parallel.Pool.run ?jobs (fun cls -> plan_class state cls) classes
+  in
+  Array.mapi
+    (fun i cls ->
+      let plan =
+        match plans.(i) with
+        | Some plan when plan_applies state cls plan -> Some plan
+        | Some _ | None -> plan_class state cls
       in
-      let pinned =
-        {
-          Netstate.weight = 1.0;
-          baseline = 1.0;
-          hops;
-          stage_instances;
-          p_class = cls.Types.id;
-          p_sub = 0;
-        }
-      in
-      state.Netstate.per_class <-
-        Array.append state.Netstate.per_class [| [ pinned ] |];
-      Array.iter (fun inst -> Instance.add_offered inst rate) stage_instances;
-      {
-        accepted = true;
-        new_instances = List.rev !created;
-        subclass = Some pinned;
-      }
+      match plan with
+      | None -> { accepted = false; new_instances = []; subclass = None }
+      | Some plan -> commit state cls plan)
+    classes

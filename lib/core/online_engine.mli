@@ -33,6 +33,17 @@ val admit : Netstate.t -> Types.flow_class -> outcome
     that does not collide with existing entries of the state's scenario
     (the caller extends [scenario.classes] first — see {!extend_scenario}). *)
 
+val admit_batch : ?jobs:int -> Netstate.t -> Types.flow_class array -> outcome array
+(** Admit a burst of arrivals.  Placements are {e planned} in parallel
+    across [jobs] domains (default {!Apple_parallel.Pool.default_jobs})
+    against a snapshot of the state, then validated and committed
+    serially in arrival order; a plan invalidated by an earlier arrival
+    in the batch is re-planned against the live state.  The outcomes —
+    acceptances, launched instances, sub-classes — are identical for
+    every [jobs] value.  Classes must carry consecutive ids continuing
+    the state's scenario, exactly as a sequential [admit] fold would
+    require. *)
+
 val extend_scenario : Types.scenario -> Types.flow_class -> Types.scenario
 (** Functional append of a class (fresh arrays; shared topology). *)
 

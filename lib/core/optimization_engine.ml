@@ -2,10 +2,11 @@ module Nf = Apple_vnf.Nf
 module Model = Apple_lp.Model
 module Graph = Apple_topology.Graph
 module Builders = Apple_topology.Builders
+module Pool = Apple_parallel.Pool
 
 type objective = Min_instances | Min_cores
 
-type method_ = Lp_round | Ilp of int
+type method_ = Lp_round | Ilp of int | Per_class
 
 type placement = {
   counts : int array array;
@@ -464,9 +465,107 @@ let check_status (sol : Model.solution) =
   | Model.Unbounded -> raise (Infeasible "unexpected unbounded model")
   | Model.Optimal | Model.Limit -> ()
 
+(* Per-site price of routing a unit of load through (v, k) given the
+   current distribution: ceil(load/cap)/(load/cap), the ratio rounding
+   pays when the last instance there is nearly empty.  Used both by the
+   Lp_round reweighting pass and between Per_class rounds. *)
+let site_prices (s : Types.scenario) dist =
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  let weights = Array.make_matrix n Nf.num_kinds 1.0 in
+  for v = 0 to n - 1 do
+    for k = 0 to Nf.num_kinds - 1 do
+      let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+      let load = load_of_distribution s dist ~v ~k in
+      let units = load /. cap in
+      let w = if load <= 1e-9 then 8.0 else min 8.0 (ceil units /. units) in
+      weights.(v).(k) <- w
+    done
+  done;
+  weights
+
+(* Between Per_class rounds: {!site_prices} plus a core-budget surcharge
+   on switches whose projected instance counts exceed their host budget.
+   The per-class LPs carry no Eq. (6), so the budget has to bite through
+   the price: overloaded hosts get steeply more expensive each round,
+   pushing mass to hops with spare cores before the final repair pass. *)
+let per_class_prices (s : Types.scenario) dist =
+  let weights = site_prices s dist in
+  let counts = counts_for_distribution s dist in
+  let n = Graph.num_nodes s.Types.topo.Builders.graph in
+  for v = 0 to n - 1 do
+    let used = cores_at counts v in
+    let budget = max 1 s.Types.host_cores.(v) in
+    if used > budget then begin
+      let over = float_of_int used /. float_of_int budget in
+      for k = 0 to Nf.num_kinds - 1 do
+        weights.(v).(k) <- weights.(v).(k) *. 4.0 *. over
+      done
+    end
+  done;
+  weights
+
+(* One class's stage-distribution LP under fixed site prices: only the
+   class's own order and completion constraints (Eq. 3–4) appear, so the
+   model has plen*clen variables instead of the whole scenario's.  The
+   capacity coupling (Eq. 5) is priced into the objective instead of
+   constrained, which is what makes the classes independent — and
+   therefore solvable in parallel.  The function touches nothing mutable
+   outside its own model. *)
+let solve_class_lp ~objective ~prices (c : Types.flow_class) =
+  let plen = Array.length c.Types.path in
+  let clen = Array.length c.Types.chain in
+  if clen = 0 then Array.init plen (fun _ -> [||])
+  else begin
+    let model = Model.create () in
+    let d =
+      Array.init plen (fun i ->
+          Array.init clen (fun j ->
+              let k = Nf.kind_index c.Types.chain.(j) in
+              let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+              let v = c.Types.path.(i) in
+              let obj =
+                kind_weight objective k *. prices.(v).(k) *. c.Types.rate
+                /. cap
+                (* Tiny hop bias keeps ties deterministic and early. *)
+                +. (1e-7 *. float_of_int i)
+              in
+              Model.add_var model ~lb:0.0 ~ub:1.0 ~obj
+                ~name:(Printf.sprintf "d_i%d_j%d" i j)
+                ()))
+    in
+    for j = 1 to clen - 1 do
+      for i = 0 to plen - 1 do
+        let terms = ref [] in
+        for i' = 0 to i do
+          terms := (1.0, d.(i').(j - 1)) :: (-1.0, d.(i').(j)) :: !terms
+        done;
+        Model.add_constraint model !terms Model.Ge 0.0
+      done
+    done;
+    for j = 0 to clen - 1 do
+      let terms = List.init plen (fun i -> (1.0, d.(i).(j))) in
+      Model.add_constraint model terms Model.Eq 1.0
+    done;
+    let sol = Model.solve_lp model in
+    match sol.Model.status with
+    | Model.Optimal | Model.Limit ->
+        Array.init plen (fun i ->
+            Array.init clen (fun j ->
+                let v = Model.value sol d.(i).(j) in
+                if v < 1e-9 then 0.0 else if v > 1.0 then 1.0 else v))
+    | Model.Infeasible | Model.Unbounded ->
+        (* The order/completion polytope is never empty; if the solver
+           stumbles anyway, park the whole class at its first hop. *)
+        Array.init plen (fun i ->
+            Array.init clen (fun _ -> if i = 0 then 1.0 else 0.0))
+  end
+
 let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
-    ?(consolidate = true) (s : Types.scenario) =
+    ?(consolidate = true) ?jobs ?(rounds = 3) (s : Types.scenario) =
   let t0 = Unix.gettimeofday () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
   match method_ with
   | Ilp max_nodes ->
       let model, q, d = build_model s ~objective ~integer:true in
@@ -503,28 +602,10 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
          make under-utilized sites expensive, steering the LP toward
          vertices that ceil-rounding wastes little on (a concave-cost
          Frank–Wolfe style reweighting). *)
-      let n = Graph.num_nodes s.Types.topo.Builders.graph in
-      let site_prices dist =
-        let weights = Array.make_matrix n Nf.num_kinds 1.0 in
-        for v = 0 to n - 1 do
-          for k = 0 to Nf.num_kinds - 1 do
-            let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
-            let load = load_of_distribution s dist ~v ~k in
-            (* ceil(load/cap)/(load/cap): the per-unit cost rounding pays
-               at this site — expensive when a last instance is nearly
-               empty.  Clipped to keep the LP well-scaled. *)
-            let units = load /. cap in
-            let w =
-              if load <= 1e-9 then 8.0 else min 8.0 (ceil units /. units)
-            in
-            weights.(v).(k) <- w
-          done
-        done;
-        weights
-      in
       let refine dist =
         let model', _, d' =
-          build_model ~site_weights:(site_prices dist) s ~objective ~integer:false
+          build_model ~site_weights:(site_prices s dist) s ~objective
+            ~integer:false
         in
         let sol' = Model.solve_lp model' in
         match sol'.Model.status with
@@ -541,6 +622,66 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         lp_objective = sol1.Model.objective;
         solve_seconds = Unix.gettimeofday () -. t0;
         model_size;
+      }
+  | Per_class ->
+      (* Price-directed decomposition: each round solves every class's
+         small LP independently (fanned across [jobs] domains), merges
+         the distributions in class order, then reprices the sites from
+         the merged load.  The parallel map writes each class's result
+         into its own slot, so the merged distribution — and everything
+         downstream — is byte-identical for any [jobs]. *)
+      let n = Graph.num_nodes s.Types.topo.Builders.graph in
+      let classes = s.Types.classes in
+      let nclasses = Array.length classes in
+      (* Hub-biased start: hops carrying much traffic begin cheap, so
+         the first round already consolidates mass where sharing is
+         likely instead of spreading uniformly. *)
+      let hub = Array.make n 0.0 in
+      Array.iter
+        (fun c ->
+          Array.iter (fun v -> hub.(v) <- hub.(v) +. c.Types.rate) c.Types.path)
+        classes;
+      let max_hub = Array.fold_left max 1e-9 hub in
+      let prices =
+        ref
+          (Array.init n (fun v ->
+               Array.make Nf.num_kinds
+                 (1.0 +. (0.25 *. (1.0 -. (hub.(v) /. max_hub))))))
+      in
+      let rounds = if reweight then max 1 rounds else 1 in
+      let dist = ref [||] in
+      for _round = 1 to rounds do
+        let p = !prices in
+        dist :=
+          Pool.run ~jobs (fun c -> solve_class_lp ~objective ~prices:p c) classes;
+        (* Repricing reads the merged distribution sequentially — float
+           accumulation order is fixed regardless of [jobs]. *)
+        prices := per_class_prices s !dist
+      done;
+      let dist = !dist in
+      (* Fractional lower bound of the coupled problem: q >= load/cap. *)
+      let lp_objective =
+        let acc = ref 0.0 in
+        for v = 0 to n - 1 do
+          for k = 0 to Nf.num_kinds - 1 do
+            let cap = (Nf.spec (Nf.kind_of_index k)).Nf.capacity_mbps in
+            let load = load_of_distribution s dist ~v ~k in
+            acc := !acc +. (kind_weight objective k *. load /. cap)
+          done
+        done;
+        !acc
+      in
+      let counts = repair_resources s dist in
+      let counts = if consolidate then consolidate_pass s dist counts else counts in
+      {
+        counts;
+        distribution = dist;
+        objective_value = objective_of_counts ~objective counts;
+        lp_objective;
+        solve_seconds = Unix.gettimeofday () -. t0;
+        model_size =
+          Printf.sprintf "per-class decomposition: %d classes x %d rounds (jobs=%d)"
+            nclasses rounds jobs;
       }
 
 let load (s : Types.scenario) placement ~v ~k =

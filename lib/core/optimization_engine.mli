@@ -15,6 +15,12 @@ type objective =
 type method_ =
   | Lp_round  (** LP relaxation + round + repair (the paper's choice) *)
   | Ilp of int  (** exact branch and bound with the given node budget *)
+  | Per_class
+      (** price-directed decomposition: rounds of independent per-class
+          LPs (order + completion constraints only, capacity priced into
+          the objective) solved in parallel across domains, merged in
+          class order and repriced between rounds.  Deterministic for
+          any [jobs]. *)
 
 type placement = {
   counts : int array array;
@@ -38,13 +44,22 @@ val solve :
   ?method_:method_ ->
   ?reweight:bool ->
   ?consolidate:bool ->
+  ?jobs:int ->
+  ?rounds:int ->
   Types.scenario ->
   placement
 (** Defaults: [Min_instances], [Lp_round], both post-passes on.
     [reweight] enables the second LP pass that prices under-utilized
-    sites; [consolidate] enables the post-rounding instance-merging pass.
-    Both exist for the bench's ablation study — disable them only to
-    measure their contribution. *)
+    sites (for [Per_class] it gates the repricing rounds: [false] means a
+    single round); [consolidate] enables the post-rounding
+    instance-merging pass.  Both exist for the bench's ablation study —
+    disable them only to measure their contribution.
+
+    [jobs] (default {!Apple_parallel.Pool.default_jobs}, i.e. the
+    [APPLE_JOBS] environment variable or the machine's domain count)
+    bounds the domains used by [Per_class]'s parallel class fan-out; the
+    result is byte-identical for every [jobs] value.  [rounds] (default
+    3) is the number of [Per_class] price-directed rounds. *)
 
 val check_distribution : Types.scenario -> placement -> (unit, string) result
 (** Verifies Eq. (2)–(4) (chain order and completion) and Eq. (5)–(6)

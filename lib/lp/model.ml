@@ -1,3 +1,7 @@
+let src = Logs.Src.create "apple.lp.model" ~doc:"APPLE LP/ILP model layer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type var = int
 
 type sense = Le | Ge | Eq
@@ -165,7 +169,17 @@ let solution_of t (res : Simplex.result) =
 
 let solve_lp_bounds ?max_iters t ~lbs ~ubs ~objs =
   let problem = standardize t ~lbs ~ubs ~objs in
-  solution_of t (Simplex.solve ?max_iters problem)
+  let res = Simplex.solve ?max_iters problem in
+  Log.debug (fun k ->
+      k "lp solve: %d vars x %d constraints -> %s in %d pivots" t.n
+        t.num_constrs
+        (match res.Simplex.status with
+        | Simplex.Optimal -> "optimal"
+        | Simplex.Infeasible -> "infeasible"
+        | Simplex.Unbounded -> "unbounded"
+        | Simplex.Iteration_limit -> "iteration-limit")
+        res.Simplex.iterations);
+  solution_of t res
 
 let solve_lp ?max_iters t =
   let lbs, ubs, objs, _ = arrays_of t in

@@ -1,3 +1,7 @@
+let src = Logs.Src.create "apple.lp.simplex" ~doc:"APPLE revised simplex solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
 type problem = {
@@ -283,7 +287,12 @@ let optimize st ~max_iters iter_count =
           | Pivot (r, t, leaving_pos) ->
               if t <= 1e-12 then begin
                 incr stall;
-                if !stall > 2 * (st.m + 16) then bland := true
+                if !stall > 2 * (st.m + 16) && not !bland then begin
+                  Log.debug (fun m ->
+                      m "anti-cycling: Bland's rule engaged after %d stalled pivots"
+                        !stall);
+                  bland := true
+                end
               end
               else stall := 0;
               pivot st j sigma d r t ~leaving_pos)
@@ -425,11 +434,20 @@ let solve ?max_iters (p : problem) : result =
     | Phase_optimal ->
         let inf = objective_value st cost in
         if inf > 1e-6 then status := Infeasible);
+    Log.debug (fun k ->
+        k "phase1: %d pivots over %d rows x %d cols, residual infeasibility %g"
+          !iter_count m p.num_vars
+          (objective_value st cost));
     if !status = Optimal then begin
       expel_artificials st;
       refresh_xb st
     end
-  end;
+  end
+  else
+    Log.debug (fun k ->
+        k "phase1 skipped: all-bound start already feasible (%d rows x %d cols)"
+          m p.num_vars);
+  let phase1_iters = !iter_count in
   if !status = Optimal then begin
     (* Phase 2: real costs, artificials pinned to zero. *)
     Array.fill cost 0 total 0.0;
@@ -439,11 +457,18 @@ let solve ?max_iters (p : problem) : result =
       st.lower.(a) <- 0.0;
       st.upper.(a) <- 0.0
     done;
-    match optimize st ~max_iters iter_count with
+    (match optimize st ~max_iters iter_count with
     | Phase_iter_limit -> status := Iteration_limit
     | Phase_unbounded -> status := Unbounded
-    | Phase_optimal -> ()
+    | Phase_optimal -> ());
+    Log.debug (fun k ->
+        k "phase2: %d pivots (%d total)" (!iter_count - phase1_iters) !iter_count)
   end;
+  if !status = Iteration_limit then
+    Log.warn (fun k ->
+        k "iteration limit hit after %d pivots (%d rows x %d cols); returning \
+           the incumbent basis"
+          !iter_count m p.num_vars);
   refresh_xb st;
   let primal = extract_primal st in
   let duals = Array.make m 0.0 in

@@ -1,0 +1,211 @@
+(* Work-sharing domain pool.
+
+   One job at a time: the submitter publishes a [job] (chunked index
+   range + slot writer), workers and the submitter race on an atomic
+   cursor for chunks, and the submitter waits until every chunk has
+   drained.  Determinism comes from writing result [i] into slot [i]:
+   scheduling decides only who computes a chunk, never what is computed
+   or where it lands. *)
+
+type job = {
+  n : int;
+  chunk : int;
+  total_chunks : int;
+  cursor : int Atomic.t;  (* next chunk index to claim *)
+  mutable outstanding : int;  (* chunks not yet drained; under [mutex] *)
+  mutable failed : (int * exn) option;  (* lowest failing chunk start *)
+  abort : bool Atomic.t;  (* skip remaining work after a failure *)
+  run_chunk : int -> int -> unit;  (* [lo, hi) *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* new job posted / job drained / shutdown *)
+  mutable current : job option;
+  mutable generation : int;  (* bumped per posted job *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "APPLE_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> min j 128
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* Claim and drain chunks of [job] until the cursor runs dry.  Safe to
+   call from any domain; every claimed chunk is accounted exactly once. *)
+let drain t job =
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add job.cursor 1 in
+    if c >= job.total_chunks then continue := false
+    else begin
+      let lo = c * job.chunk in
+      let hi = min job.n (lo + job.chunk) in
+      (try if not (Atomic.get job.abort) then job.run_chunk lo hi
+       with e ->
+         Atomic.set job.abort true;
+         Mutex.lock t.mutex;
+         (match job.failed with
+         | Some (lo0, _) when lo0 <= lo -> ()
+         | Some _ | None -> job.failed <- Some (lo, e));
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      job.outstanding <- job.outstanding - 1;
+      if job.outstanding = 0 then Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let worker t =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while
+      (not t.stop) && (t.generation = !last_gen || t.current = None)
+    do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then begin
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let job = Option.get t.current in
+      last_gen := t.generation;
+      Mutex.unlock t.mutex;
+      drain t job
+    end
+  done
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      current = None;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ds = t.domains in
+  t.stop <- true;
+  t.domains <- [];
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ds
+
+(* Sequential fallback: plain left-to-right loop, so the first failing
+   index raises first (matches the documented exception order). *)
+let seq_map_range ~n ~f =
+  if n = 0 then [||]
+  else begin
+    let r = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      r.(i) <- f i
+    done;
+    r
+  end
+
+let map_range t ~n ~f =
+  if n = 0 then [||]
+  else if t.jobs <= 1 || n = 1 || t.stop then seq_map_range ~n ~f
+  else begin
+    let results = Array.make n None in
+    (* Small chunks keep workers busy when item costs are skewed; the
+       4x-jobs factor bounds the imbalance to ~1/4 of one worker's
+       share while keeping cursor traffic negligible. *)
+    let chunk = max 1 (n / (t.jobs * 4)) in
+    let total_chunks = (n + chunk - 1) / chunk in
+    let job =
+      {
+        n;
+        chunk;
+        total_chunks;
+        cursor = Atomic.make 0;
+        outstanding = total_chunks;
+        failed = None;
+        abort = Atomic.make false;
+        run_chunk =
+          (fun lo hi ->
+            for i = lo to hi - 1 do
+              results.(i) <- Some (f i)
+            done);
+      }
+    in
+    Mutex.lock t.mutex;
+    if t.current <> None || t.stop then begin
+      (* Nested/concurrent submission or racing shutdown: degrade. *)
+      Mutex.unlock t.mutex;
+      seq_map_range ~n ~f
+    end
+    else begin
+      t.current <- Some job;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      drain t job;
+      Mutex.lock t.mutex;
+      while job.outstanding > 0 do
+        Condition.wait t.cond t.mutex
+      done;
+      t.current <- None;
+      Mutex.unlock t.mutex;
+      match job.failed with
+      | Some (_, e) -> raise e
+      | None ->
+          Array.map
+            (function Some v -> v | None -> assert false (* abort skipped it *))
+            results
+    end
+  end
+
+let map t f arr = map_range t ~n:(Array.length arr) ~f:(fun i -> f arr.(i))
+
+(* ---- process-wide shared pool ------------------------------------- *)
+
+let shared_mutex = Mutex.create ()
+let shared : t option ref = ref None
+
+let shared_pool ~jobs =
+  Mutex.lock shared_mutex;
+  let pool =
+    match !shared with
+    | Some p when p.jobs = jobs -> p
+    | existing ->
+        Option.iter
+          (fun p ->
+            (* Release the old size's domains before re-provisioning. *)
+            Mutex.unlock shared_mutex;
+            shutdown p;
+            Mutex.lock shared_mutex)
+          existing;
+        let p = create ~jobs in
+        shared := Some p;
+        p
+  in
+  Mutex.unlock shared_mutex;
+  pool
+
+let run_range ?jobs ~n ~f () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs <= 1 then seq_map_range ~n ~f
+  else map_range (shared_pool ~jobs) ~n ~f
+
+let run ?jobs f arr =
+  run_range ?jobs ~n:(Array.length arr) ~f:(fun i -> f arr.(i)) ()

@@ -1,0 +1,51 @@
+(** A fixed pool of OCaml 5 domains with work-sharing [map] over index
+    ranges.
+
+    Built for the engines' per-class fan-out: the items of a map are
+    independent pure computations, workers grab contiguous chunks of the
+    index range from a shared cursor, and results land in a pre-allocated
+    slot array {e by index} — so the merged output is byte-identical no
+    matter how many workers ran or how chunks interleaved.  The
+    {b determinism contract} the engines rely on is exactly this: for a
+    deterministic [f], [map] with any [jobs] equals the sequential map.
+
+    Uses only the stdlib ([Domain], [Mutex], [Condition], [Atomic]); no
+    external dependency.  A pool holds [jobs - 1] worker domains (the
+    submitting domain works too), so [jobs = 1] degenerates to an inline
+    sequential loop with no domain traffic at all. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [APPLE_JOBS] environment variable when set to a positive integer
+    (clamped to [1, 128]), otherwise {!Domain.recommended_domain_count}. *)
+
+val create : jobs:int -> t
+(** Spawn a pool with [jobs] workers in total ([jobs - 1] domains plus
+    the caller).  [jobs] is clamped below at 1. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f arr] = [Array.map f arr], computed by up to [jobs t]
+    domains.  If any [f] raises, the first exception (by lowest chunk
+    index among failing chunks) is re-raised after every in-flight chunk
+    has drained — the pool stays usable.  Nested or concurrent calls on
+    the same pool degrade to the sequential loop rather than deadlock. *)
+
+val map_range : t -> n:int -> f:(int -> 'b) -> 'b array
+(** [map_range t ~n ~f] = [[| f 0; ...; f (n-1) |]]; {!map} is built on
+    it. *)
+
+val shutdown : t -> unit
+(** Join and release the worker domains.  Idempotent; a shut-down pool
+    runs subsequent [map]s sequentially. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map] on a process-wide shared pool of size [jobs] (default
+    {!default_jobs}); the shared pool is created on first use and
+    recreated when a different [jobs] is requested.  [jobs <= 1] runs
+    inline without touching the shared pool. *)
+
+val run_range : ?jobs:int -> n:int -> f:(int -> 'b) -> unit -> 'b array
+(** Range analogue of {!run}. *)

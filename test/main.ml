@@ -4,6 +4,8 @@ let () =
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
       ("lp", Test_lp.suite);
+      ("lp-props", Test_lp_props.suite);
+      ("parallel", Test_parallel.suite);
       ("bdd", Test_bdd.suite);
       ("classifier", Test_classifier.suite);
       ("topology", Test_topology.suite);
