@@ -5,16 +5,22 @@
      dune exec bench/main.exe                 # full paper scale
      APPLE_BENCH_SCALE=0.05 dune exec bench/main.exe   # quick smoke run
      APPLE_BENCH_ONLY=jobs dune exec bench/main.exe    # one section
+     dune exec bench/main.exe -- table5 --json bench.json
 
-   APPLE_BENCH_ONLY filters sections: paper | ablations | jobs | micro
-   (comma-separated to combine).  One experiment driver per artifact
-   (Table I/III/IV/V, Fig 6-12) lives in Apple_core.Experiments; this
-   harness prints them all and appends kernel timings. *)
+   Positional arguments select what runs: a section (paper | ablations |
+   jobs | micro) or an individual artifact (table1 | table3 | table4 |
+   table5 | fig6 ... fig12).  Without arguments, APPLE_BENCH_ONLY filters
+   sections (comma-separated), else everything runs.  --json FILE
+   additionally writes a BENCH_core.json snapshot of the scalar metrics
+   (schema documented in EXPERIMENTS.md).  One experiment driver per
+   artifact lives in Apple_core.Experiments; this harness prints them all
+   and appends kernel timings. *)
 
 module C = Apple_core
 module B = Apple_topology.Builders
 module Tr = Apple_traffic
 module Rng = Apple_prelude.Rng
+module T = Apple_telemetry.Telemetry
 
 let scale =
   match Sys.getenv_opt "APPLE_BENCH_SCALE" with
@@ -26,36 +32,199 @@ let seed =
   | Some s -> (try int_of_string s with _ -> 20160627)
   | None -> 20160627
 
-(* Section filter: APPLE_BENCH_ONLY="paper,jobs" runs just those. *)
+(* --- command line --------------------------------------------------- *)
+
+let section_names = [ "paper"; "ablations"; "jobs"; "micro" ]
+
+let experiment_names =
+  [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
+    "fig10"; "fig11"; "fig12" ]
+
+let json_path = ref None
+
+let requested =
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | name :: rest ->
+        if List.mem name section_names || List.mem name experiment_names then
+          names := name :: !names
+        else begin
+          Printf.eprintf
+            "bench: unknown argument %S\nvalid sections:    %s\nvalid \
+             experiments: %s\n"
+            name
+            (String.concat " " section_names)
+            (String.concat " " experiment_names);
+          exit 2
+        end;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  List.rev !names
+
+(* Section filter: positional arguments win; otherwise
+   APPLE_BENCH_ONLY="paper,jobs" runs just those sections. *)
 let sections =
-  match Sys.getenv_opt "APPLE_BENCH_ONLY" with
-  | None | Some "" -> None
-  | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s))
+  match requested with
+  | _ :: _ -> Some requested
+  | [] -> (
+      match Sys.getenv_opt "APPLE_BENCH_ONLY" with
+      | None | Some "" -> None
+      | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s)))
 
 let wants name =
   match sections with None -> true | Some l -> List.mem name l
 
+(* --- BENCH_core.json snapshot --------------------------------------- *)
+
+(* experiment id -> flat (metric, value) rows, in run order. *)
+let snapshot : (string * (string * float) list) list ref = ref []
+
+let record id metrics =
+  if !json_path <> None then snapshot := (id, metrics) :: !snapshot
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let json_num v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let write_snapshot path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"apple-bench-core/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %s,\n" (json_num scale));
+  Buffer.add_string buf "  \"experiments\": {\n";
+  let exps = List.rev !snapshot in
+  List.iteri
+    (fun i (id, metrics) ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {" (json_escape id));
+      List.iteri
+        (fun j (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\"%s\": %s"
+               (if j = 0 then "" else ", ")
+               (json_escape k) (json_num v)))
+        metrics;
+      Buffer.add_string buf
+        (if i = List.length exps - 1 then "}\n" else "},\n"))
+    exps;
+  Buffer.add_string buf "  },\n";
+  (* Pipeline-wide telemetry: every counter, plus pool gauges. *)
+  Buffer.add_string buf "  \"counters\": {";
+  List.iteri
+    (fun i (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %d" (if i = 0 then "" else ", ")
+           (json_escape n) v))
+    (T.counters ());
+  Buffer.add_string buf "},\n";
+  Buffer.add_string buf "  \"gauges\": {";
+  List.iteri
+    (fun i (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %s" (if i = 0 then "" else ", ")
+           (json_escape n) (json_num v)))
+    (T.gauges ());
+  Buffer.add_string buf "}\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "bench: wrote %s\n%!" path
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures.                             *)
 
-let reproduce_paper () =
-  let opts = { C.Experiments.seed; scale } in
-  List.iter C.Experiments.print (C.Experiments.all opts)
+(* Run one artifact, printing its table and recording raw scalars when
+   the driver exposes them. *)
+let run_artifact opts name =
+  let print = C.Experiments.print in
+  match name with
+  | "table1" -> print (C.Experiments.table1 opts)
+  | "table3" -> print (C.Experiments.table3 opts)
+  | "table4" -> print (C.Experiments.table4 opts)
+  | "table5" ->
+      let rendered, raw = C.Experiments.table5 opts in
+      print rendered;
+      record "table5"
+        (List.map (fun (topo, s) -> (topo ^ ".lp_solve_seconds", s)) raw)
+  | "fig6" -> print (C.Experiments.fig6 opts)
+  | "fig7" -> print (C.Experiments.fig7 opts)
+  | "fig8" -> print (C.Experiments.fig8 opts)
+  | "fig9" -> print (C.Experiments.fig9 opts)
+  | "fig10" ->
+      let rendered, raw = C.Experiments.fig10 opts in
+      print rendered;
+      record "fig10"
+        (List.concat_map
+           (fun (topo, b) ->
+             [
+               (topo ^ ".reduction_q1", b.Apple_prelude.Stats.q1);
+               (topo ^ ".reduction_median", b.Apple_prelude.Stats.med);
+               (topo ^ ".reduction_q3", b.Apple_prelude.Stats.q3);
+             ])
+           raw)
+  | "fig11" ->
+      let rendered, raw = C.Experiments.fig11 opts in
+      print rendered;
+      record "fig11"
+        (List.concat_map
+           (fun (topo, apple, ingress) ->
+             [
+               (topo ^ ".apple_cores", float_of_int apple);
+               (topo ^ ".ingress_cores", float_of_int ingress);
+             ])
+           raw)
+  | "fig12" ->
+      let rendered, raw = C.Experiments.fig12 opts in
+      print rendered;
+      record "fig12"
+        (List.concat_map
+           (fun (topo, w, wo, extra) ->
+             [
+               (topo ^ ".loss_with_failover", w);
+               (topo ^ ".loss_without_failover", wo);
+               (topo ^ ".extra_cores", extra);
+             ])
+           raw)
+  | other -> invalid_arg ("run_artifact: " ^ other)
 
-let run_ablations () =
-  let opts = { C.Experiments.seed; scale } in
+let reproduce_paper opts = List.iter (run_artifact opts) experiment_names
+
+let run_ablations opts =
   print_endline "---- ablations (beyond the paper's figures) ----\n";
   List.iter C.Experiments.print (C.Experiments.ablations opts)
 
 (* Serial vs parallel: the per-class decomposition at several jobs
    values against the monolithic LP, plus the determinism check. *)
-let run_jobs () =
-  let opts = { C.Experiments.seed; scale } in
+let run_jobs opts =
   print_endline "---- jobs study (APPLE_JOBS / --jobs) ----\n";
   Printf.printf "recommended_domain_count = %d\n\n%!"
     (Domain.recommended_domain_count ());
-  let rendered, _ = C.Experiments.jobs_table opts in
-  C.Experiments.print rendered
+  let rendered, raw = C.Experiments.jobs_table opts in
+  C.Experiments.print rendered;
+  record "jobs"
+    (List.concat_map
+       (fun (topo, lp_s, per_jobs, identical) ->
+         ((topo ^ ".lp_seconds", lp_s)
+         :: (topo ^ ".identical", if identical then 1.0 else 0.0)
+         :: List.map
+              (fun (j, s) -> (Printf.sprintf "%s.jobs%d_seconds" topo j, s))
+              per_jobs))
+       raw)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks on the framework's kernels.       *)
@@ -222,8 +391,16 @@ let () =
     "APPLE reproduction benchmarks (seed=%d scale=%.2f)\n\
      =================================================\n\n%!"
     seed scale;
-  if wants "paper" then reproduce_paper ();
-  if wants "ablations" then run_ablations ();
-  if wants "jobs" then run_jobs ();
+  if !json_path <> None then T.set_enabled true;
+  let opts = { C.Experiments.seed; scale } in
+  if wants "paper" then reproduce_paper opts
+  else
+    (* Individual artifacts (skipped when the whole paper section ran). *)
+    List.iter
+      (fun name -> if wants name then run_artifact opts name)
+      experiment_names;
+  if wants "ablations" then run_ablations opts;
+  if wants "jobs" then run_jobs opts;
   if wants "micro" then run_micro ();
+  Option.iter write_snapshot !json_path;
   print_endline "\nbench: done"

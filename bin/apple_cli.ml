@@ -5,8 +5,34 @@ module C = Apple_core
 module B = Apple_topology.Builders
 module Tr = Apple_traffic
 module Rng = Apple_prelude.Rng
+module T = Apple_telemetry.Telemetry
 
 open Cmdliner
+
+(* --- telemetry option (shared by every subcommand) ------------------ *)
+
+let metrics_arg =
+  let doc =
+    "Enable telemetry and print a metrics report (counters, per-phase span \
+     timings, pool utilization, event journal) after the command, in the \
+     given $(docv): $(b,text), $(b,json) (JSON-lines) or $(b,prom) \
+     (Prometheus text format)."
+  in
+  let env = Cmd.Env.info "APPLE_METRICS" ~doc:"Same as $(b,--metrics)." in
+  Arg.(
+    value
+    & opt (some (enum [ ("text", T.Text); ("json", T.Json); ("prom", T.Prom) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~env ~doc)
+
+(* Run [f] with telemetry enabled when a report was requested, then print
+   the report to stdout (also when [f] fails, so a crashed run still
+   shows what the pipeline did up to that point). *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some fmt ->
+      T.set_enabled true;
+      Fun.protect ~finally:(fun () -> print_string (T.render fmt)) f
 
 let topology_of_string = function
   | "internet2" -> Ok (B.internet2 ())
@@ -67,41 +93,28 @@ let run_experiment name seed scale =
 let experiment_cmd =
   let name_arg =
     let doc = "Experiment to reproduce: " ^ String.concat ", " experiment_names in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+    (* [Arg.enum] gives the conventional cmdliner error — non-zero exit
+       plus the list of valid names — on an unknown experiment. *)
+    let exp_conv = Arg.enum (List.map (fun n -> (n, n)) experiment_names) in
+    Arg.(required & pos 0 (some exp_conv) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let action name seed scale =
-    match run_experiment name seed scale with
+  let action name seed scale metrics =
+    match with_metrics metrics (fun () -> run_experiment name seed scale) with
     | Ok () -> `Ok ()
     | Error (`Msg m) -> `Error (false, m)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
-    Term.(ret (const action $ name_arg $ seed_arg $ scale_arg))
+    Term.(ret (const action $ name_arg $ seed_arg $ scale_arg $ metrics_arg))
 
 (* --- solve command ------------------------------------------------- *)
 
 let engine_conv =
-  let parse = function
-    | "best" -> Ok `Best
-    | "lp" -> Ok `Lp
-    | "per-class" -> Ok `Per_class
-    | "greedy" -> Ok `Greedy
-    | s ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown engine %S (expected best|lp|per-class|greedy)" s))
-  in
-  let print ppf e =
-    Format.pp_print_string ppf
-      (match e with
-      | `Best -> "best"
-      | `Lp -> "lp"
-      | `Per_class -> "per-class"
-      | `Greedy -> "greedy")
-  in
-  Arg.conv (parse, print)
+  Arg.enum
+    [ ("best", `Best); ("lp", `Lp); ("per-class", `Per_class); ("greedy", `Greedy) ]
 
-let solve_action topo seed total max_classes engine jobs verify tm_file =
+let solve_action topo seed total max_classes engine jobs verify tm_file metrics =
+  with_metrics metrics @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let tm =
     match tm_file with
@@ -193,11 +206,12 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the Optimization Engine once and print the placement summary")
-    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg))
+    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg))
 
 (* --- replay command ------------------------------------------------ *)
 
-let replay_action topo seed snapshots =
+let replay_action topo seed snapshots metrics =
+  with_metrics metrics @@ fun () ->
   let profile =
     { Tr.Synth.default_profile with Tr.Synth.snapshots; total_rate = 3000.0;
       burst_probability = 0.06; burst_factor = 25.0; burst_length = 6 }
@@ -232,11 +246,12 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay time-varying traffic with and without fast failover")
-    Term.(ret (const replay_action $ topo_arg $ seed_arg $ snapshots_arg))
+    Term.(ret (const replay_action $ topo_arg $ seed_arg $ snapshots_arg $ metrics_arg))
 
 (* --- policies command ----------------------------------------------- *)
 
-let policies_action topo file verify =
+let policies_action topo file verify metrics =
+  with_metrics metrics @@ fun () ->
   let env = Apple_classifier.Predicate.env () in
   match C.Policy_file.parse_file ~env ~topology:topo ~path:file with
   | Error e -> `Error (false, Format.asprintf "%s: %a" file C.Policy_file.pp_error e)
@@ -291,7 +306,7 @@ let policies_cmd =
   Cmd.v
     (Cmd.info "policies"
        ~doc:"Aggregate a policy file into classes, place VNFs and verify")
-    Term.(ret (const policies_action $ topo_arg $ file_arg $ verify_arg))
+    Term.(ret (const policies_action $ topo_arg $ file_arg $ verify_arg $ metrics_arg))
 
 (* --- topologies command -------------------------------------------- *)
 

@@ -4,6 +4,10 @@ module Instance = Apple_vnf.Instance
 let log = Logs.Src.create "apple.controller" ~doc:"APPLE controller"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module T = Apple_telemetry.Telemetry
+
+let sp_epoch = T.Span.create "controller.epoch"
+let m_epochs = T.Counter.create "apple.controller.epochs"
 
 type epoch_report = {
   placement : Optimization_engine.placement;
@@ -43,6 +47,9 @@ let create ?(objective = Optimization_engine.Min_instances) ?(engine = `Best)
   }
 
 let run_epoch t =
+  T.Journal.recordf ~kind:"epoch" "epoch started: %d classes"
+    (Array.length t.s.Types.classes);
+  T.Span.with_ sp_epoch @@ fun () ->
   let placement =
     match t.engine with
     | `Best -> Engine_select.solve_best ~objective:t.objective t.s
@@ -70,6 +77,10 @@ let run_epoch t =
   t.state <- Some state;
   t.assignment <- Some assignment;
   t.handler <- Some (Dynamic_handler.create ~config:t.failover state);
+  T.Counter.incr m_epochs;
+  T.Journal.recordf ~kind:"epoch"
+    "epoch done: %d instances, %d cores, %d TCAM entries in %.2fs"
+    report.instances report.cores report.tcam_entries report.solve_seconds;
   Log.info (fun m ->
       m "epoch: %d classes -> %d instances (%d cores), %d TCAM entries, %.2fs"
         (Array.length t.s.Types.classes)

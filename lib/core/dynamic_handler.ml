@@ -4,6 +4,16 @@ module Nf = Apple_vnf.Nf
 let log = Logs.Src.create "apple.failover" ~doc:"Dynamic Handler (fast failover)"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module T = Apple_telemetry.Telemetry
+
+(* Global mirrors of the per-handler counters, so one report covers a
+   whole replay with many handlers; weight_moves counts each individual
+   sub-class weight reassignment inside an episode. *)
+let m_overloads = T.Counter.create "apple.failover.overloads"
+let m_spawns = T.Counter.create "apple.failover.spawns"
+let m_rollbacks = T.Counter.create "apple.failover.rollbacks"
+let m_rebalances = T.Counter.create "apple.failover.rebalances"
+let m_weight_moves = T.Counter.create "apple.failover.weight_moves"
 
 type config = {
   high_watermark : float;
@@ -134,6 +144,9 @@ let spawn_pool_instance t episode template stage =
           then begin
             let inst = Resource_orchestrator.launch orch kind ~host in
             t.n_spawns <- t.n_spawns + 1;
+            T.Counter.incr m_spawns;
+            T.Journal.recordf ~kind:"failover" "spawned %s pool instance at switch %d"
+              (Nf.name kind) host;
             t.state.Netstate.extra_instances <-
               inst :: t.state.Netstate.extra_instances;
             episode.spawned <- (inst, ref []) :: episode.spawned;
@@ -201,6 +214,7 @@ let pin_to_pool t episode inst template stage amount =
             fresh
       in
       target.Netstate.weight <- target.Netstate.weight +. amount;
+      T.Counter.incr m_weight_moves;
       Array.iter
         (fun i -> Instance.add_offered i (rate *. amount))
         target.Netstate.stage_instances;
@@ -209,6 +223,11 @@ let pin_to_pool t episode inst template stage amount =
 (* Handle an overload of [hot] (fresh or repeated). *)
 let failover t hot =
   t.n_overloads <- t.n_overloads + 1;
+  T.Counter.incr m_overloads;
+  T.Journal.recordf ~kind:"failover" "episode opened: %s#%d at switch %d (%.0f/%.0f Mbps)"
+    (Nf.name (Instance.kind hot)) (Instance.id hot) (Instance.host hot)
+    (Instance.offered hot)
+    (Instance.spec hot).Nf.capacity_mbps;
   Log.info (fun m ->
       m "overload: %s#%d at switch %d (%.0f/%.0f Mbps)"
         (Nf.name (Instance.kind hot)) (Instance.id hot) (Instance.host hot)
@@ -235,11 +254,13 @@ let failover t hot =
       in
       if victims <> [] && rate > 0.0 then begin
         t.n_rebalances <- t.n_rebalances + 1;
+        T.Counter.incr m_rebalances;
         (* Halve every victim. *)
         let freed = ref 0.0 in
         List.iter
           (fun p ->
             remember_weight episode p;
+            T.Counter.incr m_weight_moves;
             let half = p.Netstate.weight /. 2.0 in
             p.Netstate.weight <- half;
             Array.iter
@@ -269,6 +290,7 @@ let failover t hot =
               let amount = min !freed (max 0.0 (headroom /. rate)) in
               if amount > 1e-9 then begin
                 remember_weight episode p;
+                T.Counter.incr m_weight_moves;
                 p.Netstate.weight <- p.Netstate.weight +. amount;
                 Array.iter
                   (fun inst -> Instance.add_offered inst (rate *. amount))
@@ -358,6 +380,11 @@ let rec rollback t episode =
       | Some _ | None -> ())
     episode.spawned;
   t.n_rollbacks <- t.n_rollbacks + 1;
+  T.Counter.incr m_rollbacks;
+  T.Journal.recordf ~kind:"failover"
+    "rollback: instance %d recovered, %d failover instance(s) cancelled"
+    (Instance.id episode.instance)
+    (List.length episode.spawned);
   List.iter
     (fun p -> p.Netstate.weight <- p.Netstate.baseline)
     episode.touched;

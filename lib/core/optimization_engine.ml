@@ -3,6 +3,20 @@ module Model = Apple_lp.Model
 module Graph = Apple_topology.Graph
 module Builders = Apple_topology.Builders
 module Pool = Apple_parallel.Pool
+module T = Apple_telemetry.Telemetry
+
+(* Per-phase spans around the solve pipeline and an "lp" journal entry
+   per relaxation solved.  Span bodies are the existing phase code; the
+   engine never reads telemetry back, so placements are unaffected. *)
+let sp_relax = T.Span.create "opt.relax"
+let sp_reweight = T.Span.create "opt.reweight"
+let sp_round = T.Span.create "opt.round"
+let sp_repair = T.Span.create "opt.repair"
+let sp_consolidate = T.Span.create "opt.consolidate"
+let sp_ilp = T.Span.create "opt.ilp"
+let m_per_class_rounds = T.Counter.create "apple.opt.per_class_rounds"
+let m_class_lps = T.Counter.create "apple.opt.class_lps"
+let m_lp_pivots = T.Counter.create "apple.lp.pivots"
 
 type objective = Min_instances | Min_cores
 
@@ -570,7 +584,10 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
   | Ilp max_nodes ->
       let model, q, d = build_model s ~objective ~integer:true in
       let model_size = Format.asprintf "%a" Model.pp_stats model in
-      let sol = Model.solve_ilp ~max_nodes model in
+      let p0 = T.Counter.value m_lp_pivots in
+      let sol = T.Span.with_ sp_ilp (fun () -> Model.solve_ilp ~max_nodes model) in
+      T.Journal.recordf ~kind:"lp" "ilp solved: %s, %d pivots" model_size
+        (T.Counter.value m_lp_pivots - p0);
       check_status sol;
       let dist = extract_distribution s d sol in
       let n = Graph.num_nodes s.Types.topo.Builders.graph in
@@ -594,7 +611,10 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
   | Lp_round ->
       let model1, _, d1 = build_model s ~objective ~integer:false in
       let model_size = Format.asprintf "%a" Model.pp_stats model1 in
-      let sol1 = Model.solve_lp model1 in
+      let p0 = T.Counter.value m_lp_pivots in
+      let sol1 = T.Span.with_ sp_relax (fun () -> Model.solve_lp model1) in
+      T.Journal.recordf ~kind:"lp" "relaxation solved: %s, %d pivots" model_size
+        (T.Counter.value m_lp_pivots - p0);
       check_status sol1;
       let dist1 = extract_distribution s d1 sol1 in
       (* The fractional objective is degenerate — spreading load across
@@ -612,9 +632,16 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         | Model.Optimal | Model.Limit -> extract_distribution s d' sol'
         | Model.Infeasible | Model.Unbounded -> dist
       in
-      let dist = if reweight then refine dist1 else dist1 in
-      let counts = repair_resources s dist in
-      let counts = if consolidate then consolidate_pass s dist counts else counts in
+      let dist =
+        if reweight then T.Span.with_ sp_reweight (fun () -> refine dist1)
+        else dist1
+      in
+      let counts = T.Span.with_ sp_repair (fun () -> repair_resources s dist) in
+      let counts =
+        if consolidate then
+          T.Span.with_ sp_consolidate (fun () -> consolidate_pass s dist counts)
+        else counts
+      in
       {
         counts;
         distribution = dist;
@@ -650,10 +677,19 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
       in
       let rounds = if reweight then max 1 rounds else 1 in
       let dist = ref [||] in
-      for _round = 1 to rounds do
+      for round = 1 to rounds do
         let p = !prices in
-        dist :=
-          Pool.run ~jobs (fun c -> solve_class_lp ~objective ~prices:p c) classes;
+        let p0 = T.Counter.value m_lp_pivots in
+        T.Span.with_ sp_round (fun () ->
+            dist :=
+              Pool.run ~jobs
+                (fun c -> solve_class_lp ~objective ~prices:p c)
+                classes);
+        T.Counter.incr m_per_class_rounds;
+        T.Counter.add m_class_lps nclasses;
+        T.Journal.recordf ~kind:"lp" "per-class round %d/%d: %d class LPs, %d pivots"
+          round rounds nclasses
+          (T.Counter.value m_lp_pivots - p0);
         (* Repricing reads the merged distribution sequentially — float
            accumulation order is fixed regardless of [jobs]. *)
         prices := per_class_prices s !dist
@@ -671,8 +707,12 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         done;
         !acc
       in
-      let counts = repair_resources s dist in
-      let counts = if consolidate then consolidate_pass s dist counts else counts in
+      let counts = T.Span.with_ sp_repair (fun () -> repair_resources s dist) in
+      let counts =
+        if consolidate then
+          T.Span.with_ sp_consolidate (fun () -> consolidate_pass s dist counts)
+        else counts
+      in
       {
         counts;
         distribution = dist;

@@ -5,6 +5,11 @@ module Tag = Apple_dataplane.Tag
 module Graph = Apple_topology.Graph
 module Builders = Apple_topology.Builders
 module Instance = Apple_vnf.Instance
+module T = Apple_telemetry.Telemetry
+
+let m_tcam_tagged = T.Counter.create "apple.rules.tcam_tagged"
+let m_tcam_untagged = T.Counter.create "apple.rules.tcam_untagged"
+let m_vswitch = T.Counter.create "apple.rules.vswitch"
 
 type tag_mode = [ `Local | `Global ]
 
@@ -247,15 +252,27 @@ let build ?(split_depth = 6) ?(tag_mode = `Auto) (s : Types.scenario)
         action = Rule.Goto_next;
       }
   done;
-  {
-    network;
-    tcam_with_tagging = Tcam.total_tcam network;
-    tcam_without_tagging = !no_tag_entries;
-    vswitch_rules = !vswitch_count;
-    split_depth;
-    tag_mode = mode;
-    global_tags_used = !next_global;
-  }
+  let built =
+    {
+      network;
+      tcam_with_tagging = Tcam.total_tcam network;
+      tcam_without_tagging = !no_tag_entries;
+      vswitch_rules = !vswitch_count;
+      split_depth;
+      tag_mode = mode;
+      global_tags_used = !next_global;
+    }
+  in
+  if T.enabled () then begin
+    T.Counter.add m_tcam_tagged built.tcam_with_tagging;
+    T.Counter.add m_tcam_untagged built.tcam_without_tagging;
+    T.Counter.add m_vswitch built.vswitch_rules;
+    T.Journal.recordf ~kind:"rules"
+      "rules installed: %d TCAM tagged (%d untagged), %d vswitch, %d global tags"
+      built.tcam_with_tagging built.tcam_without_tagging built.vswitch_rules
+      built.global_tags_used
+  end;
+  built
 
 let reduction_ratio built =
   if built.tcam_with_tagging = 0 then 0.0

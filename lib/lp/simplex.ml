@@ -1,6 +1,20 @@
 let src = Logs.Src.create "apple.lp.simplex" ~doc:"APPLE revised simplex solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module T = Apple_telemetry.Telemetry
+
+(* Counters mirror the [apple.lp.*] debug trace points so solver
+   behaviour is visible without enabling debug logging.  All updates go
+   through Atomics, so concurrent per-class solves in pool workers are
+   safe. *)
+let m_solves = T.Counter.create "apple.lp.solves"
+let m_pivots = T.Counter.create "apple.lp.pivots"
+let m_phase1_solves = T.Counter.create "apple.lp.phase1_solves"
+let m_phase1_skipped = T.Counter.create "apple.lp.phase1_skipped"
+let m_bland = T.Counter.create "apple.lp.bland_engagements"
+let m_infeasible = T.Counter.create "apple.lp.infeasible"
+let m_iter_limit = T.Counter.create "apple.lp.iteration_limit"
+let m_pivots_per_solve = T.Histogram.create ~lo:1.0 "apple.lp.pivots_per_solve"
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -291,6 +305,7 @@ let optimize st ~max_iters iter_count =
                   Log.debug (fun m ->
                       m "anti-cycling: Bland's rule engaged after %d stalled pivots"
                         !stall);
+                  T.Counter.incr m_bland;
                   bland := true
                 end
               end
@@ -422,6 +437,7 @@ let solve ?max_iters (p : problem) : result =
   let phase1_needed = Array.exists (fun v -> abs_float v > eps_bound) st.xb in
   let status = ref Optimal in
   if phase1_needed then begin
+    T.Counter.incr m_phase1_solves;
     for i = 0 to m - 1 do
       cost.(p.num_vars + i) <- 1.0
     done;
@@ -443,10 +459,12 @@ let solve ?max_iters (p : problem) : result =
       refresh_xb st
     end
   end
-  else
+  else begin
+    T.Counter.incr m_phase1_skipped;
     Log.debug (fun k ->
         k "phase1 skipped: all-bound start already feasible (%d rows x %d cols)"
-          m p.num_vars);
+          m p.num_vars)
+  end;
   let phase1_iters = !iter_count in
   if !status = Optimal then begin
     (* Phase 2: real costs, artificials pinned to zero. *)
@@ -483,4 +501,13 @@ let solve ?max_iters (p : problem) : result =
         !acc
     | Infeasible | Unbounded -> nan
   in
+  if T.enabled () then begin
+    T.Counter.incr m_solves;
+    T.Counter.add m_pivots !iter_count;
+    T.Histogram.observe m_pivots_per_solve (float_of_int !iter_count);
+    (match !status with
+    | Infeasible -> T.Counter.incr m_infeasible
+    | Iteration_limit -> T.Counter.incr m_iter_limit
+    | Optimal | Unbounded -> ())
+  end;
   { status = !status; objective; primal; duals; iterations = !iter_count }

@@ -7,11 +7,26 @@
    scheduling decides only who computes a chunk, never what is computed
    or where it lands. *)
 
+module T = Apple_telemetry.Telemetry
+
+(* Telemetry is observation-only: chunk claiming still goes through the
+   single atomic cursor and results land in their slots, so enabling
+   metrics cannot perturb the determinism contract. *)
+let m_jobs = T.Counter.create "apple.pool.jobs"
+let m_items = T.Counter.create "apple.pool.items"
+let m_chunks_by_worker = T.Counter.create "apple.pool.chunks_by_worker"
+let m_chunks_by_submitter = T.Counter.create "apple.pool.chunks_by_submitter"
+let m_seq_fallbacks = T.Counter.create "apple.pool.sequential_fallbacks"
+let m_pool_size = T.Gauge.create "apple.pool.size"
+let m_utilization = T.Gauge.create "apple.pool.utilization"
+let m_job_seconds = T.Histogram.create "apple.pool.job_seconds"
+
 type job = {
   n : int;
   chunk : int;
   total_chunks : int;
   cursor : int Atomic.t;  (* next chunk index to claim *)
+  worker_chunks : int Atomic.t;  (* chunks drained by pool workers *)
   mutable outstanding : int;  (* chunks not yet drained; under [mutex] *)
   mutable failed : (int * exn) option;  (* lowest failing chunk start *)
   abort : bool Atomic.t;  (* skip remaining work after a failure *)
@@ -40,12 +55,18 @@ let jobs t = t.jobs
 
 (* Claim and drain chunks of [job] until the cursor runs dry.  Safe to
    call from any domain; every claimed chunk is accounted exactly once. *)
-let drain t job =
+let drain ?(as_worker = false) t job =
   let continue = ref true in
   while !continue do
     let c = Atomic.fetch_and_add job.cursor 1 in
     if c >= job.total_chunks then continue := false
     else begin
+      if T.enabled () then
+        if as_worker then begin
+          ignore (Atomic.fetch_and_add job.worker_chunks 1);
+          T.Counter.incr m_chunks_by_worker
+        end
+        else T.Counter.incr m_chunks_by_submitter;
       let lo = c * job.chunk in
       let hi = min job.n (lo + job.chunk) in
       (try if not (Atomic.get job.abort) then job.run_chunk lo hi
@@ -81,7 +102,7 @@ let worker t =
       let job = Option.get t.current in
       last_gen := t.generation;
       Mutex.unlock t.mutex;
-      drain t job
+      drain ~as_worker:true t job
     end
   done
 
@@ -124,7 +145,10 @@ let seq_map_range ~n ~f =
 
 let map_range t ~n ~f =
   if n = 0 then [||]
-  else if t.jobs <= 1 || n = 1 || t.stop then seq_map_range ~n ~f
+  else if t.jobs <= 1 || n = 1 || t.stop then begin
+    T.Counter.incr m_seq_fallbacks;
+    seq_map_range ~n ~f
+  end
   else begin
     let results = Array.make n None in
     (* Small chunks keep workers busy when item costs are skewed; the
@@ -138,6 +162,7 @@ let map_range t ~n ~f =
         chunk;
         total_chunks;
         cursor = Atomic.make 0;
+        worker_chunks = Atomic.make 0;
         outstanding = total_chunks;
         failed = None;
         abort = Atomic.make false;
@@ -152,9 +177,11 @@ let map_range t ~n ~f =
     if t.current <> None || t.stop then begin
       (* Nested/concurrent submission or racing shutdown: degrade. *)
       Mutex.unlock t.mutex;
+      T.Counter.incr m_seq_fallbacks;
       seq_map_range ~n ~f
     end
     else begin
+      let t0 = if T.enabled () then Unix.gettimeofday () else 0.0 in
       t.current <- Some job;
       t.generation <- t.generation + 1;
       Condition.broadcast t.cond;
@@ -166,6 +193,15 @@ let map_range t ~n ~f =
       done;
       t.current <- None;
       Mutex.unlock t.mutex;
+      if T.enabled () then begin
+        T.Counter.incr m_jobs;
+        T.Counter.add m_items n;
+        T.Gauge.set m_pool_size (float_of_int t.jobs);
+        T.Gauge.set m_utilization
+          (float_of_int (Atomic.get job.worker_chunks)
+          /. float_of_int job.total_chunks);
+        T.Histogram.observe m_job_seconds (Unix.gettimeofday () -. t0)
+      end;
       match job.failed with
       | Some (_, e) -> raise e
       | None ->

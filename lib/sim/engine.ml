@@ -1,3 +1,8 @@
+module T = Apple_telemetry.Telemetry
+
+let m_events = T.Counter.create "apple.sim.events"
+let m_queue_high_water = T.Gauge.create "apple.sim.queue_high_water"
+
 type event = { time : float; seq : int; action : t -> unit }
 
 and t = {
@@ -27,6 +32,7 @@ let push t ev =
   end;
   t.heap.(t.size) <- ev;
   t.size <- t.size + 1;
+  T.Gauge.set_max m_queue_high_water (float_of_int t.size);
   let i = ref (t.size - 1) in
   while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
@@ -84,6 +90,12 @@ let every t ~period ?until action =
   schedule t ~delay:period tick
 
 let run ?until t =
+  (* Spans and journal entries opened inside event actions pick up
+     virtual timestamps; the previous hook is restored so nested or
+     back-to-back engines do not clobber each other. *)
+  let prev_clock = T.current_sim_clock () in
+  T.set_sim_clock (Some (fun () -> t.clock));
+  Fun.protect ~finally:(fun () -> T.set_sim_clock prev_clock) @@ fun () ->
   let continue = ref true in
   while !continue do
     match pop t with
@@ -96,6 +108,7 @@ let run ?until t =
             continue := false
         | _ ->
             t.clock <- ev.time;
+            T.Counter.incr m_events;
             ev.action t)
   done
 

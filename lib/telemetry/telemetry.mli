@@ -1,0 +1,196 @@
+(** Process-wide observability: a metrics registry, timed spans and a
+    bounded event journal, with text / JSON-lines / Prometheus exporters.
+
+    The subsystem is {b off by default} and every update site first reads
+    one boolean, so instrumented hot paths (simplex pivots, pool chunk
+    claims, sim events) cost a load-and-branch when telemetry is
+    disabled — the engines' [--jobs] determinism contract and the
+    Table-V timings are unaffected.  When enabled, counters use
+    [Atomic] and the remaining structures take a short per-metric lock,
+    so updates are safe from any domain of the worker pool.
+
+    Telemetry is a side channel: nothing in here feeds back into engine
+    decisions, so enabling it never changes placements, rule tables or
+    simulation results (enforced by [test/test_parallel.ml]). *)
+
+val enabled : unit -> bool
+(** Current state of the global switch (default [false]). *)
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every registered metric and span and clear the journal.
+    Registered metric handles stay valid (the registry itself is kept). *)
+
+val set_sim_clock : (unit -> float) option -> unit
+(** Install (or remove) a virtual-time source.  While installed, spans
+    additionally record sim-time durations and journal entries carry a
+    sim timestamp.  [Apple_sim.Engine.run] installs its own clock for
+    the duration of a run. *)
+
+val sim_now : unit -> float option
+(** Current virtual time, when a sim clock is installed. *)
+
+val current_sim_clock : unit -> (unit -> float) option
+(** The installed clock itself, for save/restore around nested runs. *)
+
+(** Monotone integer counters (events, pivots, rules, chunks...). *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  (** Registry-idempotent: [create name] twice returns the same counter.
+      Raises [Invalid_argument] if [name] is registered as another
+      metric type. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Last-value gauges with an optional high-watermark update. *)
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val set : t -> float -> unit
+
+  val set_max : t -> float -> unit
+  (** Keep the maximum of the current and the given value. *)
+
+  val value : t -> float
+  val name : t -> string
+end
+
+(** Log-spaced-bucket histograms.
+
+    Bucket [i] holds values [v] with [upper (i-1) < v <= upper i] where
+    [upper i = lo * 10^((i+1) / buckets_per_decade)]; values at or below
+    [lo] land in bucket 0 and the last bucket is an overflow catching
+    everything above the covered decades.  Boundaries are precomputed,
+    so membership is exact (no per-observation [log]). *)
+module Histogram : sig
+  type t
+
+  val create : ?lo:float -> ?buckets_per_decade:int -> ?decades:int -> string -> t
+  (** Defaults: [lo = 1e-6], [buckets_per_decade = 4], [decades = 12] —
+      1 us to 1 Ms when observing seconds.  Registry-idempotent; the
+      shape parameters of the first creation win. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val max_value : t -> float
+  (** Largest observed value; [neg_infinity] when empty. *)
+
+  val num_buckets : t -> int
+
+  val bucket_index : t -> float -> int
+  (** Bucket an observation of [v] would land in. *)
+
+  val bucket_upper : t -> int -> float
+  (** Inclusive upper bound of bucket [i]; [infinity] for the last. *)
+
+  val bucket_count : t -> int -> int
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0,100]: the upper bound of the first
+      bucket whose cumulative count reaches the rank (an upper
+      estimate); [nan] when empty. *)
+
+  val name : t -> string
+end
+
+(** Named, nestable timed regions, aggregated per name.  Each completed
+    region adds its wall-clock duration — and its sim-time duration when
+    a sim clock is installed — to the span's totals. *)
+module Span : sig
+  type t
+
+  val create : string -> t
+  val with_ : t -> (unit -> 'a) -> 'a
+  (** Time [f] (exceptions included) and record the duration.  When
+      telemetry is disabled this is [f ()] with no clock reads. *)
+
+  val time : string -> (unit -> 'a) -> 'a
+  (** [with_ (create name) f]. *)
+
+  val count : t -> int
+  val wall_seconds : t -> float
+  val wall_max : t -> float
+  val sim_seconds : t -> float
+  val name : t -> string
+end
+
+(** Bounded ring-buffer event journal.  When full, the oldest entries
+    are overwritten; [dropped] counts the overwritten ones. *)
+module Journal : sig
+  type entry = {
+    seq : int;  (** 0-based global sequence number *)
+    wall : float;  (** [Unix.gettimeofday] at record time *)
+    sim : float option;  (** virtual time, when a sim clock is installed *)
+    kind : string;  (** e.g. ["epoch"], ["lp"], ["failover"] *)
+    detail : string;
+  }
+
+  val set_capacity : int -> unit
+  (** Resize (and clear) the ring.  Default capacity: 1024. *)
+
+  val capacity : unit -> int
+
+  val record : kind:string -> string -> unit
+
+  val recordf : kind:string -> ('a, unit, string, unit) format4 -> 'a
+  (** [recordf ~kind fmt ...]: like {!record} with a format string.  The
+      arguments are still evaluated when telemetry is disabled; prefer
+      {!record} with a literal (or guard with {!enabled}) on hot
+      paths. *)
+
+  val entries : unit -> entry list
+  (** Chronological (oldest surviving entry first). *)
+
+  val length : unit -> int
+  val total : unit -> int
+  val dropped : unit -> int
+  val clear : unit -> unit
+end
+
+(** Snapshot accessors (all sorted by metric name). *)
+
+val counters : unit -> (string * int) list
+val gauges : unit -> (string * float) list
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_max : float;
+  h_p50 : float;
+  h_p95 : float;
+}
+
+val histograms : unit -> (string * histogram_summary) list
+
+type span_summary = {
+  sp_count : int;
+  sp_wall : float;
+  sp_wall_max : float;
+  sp_sim : float;
+}
+
+val spans : unit -> (string * span_summary) list
+
+(** Exporters. *)
+
+type format = Text | Json | Prom
+
+val format_of_string : string -> (format, string) result
+val format_to_string : format -> string
+
+val render : format -> string
+(** {!render Text}: aligned tables (counters, gauges, histograms, spans,
+    journal tail) via [Apple_prelude.Text_table].  {!render Json}: one
+    JSON object per line — metrics first, then journal entries.
+    {!render Prom}: Prometheus text exposition format (names sanitized
+    to [[a-zA-Z0-9_]], histograms as cumulative [_bucket{le=...}]
+    series). *)

@@ -1,4 +1,8 @@
 module Engine = Apple_sim.Engine
+module T = Apple_telemetry.Telemetry
+
+let m_detections = T.Counter.create "apple.overload.detections"
+let m_recoveries = T.Counter.create "apple.overload.recoveries"
 
 type state = Normal | Overloaded
 
@@ -22,9 +26,15 @@ let observe t ~rate =
   match t.state with
   | Normal when rate > t.high_watermark ->
       t.state <- Overloaded;
+      T.Counter.incr m_detections;
+      T.Journal.recordf ~kind:"overload" "detector tripped at rate %.3f (high %.3f)"
+        rate t.high_watermark;
       (Overloaded, `Went_overloaded)
   | Overloaded when rate <= t.low_watermark ->
       t.state <- Normal;
+      T.Counter.incr m_recoveries;
+      T.Journal.recordf ~kind:"overload" "detector recovered at rate %.3f (low %.3f)"
+        rate t.low_watermark;
       (Normal, `Recovered)
   | s -> (s, `No_change)
 

@@ -6,6 +6,7 @@ let () =
       ("lp", Test_lp.suite);
       ("lp-props", Test_lp_props.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
       ("bdd", Test_bdd.suite);
       ("classifier", Test_classifier.suite);
       ("topology", Test_topology.suite);

@@ -99,6 +99,29 @@ let test_per_class_rules_identical_all_topologies () =
         (rule_tables (built p1) = rule_tables (built p4)))
     [ B.geant (); B.univ1 () ]
 
+let test_metrics_do_not_change_engine_output () =
+  (* Telemetry is a side channel: enabling it must leave the engine's
+     output untouched, at every jobs value.  Baseline with metrics off,
+     then identical solves with metrics on at jobs 1 and 4. *)
+  let module T = Apple_telemetry.Telemetry in
+  let s = Helpers.small_scenario ~max_classes:60 () in
+  let solve jobs = OE.solve ~method_:OE.Per_class ~jobs s in
+  let baseline = solve 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    (fun () ->
+      T.set_enabled true;
+      let m1 = solve 1 and m4 = solve 4 in
+      Alcotest.(check bool) "metrics on, jobs=1 = baseline" true
+        (placements_equal baseline m1);
+      Alcotest.(check bool) "metrics on, jobs=4 = baseline" true
+        (placements_equal baseline m4);
+      (* And the instrumentation actually observed the solves. *)
+      Alcotest.(check bool) "lp solves counted" true
+        (T.Counter.value (T.Counter.create "apple.lp.solves") > 0))
+
 let test_heuristic_jobs_determinism () =
   let s = Helpers.small_scenario ~max_classes:60 () in
   let p1 = HE.solve ~jobs:1 s in
@@ -263,6 +286,8 @@ let suite =
       test_per_class_rules_identical_all_topologies;
     Alcotest.test_case "greedy identical across jobs" `Quick
       test_heuristic_jobs_determinism;
+    Alcotest.test_case "metrics collection never changes engine output" `Quick
+      test_metrics_do_not_change_engine_output;
     Alcotest.test_case "admit_batch identical across jobs" `Quick
       test_admit_batch_jobs_determinism;
     Alcotest.test_case "singleton admit_batch matches admit" `Quick

@@ -1,0 +1,249 @@
+(* The telemetry subsystem's own contract: exact histogram bucket
+   boundaries, registry idempotence, journal ring wrap, disabled-path
+   no-ops, span aggregation and exporter sanity.  Every test runs with
+   the global switch restored to off, so the rest of the suite (and its
+   determinism checks) observes a disabled subsystem. *)
+
+module T = Apple_telemetry.Telemetry
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  nn = 0 || scan 0
+
+(* Flip telemetry on for the body of a test, restoring the disabled
+   default (and zeroed metrics) no matter how the body exits. *)
+let with_telemetry f =
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    f
+
+(* --- histogram buckets ---------------------------------------------- *)
+
+let test_histogram_bucket_boundaries () =
+  with_telemetry @@ fun () ->
+  (* lo=1, one bucket per decade, 3 decades: uppers 10, 100, 1000, inf. *)
+  let h =
+    T.Histogram.create ~lo:1.0 ~buckets_per_decade:1 ~decades:3
+      "test.hist.boundaries"
+  in
+  Alcotest.(check int) "bucket count" 4 (T.Histogram.num_buckets h);
+  Alcotest.(check (float 1e-9)) "upper 0" 10.0 (T.Histogram.bucket_upper h 0);
+  Alcotest.(check (float 1e-7)) "upper 1" 100.0 (T.Histogram.bucket_upper h 1);
+  Alcotest.(check (float 1e-6)) "upper 2" 1000.0 (T.Histogram.bucket_upper h 2);
+  Alcotest.(check bool) "last is overflow" true
+    (T.Histogram.bucket_upper h 3 = infinity);
+  (* Membership: upper(i-1) < v <= upper(i); at-or-below lo -> bucket 0. *)
+  List.iter
+    (fun (v, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_index %g" v)
+        expect
+        (T.Histogram.bucket_index h v))
+    [
+      (0.0, 0); (0.5, 0); (1.0, 0); (9.99, 0); (10.0, 0);
+      (10.000001, 1); (100.0, 1); (100.1, 2); (1000.0, 2);
+      (1000.1, 3); (1e12, 3);
+    ]
+
+let test_histogram_observe_and_percentile () =
+  with_telemetry @@ fun () ->
+  let h =
+    T.Histogram.create ~lo:1.0 ~buckets_per_decade:1 ~decades:3
+      "test.hist.observe"
+  in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (T.Histogram.percentile h 50.0));
+  Alcotest.(check bool) "empty max is -inf" true
+    (T.Histogram.max_value h = neg_infinity);
+  List.iter (T.Histogram.observe h) [ 2.0; 3.0; 5.0; 50.0; 40000.0 ];
+  Alcotest.(check int) "count" 5 (T.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 40060.0 (T.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "max" 40000.0 (T.Histogram.max_value h);
+  Alcotest.(check int) "bucket 0 holds three" 3 (T.Histogram.bucket_count h 0);
+  Alcotest.(check int) "bucket 1 holds one" 1 (T.Histogram.bucket_count h 1);
+  Alcotest.(check int) "overflow holds one" 1 (T.Histogram.bucket_count h 3);
+  (* p50: rank ceil(0.5*5)=3 -> cumulative reaches 3 in bucket 0. *)
+  Alcotest.(check (float 1e-9)) "p50 upper bound" 10.0
+    (T.Histogram.percentile h 50.0);
+  (* p95: rank 5 lands in the overflow bucket -> reports the true max. *)
+  Alcotest.(check (float 1e-9)) "p95 = observed max" 40000.0
+    (T.Histogram.percentile h 95.0)
+
+(* --- registry -------------------------------------------------------- *)
+
+let test_registry_idempotent () =
+  with_telemetry @@ fun () ->
+  let c1 = T.Counter.create "test.reg.counter" in
+  let c2 = T.Counter.create "test.reg.counter" in
+  T.Counter.incr c1;
+  T.Counter.incr c2;
+  Alcotest.(check int) "same counter via both handles" 2 (T.Counter.value c1);
+  (* A histogram's shape is fixed by the first creation. *)
+  let h1 = T.Histogram.create ~lo:1.0 ~buckets_per_decade:1 ~decades:2 "test.reg.h" in
+  let h2 = T.Histogram.create ~lo:1e-6 "test.reg.h" in
+  Alcotest.(check int) "first shape wins"
+    (T.Histogram.num_buckets h1) (T.Histogram.num_buckets h2);
+  (* Same name as a different metric type must be rejected. *)
+  Alcotest.check_raises "type clash"
+    (Invalid_argument
+       "Telemetry: \"test.reg.counter\" is already registered as a different \
+        metric type")
+    (fun () -> ignore (T.Gauge.create "test.reg.counter"))
+
+let test_reset_keeps_registry () =
+  with_telemetry @@ fun () ->
+  let c = T.Counter.create "test.reset.counter" in
+  let g = T.Gauge.create "test.reset.gauge" in
+  T.Counter.add c 5;
+  T.Gauge.set g 3.5;
+  T.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (T.Counter.value c);
+  Alcotest.(check (float 0.0)) "gauge zeroed" 0.0 (T.Gauge.value g);
+  T.Counter.incr c;
+  Alcotest.(check int) "handle still live" 1 (T.Counter.value c)
+
+(* --- gauges ---------------------------------------------------------- *)
+
+let test_gauge_set_max () =
+  with_telemetry @@ fun () ->
+  let g = T.Gauge.create "test.gauge.hwm" in
+  T.Gauge.set_max g 4.0;
+  T.Gauge.set_max g 2.0;
+  Alcotest.(check (float 0.0)) "high watermark holds" 4.0 (T.Gauge.value g);
+  T.Gauge.set g 1.0;
+  Alcotest.(check (float 0.0)) "set overrides" 1.0 (T.Gauge.value g)
+
+(* --- journal --------------------------------------------------------- *)
+
+let test_journal_ring_wrap () =
+  with_telemetry @@ fun () ->
+  let saved = T.Journal.capacity () in
+  Fun.protect ~finally:(fun () -> T.Journal.set_capacity saved) @@ fun () ->
+  T.Journal.set_capacity 8;
+  for i = 0 to 19 do
+    T.Journal.recordf ~kind:"test" "event %d" i
+  done;
+  Alcotest.(check int) "length capped" 8 (T.Journal.length ());
+  Alcotest.(check int) "total counts everything" 20 (T.Journal.total ());
+  Alcotest.(check int) "dropped" 12 (T.Journal.dropped ());
+  let entries = T.Journal.entries () in
+  Alcotest.(check int) "entries returned" 8 (List.length entries);
+  (* Oldest surviving entry is seq 12; order is chronological. *)
+  Alcotest.(check (list int)) "surviving seqs"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.T.Journal.seq) entries);
+  Alcotest.(check string) "detail preserved" "event 19"
+    (List.nth entries 7).T.Journal.detail
+
+(* --- disabled path --------------------------------------------------- *)
+
+let test_disabled_is_noop () =
+  (* Telemetry is off here (suite default).  Updates must not stick. *)
+  Alcotest.(check bool) "disabled" false (T.enabled ());
+  let c = T.Counter.create "test.off.counter" in
+  let g = T.Gauge.create "test.off.gauge" in
+  let h = T.Histogram.create "test.off.hist" in
+  T.Counter.add c 7;
+  T.Gauge.set g 9.0;
+  T.Histogram.observe h 1.0;
+  T.Journal.record ~kind:"test" "dropped";
+  let ran = ref false in
+  let v = T.Span.time "test.off.span" (fun () -> ran := true; 42) in
+  Alcotest.(check int) "span still runs body" 42 v;
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check int) "counter untouched" 0 (T.Counter.value c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (T.Gauge.value g);
+  Alcotest.(check int) "histogram untouched" 0 (T.Histogram.count h);
+  Alcotest.(check int) "journal untouched" 0 (T.Journal.total ())
+
+(* --- spans ----------------------------------------------------------- *)
+
+let test_span_aggregates_and_exceptions () =
+  with_telemetry @@ fun () ->
+  let s = T.Span.create "test.span" in
+  ignore (T.Span.with_ s (fun () -> Sys.opaque_identity 1));
+  (try T.Span.with_ s (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "both runs counted" 2 (T.Span.count s);
+  Alcotest.(check bool) "wall accumulated" true (T.Span.wall_seconds s >= 0.0);
+  Alcotest.(check bool) "max <= total" true
+    (T.Span.wall_max s <= T.Span.wall_seconds s +. 1e-12)
+
+let test_span_sim_time () =
+  with_telemetry @@ fun () ->
+  let now = ref 10.0 in
+  T.set_sim_clock (Some (fun () -> !now));
+  Fun.protect ~finally:(fun () -> T.set_sim_clock None) @@ fun () ->
+  let s = T.Span.create "test.span.sim" in
+  T.Span.with_ s (fun () -> now := 13.5);
+  Alcotest.(check (float 1e-9)) "sim duration" 3.5 (T.Span.sim_seconds s);
+  (match T.Journal.entries () with _ -> ());
+  T.Journal.record ~kind:"test" "stamped";
+  match T.Journal.entries () with
+  | [ e ] -> Alcotest.(check (option (float 1e-9))) "sim stamp" (Some 13.5) e.T.Journal.sim
+  | l -> Alcotest.fail (Printf.sprintf "expected one entry, got %d" (List.length l))
+
+(* --- exporters ------------------------------------------------------- *)
+
+let test_exporters_render () =
+  with_telemetry @@ fun () ->
+  let c = T.Counter.create "test.render.counter" in
+  T.Counter.add c 3;
+  let h = T.Histogram.create ~lo:1.0 ~buckets_per_decade:1 ~decades:2 "test.render.hist" in
+  T.Histogram.observe h 5.0;
+  T.Journal.record ~kind:"test" "one event";
+  let text = T.render T.Text in
+  Alcotest.(check bool) "text names counter" true
+    (contains text "test.render.counter");
+  let json = T.render T.Json in
+  Alcotest.(check bool) "json has counter line" true
+    (contains json
+       "{\"type\":\"counter\",\"name\":\"test.render.counter\",\"value\":3}");
+  Alcotest.(check bool) "json has journal line" true
+    (contains json "\"detail\":\"one event\"");
+  let prom = T.render T.Prom in
+  Alcotest.(check bool) "prom sanitizes names" true
+    (contains prom "test_render_counter 3");
+  Alcotest.(check bool) "prom cumulative buckets" true
+    (contains prom "test_render_hist_bucket{le=\"10\"} 1");
+  Alcotest.(check bool) "prom overflow bucket" true
+    (contains prom "test_render_hist_bucket{le=\"+Inf\"} 1")
+
+let test_format_of_string () =
+  Alcotest.(check bool) "text" true (T.format_of_string "text" = Ok T.Text);
+  Alcotest.(check bool) "json" true (T.format_of_string "json" = Ok T.Json);
+  Alcotest.(check bool) "prom" true (T.format_of_string "prom" = Ok T.Prom);
+  match T.format_of_string "yaml" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "yaml should be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "histogram: exact bucket boundaries" `Quick
+      test_histogram_bucket_boundaries;
+    Alcotest.test_case "histogram: observe/sum/percentile" `Quick
+      test_histogram_observe_and_percentile;
+    Alcotest.test_case "registry: idempotent create, type clash rejected"
+      `Quick test_registry_idempotent;
+    Alcotest.test_case "reset zeroes values, keeps handles" `Quick
+      test_reset_keeps_registry;
+    Alcotest.test_case "gauge: set_max high watermark" `Quick test_gauge_set_max;
+    Alcotest.test_case "journal: ring wrap keeps the newest entries" `Quick
+      test_journal_ring_wrap;
+    Alcotest.test_case "disabled: all updates are no-ops" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "span: aggregates, survives exceptions" `Quick
+      test_span_aggregates_and_exceptions;
+    Alcotest.test_case "span: sim-time durations and stamps" `Quick
+      test_span_sim_time;
+    Alcotest.test_case "exporters: text/json/prom sanity" `Quick
+      test_exporters_render;
+    Alcotest.test_case "format_of_string" `Quick test_format_of_string;
+  ]
