@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench lint check clean
 
 all: build
 
@@ -12,10 +12,15 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# One-stop gate: compile everything, run the full test suite, then a
-# scaled-down smoke of the jobs study so the parallel path is exercised
+# Style gate: no polymorphic compare in lib/, no Hashtbl in
+# lib/parallel, no stdout printing from libraries.
+lint:
+	sh tools/lint.sh
+
+# One-stop gate: lint, compile everything, run the full test suite, then
+# a scaled-down smoke of the jobs study so the parallel path is exercised
 # with jobs>1 even on single-core CI boxes.
-check: build test
+check: lint build test
 	APPLE_BENCH_SCALE=0.02 APPLE_JOBS=2 APPLE_BENCH_ONLY=jobs dune exec bench/main.exe
 
 clean:

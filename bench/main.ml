@@ -280,6 +280,14 @@ let test_walk =
               ~path:(Array.to_list c.C.Types.path)
               ~cls:c.C.Types.id ~src_ip ())))
 
+let test_verify =
+  Test.make ~name:"static verifier (internet2, 12 classes)"
+    (Staged.stage (fun () ->
+         ignore
+           (Apple_verify.Verify.check (Lazy.force bench_scenario)
+              (Lazy.force bench_assignment)
+              (Lazy.force bench_rules))))
+
 let test_atoms =
   Test.make ~name:"atomic predicates (6 predicates)"
     (Staged.stage (fun () ->
@@ -354,6 +362,7 @@ let run_micro () =
       test_decompose;
       test_rulegen;
       test_walk;
+      test_verify;
       test_atoms;
       test_chash;
       test_drfq;

@@ -6,6 +6,7 @@ module B = Apple_topology.Builders
 module Tr = Apple_traffic
 module Rng = Apple_prelude.Rng
 module T = Apple_telemetry.Telemetry
+module V = Apple_verify.Verify
 
 open Cmdliner
 
@@ -132,7 +133,8 @@ let solve_action topo seed total max_classes engine jobs verify tm_file metrics 
   in
   let config = { C.Scenario.default_config with C.Scenario.max_classes } in
   let scenario = C.Scenario.build ~config ~seed topo tm in
-  let controller = C.Controller.create ~engine ?jobs scenario in
+  let gate = if verify then Some V.gate else None in
+  let controller = C.Controller.create ~engine ?jobs ?gate scenario in
   (try
      let report = C.Controller.run_epoch controller in
      Format.printf "topology:    %s (%d nodes, %d links)@." topo.B.label n
@@ -152,6 +154,8 @@ let solve_action topo seed total max_classes engine jobs verify tm_file metrics 
        (C.Rule_generator.reduction_ratio report.C.Controller.rules);
      Format.printf "solve time:  %.3f s@." report.C.Controller.solve_seconds;
      if verify then begin
+       Format.printf
+         "gate:        static verifier certified the rule tables@.";
        match C.Controller.verify controller with
        | Ok () ->
            Format.printf
@@ -161,6 +165,8 @@ let solve_action topo seed total max_classes engine jobs verify tm_file metrics 
      `Ok ()
    with
    | C.Optimization_engine.Infeasible msg -> `Error (false, "infeasible: " ^ msg)
+   | C.Controller.Rejected msg ->
+       `Error (false, "rejected by static verifier: " ^ msg)
    | Failure msg -> `Error (false, msg))
 
 let solve_cmd =
@@ -207,6 +213,72 @@ let solve_cmd =
     (Cmd.info "solve"
        ~doc:"Run the Optimization Engine once and print the placement summary")
     Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg))
+
+(* --- verify command ------------------------------------------------ *)
+
+let verify_action topo seed total max_classes engine jobs metrics =
+  with_metrics metrics @@ fun () ->
+  let n = Apple_topology.Graph.num_nodes topo.B.graph in
+  let rng = Rng.create seed in
+  let tm = Tr.Synth.gravity rng ~n ~total in
+  let config = { C.Scenario.default_config with C.Scenario.max_classes } in
+  let scenario = C.Scenario.build ~config ~seed topo tm in
+  (* Capture the full report through the controller's admission gate so
+     the command exercises the same code path as a gated epoch. *)
+  let captured = ref None in
+  let gate s asg built =
+    captured := Some (V.check s asg built);
+    Ok ()
+  in
+  let controller = C.Controller.create ~engine ?jobs ~gate scenario in
+  try
+    let report = C.Controller.run_epoch controller in
+    match !captured with
+    | None -> `Error (false, "internal error: the verifier gate never ran")
+    | Some r ->
+        Format.printf "topology:  %s (%d nodes), %d classes, engine %s@."
+          topo.B.label n
+          (Array.length scenario.C.Types.classes)
+          (match engine with
+          | `Best -> "best" | `Lp -> "lp" | `Per_class -> "per-class"
+          | `Greedy -> "greedy");
+        Format.printf "placement: %d instances (%d cores), %d TCAM entries@."
+          report.C.Controller.instances report.C.Controller.cores
+          report.C.Controller.tcam_entries;
+        Format.printf "%a" V.pp_report r;
+        if V.ok r then `Ok ()
+        else `Error (false, "configuration rejected by the static verifier")
+  with C.Optimization_engine.Infeasible msg ->
+    `Error (false, "infeasible: " ^ msg)
+
+let verify_cmd =
+  let topo_arg =
+    let doc = "Topology: internet2, geant, univ1 or as3679." in
+    Arg.(value & opt topology_conv (B.internet2 ()) & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let total_arg =
+    let doc = "Network-wide offered load in Mbps." in
+    Arg.(value & opt float 6000.0 & info [ "total" ] ~docv:"MBPS" ~doc)
+  in
+  let classes_arg =
+    let doc = "Maximum number of origin-destination pairs carrying policies." in
+    Arg.(value & opt int 120 & info [ "max-classes" ] ~docv:"N" ~doc)
+  in
+  let engine_arg =
+    let doc = "Placement engine to generate the configuration under test." in
+    Arg.(value & opt engine_conv `Best & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker domains for the parallel engines." in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically certify a generated configuration: chain order, \
+          interference freedom, isolation, capacity and table \
+          well-formedness, with a concrete witness per violation")
+    Term.(ret (const verify_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ metrics_arg))
 
 (* --- replay command ------------------------------------------------ *)
 
@@ -275,12 +347,14 @@ let policies_action topo file verify metrics =
               (Apple_vnf.Nf.chain_to_string (Array.to_list cls.C.Types.chain))
               info.C.Flow_aggregation.tcam_rules)
           r.C.Flow_aggregation.classes_info;
-        let controller = C.Controller.create r.C.Flow_aggregation.scenario in
+        let gate = if verify then Some V.gate else None in
+        let controller = C.Controller.create ?gate r.C.Flow_aggregation.scenario in
         let report = C.Controller.run_epoch controller in
         Format.printf "placement: %d instances, %d cores, %d TCAM entries@."
           report.C.Controller.instances report.C.Controller.cores
           report.C.Controller.tcam_entries;
         if verify then begin
+          Format.printf "gate: static verifier certified the rule tables@.";
           match C.Controller.verify controller with
           | Ok () -> Format.printf "verified: every class enforced on its unchanged path@."
           | Error e -> Format.printf "VERIFY FAILED: %s@." e
@@ -288,7 +362,9 @@ let policies_action topo file verify metrics =
         `Ok ()
       with
       | C.Flow_aggregation.No_route m -> `Error (false, m)
-      | C.Optimization_engine.Infeasible m -> `Error (false, "infeasible: " ^ m))
+      | C.Optimization_engine.Infeasible m -> `Error (false, "infeasible: " ^ m)
+      | C.Controller.Rejected m ->
+          `Error (false, "rejected by static verifier: " ^ m))
 
 let policies_cmd =
   let topo_arg =
@@ -328,6 +404,6 @@ let topologies_cmd =
 let main =
   let doc = "APPLE: interference-free NFV policy enforcement (ICDCS 2016 reproduction)" in
   Cmd.group (Cmd.info "apple" ~doc)
-    [ experiment_cmd; solve_cmd; replay_cmd; policies_cmd; topologies_cmd ]
+    [ experiment_cmd; solve_cmd; verify_cmd; replay_cmd; policies_cmd; topologies_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -155,7 +155,7 @@ let rec ite m f g h =
         r
 
 let exists m vars a =
-  let vset = List.sort_uniq compare vars in
+  let vset = List.sort_uniq Int.compare vars in
   let cache = Hashtbl.create 64 in
   let rec go a =
     if a <= 1 then a

@@ -57,7 +57,7 @@ let split ~base ~weights ~depth =
   let order =
     List.sort
       (fun i j ->
-        compare (raw.(j) -. floor raw.(j)) (raw.(i) -. floor raw.(i)))
+        Float.compare (raw.(j) -. floor raw.(j)) (raw.(i) -. floor raw.(i)))
       (List.init k (fun i -> i))
   in
   let give = ref (quanta_total - assigned) in

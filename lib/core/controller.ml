@@ -7,7 +7,9 @@ module Log = (val Logs.src_log log : Logs.LOG)
 module T = Apple_telemetry.Telemetry
 
 let sp_epoch = T.Span.create "controller.epoch"
+let sp_gate = T.Span.create "controller.verify_gate"
 let m_epochs = T.Counter.create "apple.controller.epochs"
+let m_rejected = T.Counter.create "apple.controller.rejected_epochs"
 
 type epoch_report = {
   placement : Optimization_engine.placement;
@@ -20,12 +22,21 @@ type epoch_report = {
 
 type engine = [ `Best | `Lp | `Per_class | `Greedy ]
 
+type gate =
+  Types.scenario ->
+  Subclass.assignment ->
+  Rule_generator.built ->
+  (unit, string) result
+
+exception Rejected of string
+
 type t = {
   s : Types.scenario;
   objective : Optimization_engine.objective;
   engine : engine;
   jobs : int option;
   failover : Dynamic_handler.config;
+  gate : gate option;
   mutable report : epoch_report option;
   mutable state : Netstate.t option;
   mutable handler : Dynamic_handler.t option;
@@ -33,13 +44,14 @@ type t = {
 }
 
 let create ?(objective = Optimization_engine.Min_instances) ?(engine = `Best)
-    ?jobs ?(failover = Dynamic_handler.default_config) s =
+    ?jobs ?(failover = Dynamic_handler.default_config) ?gate s =
   {
     s;
     objective;
     engine;
     jobs;
     failover;
+    gate;
     report = None;
     state = None;
     handler = None;
@@ -61,6 +73,20 @@ let run_epoch t =
   in
   let assignment = Subclass.assign t.s placement in
   let rules = Rule_generator.build t.s assignment in
+  (* Static admission gate: a rejected configuration never reaches the
+     data plane (no netstate, no handler — the previous epoch stays
+     installed). *)
+  (match t.gate with
+  | None -> ()
+  | Some gate -> (
+      match T.Span.with_ sp_gate (fun () -> gate t.s assignment rules) with
+      | Ok () -> ()
+      | Error msg ->
+          T.Counter.incr m_rejected;
+          T.Journal.recordf ~kind:"epoch" "epoch rejected by verify gate: %s"
+            msg;
+          Log.err (fun m -> m "epoch rejected by verify gate: %s" msg);
+          raise (Rejected msg)));
   let state = Netstate.of_assignment t.s assignment in
   Netstate.recompute_loads state;
   let report =

@@ -30,22 +30,40 @@ type engine = [ `Best | `Lp | `Per_class | `Greedy ]
     the monolithic LP pipeline, the parallel per-class decomposition, or
     the greedy heuristic alone. *)
 
+type gate =
+  Types.scenario ->
+  Subclass.assignment ->
+  Rule_generator.built ->
+  (unit, string) result
+(** Admission check run on every generated configuration before it is
+    installed.  [Apple_verify.Verify.gate] is the intended instance (the
+    dependency points the other way, so the verifier is injected rather
+    than imported). *)
+
+exception Rejected of string
+(** Raised by {!run_epoch} when the gate refuses the configuration; the
+    previously installed epoch (if any) stays live. *)
+
 val create :
   ?objective:Optimization_engine.objective ->
   ?engine:engine ->
   ?jobs:int ->
   ?failover:Dynamic_handler.config ->
+  ?gate:gate ->
   Types.scenario ->
   t
 (** [jobs] bounds the domains used by the [`Per_class] and [`Greedy]
     engines' parallel sections (default
     {!Apple_parallel.Pool.default_jobs}); placements are identical for
-    every value. *)
+    every value.  [gate] (none by default) vets each epoch's rule tables
+    before installation. *)
 
 val run_epoch : t -> epoch_report
 (** Global optimization for the scenario's current rates: solve, pin
-    sub-classes, generate rules, (re)build the network state.  Raises
-    {!Optimization_engine.Infeasible} if the hosts cannot carry the load. *)
+    sub-classes, generate rules, gate-check them (when a gate was given),
+    and (re)build the network state.  Raises
+    {!Optimization_engine.Infeasible} if the hosts cannot carry the load
+    and {!Rejected} if the gate refuses the configuration. *)
 
 val handle_snapshot : t -> Apple_traffic.Matrix.t -> float
 (** Update class rates from a snapshot, run one Dynamic-Handler round, and

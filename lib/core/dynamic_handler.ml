@@ -279,7 +279,7 @@ let failover t hot =
               && not (uses_hot p))
             subs
           |> List.sort (fun a b ->
-                 compare
+                 Float.compare
                    (Netstate.subclass_utilization t.state a)
                    (Netstate.subclass_utilization t.state b))
         in
@@ -428,7 +428,7 @@ let step t =
       (Netstate.instances_in_use t.state)
   in
   let hot =
-    List.sort (fun a b -> compare (Instance.id a) (Instance.id b)) hot
+    List.sort (fun a b -> Int.compare (Instance.id a) (Instance.id b)) hot
   in
   List.iter (fun inst -> failover t inst) hot;
   (* Safety net: concurrent episodes can transiently unbalance a class's

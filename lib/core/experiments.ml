@@ -9,7 +9,7 @@ module Nf = Apple_vnf.Nf
 type rendered = { title : string; body : string }
 
 let print r =
-  Printf.printf "== %s ==\n%s\n\n%!" r.title r.body
+  Printf.printf "== %s ==\n%s\n\n%!" r.title r.body (* lint: stdout *)
 
 type opts = { seed : int; scale : float }
 

@@ -54,7 +54,7 @@ let aggregate ?(host_cores = Types.default_host_cores) ~env
   let grouped =
     Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) groups []
     |> List.sort (fun (_, a) (_, b) ->
-           compare (fst (List.hd a)) (fst (List.hd b)))
+           Int.compare (fst (List.hd a)) (fst (List.hd b)))
   in
   let classes_info = ref [] in
   let classes = ref [] in

@@ -141,7 +141,7 @@ let solve ?(objective = Optimization_engine.Min_instances) ?jobs
      guide the rest. *)
   let order = Array.init (Array.length classes) (fun i -> i) in
   Array.sort
-    (fun a b -> compare classes.(b).Types.rate classes.(a).Types.rate)
+    (fun a b -> Float.compare classes.(b).Types.rate classes.(a).Types.rate)
     order;
   Array.iter (fun h -> place classes.(h)) order;
   let objective_of counts =

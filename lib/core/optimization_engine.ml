@@ -323,7 +323,12 @@ let repair_resources (s : Types.scenario) dist =
                 let moved = shed v k want in
                 if moved > 1e-9 then progressed := true
               end)
-            (List.sort compare !options);
+            (List.sort
+               (fun (n1, k1) (n2, k2) ->
+                 match Float.compare n1 n2 with
+                 | 0 -> Int.compare k1 k2
+                 | c -> c)
+               !options);
           if !progressed then fix ()
   in
   fix ();
@@ -421,7 +426,15 @@ let consolidate_pass (s : Types.scenario) dist counts =
           sites := (load.(v).(k), v, k) :: !sites
       done
     done;
-    let sorted = List.sort compare !sites in
+    let sorted =
+      List.sort
+        (fun (l1, v1, k1) (l2, v2, k2) ->
+          match Float.compare l1 l2 with
+          | 0 -> (
+              match Int.compare v1 v2 with 0 -> Int.compare k1 k2 | c -> c)
+          | c -> c)
+        !sites
+    in
     List.iter
       (fun (_, v, k) ->
         if counts.(v).(k) > 0 then begin
@@ -431,7 +444,20 @@ let consolidate_pass (s : Types.scenario) dist counts =
           in
           if over > 0.0 then begin
             let moved = ref 0.0 in
-            let contribs = List.sort compare (contributions v k) in
+            let contribs =
+              List.sort
+                (fun (m1, h1, i1, j1) (m2, h2, i2, j2) ->
+                  match Float.compare m1 m2 with
+                  | 0 -> (
+                      match Int.compare h1 h2 with
+                      | 0 -> (
+                          match Int.compare i1 i2 with
+                          | 0 -> Int.compare j1 j2
+                          | c -> c)
+                      | c -> c)
+                  | c -> c)
+                (contributions v k)
+            in
             List.iter
               (fun ((mass, _, _, _) as contrib) ->
                 if !moved < over -. 1e-9 && relocate k contrib then

@@ -19,7 +19,11 @@ let validate mix =
     (fun (chain, w) ->
       if w <= 0.0 then invalid_arg "Policy.validate: non-positive weight";
       if chain = [] then invalid_arg "Policy.validate: empty chain";
-      let sorted = List.sort_uniq compare chain in
+      let sorted =
+        List.sort_uniq
+          (fun a b -> Int.compare (Nf.kind_index a) (Nf.kind_index b))
+          chain
+      in
       if List.length sorted <> List.length chain then
         invalid_arg "Policy.validate: NF repeated within a chain")
     mix

@@ -21,6 +21,7 @@ type built = {
   split_depth : int;
   tag_mode : tag_mode;
   global_tags_used : int;
+  tag_of : (int, int) Hashtbl.t;
 }
 
 let needs_global_tags (s : Types.scenario) =
@@ -59,19 +60,24 @@ let build ?(split_depth = 6) ?(tag_mode = `Auto) (s : Types.scenario)
   (* Dense global sub-class ids, allocated lazily in [`Global] mode so
      they fit the 12-bit tag field. *)
   let global_ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let tag_table : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let next_global = ref 0 in
   let tag_value (sub : Subclass.subclass) =
-    match mode with
-    | `Local -> sub.Subclass.sub_id
-    | `Global -> (
-        let key = Subclass.key sub in
-        match Hashtbl.find_opt global_ids key with
-        | Some gid -> gid
-        | None ->
-            let gid = !next_global in
-            incr next_global;
-            Hashtbl.add global_ids key gid;
-            gid)
+    let key = Subclass.key sub in
+    let value =
+      match mode with
+      | `Local -> sub.Subclass.sub_id
+      | `Global -> (
+          match Hashtbl.find_opt global_ids key with
+          | Some gid -> gid
+          | None ->
+              let gid = !next_global in
+              incr next_global;
+              Hashtbl.add global_ids key gid;
+              gid)
+    in
+    if not (Hashtbl.mem tag_table key) then Hashtbl.add tag_table key value;
+    value
   in
   let vswitch_key (c : Types.flow_class) sub =
     match mode with
@@ -261,6 +267,7 @@ let build ?(split_depth = 6) ?(tag_mode = `Auto) (s : Types.scenario)
       split_depth;
       tag_mode = mode;
       global_tags_used = !next_global;
+      tag_of = tag_table;
     }
   in
   if T.enabled () then begin

@@ -34,6 +34,11 @@ type built = {
   global_tags_used : int;
       (** distinct global ids consumed (0 in [`Local] mode); must stay
           under {!Apple_dataplane.Tag.max_subclasses} *)
+  tag_of : (int, int) Hashtbl.t;
+      (** {!Subclass.key} -> sub-class tag value stamped by the emitted
+          classification rules (the sub id itself in [`Local] mode, the
+          allocated dense id in [`Global] mode).  The static verifier
+          checks walks and tag-space collisions against this map. *)
 }
 
 val needs_global_tags : Types.scenario -> bool

@@ -46,7 +46,7 @@ let build ?(config = default_config) ~seed (named : Builders.named) tm =
     done
   done;
   let sorted =
-    List.sort (fun (a, _, _) (b, _, _) -> compare b a) !demands
+    List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) !demands
   in
   let selected = List.filteri (fun k _ -> k < config.max_classes) sorted in
   let classes = ref [] in

@@ -250,6 +250,10 @@ let assign (s : Types.scenario) (placement : Optimization_engine.placement) =
     instances = List.rev !all_instances;
   }
 
+let pinned t sub =
+  Array.init (Array.length sub.hops) (fun j ->
+      Hashtbl.find_opt t.instance_of (key sub, j))
+
 let instance_load_ok t ~slack =
   List.for_all
     (fun inst ->

@@ -49,5 +49,9 @@ val assign :
     to one, balancing load first-fit-decreasing.  Instance offered loads
     are initialized to the pinned sub-class rates. *)
 
+val pinned : assignment -> subclass -> Apple_vnf.Instance.t option array
+(** Per-stage pinned instance of a sub-class ([None] marks a stage the
+    assignment failed to pin — a verifier-reportable fault). *)
+
 val instance_load_ok : assignment -> slack:float -> bool
 (** No instance is offered more than [slack * capacity]. *)

@@ -11,12 +11,22 @@ let switch t = t.sw
 
 let add_phys t r =
   t.phys <-
-    List.sort (fun a b -> compare b.Rule.priority a.Rule.priority) (r :: t.phys)
+    List.sort
+      (fun a b -> Int.compare b.Rule.priority a.Rule.priority)
+      (r :: t.phys)
 
 let add_vswitch t r = t.vsw <- r :: t.vsw
 
 let phys_rules t = t.phys
 let vswitch_rules t = List.rev t.vsw
+
+let set_phys t rules =
+  t.phys <-
+    List.stable_sort
+      (fun a b -> Int.compare b.Rule.priority a.Rule.priority)
+      rules
+
+let set_vswitch t rules = t.vsw <- List.rev rules
 
 let tcam_entries t =
   List.fold_left (fun acc r -> acc + Rule.tcam_entries r) 0 t.phys

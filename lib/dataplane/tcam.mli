@@ -18,6 +18,14 @@ val phys_rules : t -> Rule.phys_rule list
 (** Descending priority. *)
 
 val vswitch_rules : t -> Rule.vswitch_rule list
+(** Match order (first match wins). *)
+
+val set_phys : t -> Rule.phys_rule list -> unit
+(** Replace the whole APPLE table (rules are re-sorted by descending
+    priority, stable).  Meant for fault injection in verifier tests. *)
+
+val set_vswitch : t -> Rule.vswitch_rule list -> unit
+(** Replace the vSwitch table, keeping the given match order. *)
 
 val tcam_entries : t -> int
 (** Entries in the physical switch's APPLE table (pipelined layout). *)

@@ -40,7 +40,7 @@ let percentile xs p =
   require_non_empty "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else
@@ -77,7 +77,7 @@ let pp_boxplot ppf b =
 
 let cdf xs =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   List.init n (fun i -> (sorted.(i), float_of_int (i + 1) /. float_of_int n))
 

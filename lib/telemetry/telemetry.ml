@@ -323,7 +323,7 @@ let sorted_metrics () =
     | M_histogram h -> h.h_name
     | M_span s -> s.s_name
   in
-  List.sort (fun a b -> compare (name_of a) (name_of b)) all
+  List.sort (fun a b -> String.compare (name_of a) (name_of b)) all
 
 let counters () =
   List.filter_map

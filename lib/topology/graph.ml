@@ -64,7 +64,7 @@ let has_edge t u v = check_node t u; check_node t v; Hashtbl.mem t.adj.(u) v
 let neighbors t u =
   check_node t u;
   Hashtbl.fold (fun v e acc -> (v, e.weight) :: acc) t.adj.(u) []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let edge_capacity t u v =
   check_node t u;
@@ -279,7 +279,14 @@ let k_shortest_paths t src dst ~k =
                     && not (List.exists (fun (_, p) -> p = total) !candidates)
                   then candidates := (path_cost total, total) :: !candidates)
             done;
-            match List.sort compare !candidates with
+            match
+              List.sort
+                (fun (ca, pa) (cb, pb) ->
+                  match Float.compare ca cb with
+                  | 0 -> List.compare Int.compare pa pb
+                  | c -> c)
+                !candidates
+            with
             | [] -> ()
             | (_, best) :: rest ->
                 candidates := rest;
@@ -297,7 +304,12 @@ let edges t =
       (fun v e -> if u < v then acc := (u, v, e.weight) :: !acc)
       t.adj.(u)
   done;
-  List.sort compare !acc
+  List.sort
+    (fun (u1, v1, w1) (u2, v2, w2) ->
+      match Int.compare u1 u2 with
+      | 0 -> ( match Int.compare v1 v2 with 0 -> Float.compare w1 w2 | c -> c)
+      | c -> c)
+    !acc
 
 let pp ppf t =
   Format.fprintf ppf "graph(%d nodes, %d links)" t.n t.m

@@ -78,7 +78,7 @@ let load_sequence ~dir =
              String.length f > 3
              && String.sub f 0 3 = "tm_"
              && Filename.check_suffix f ".csv")
-      |> List.sort compare
+      |> List.sort String.compare
     in
     if files = [] then Error (Printf.sprintf "no tm_*.csv files in %s" dir)
     else

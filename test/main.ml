@@ -27,6 +27,7 @@ let () =
       ("packetsim", Test_packetsim.suite);
       ("tcp", Test_tcp.suite);
       ("aggregation", Test_aggregation.suite);
+      ("verify", Test_verify.suite);
       ("policy-file", Test_policy_file.suite);
       ("fuzz", Test_fuzz.suite);
     ]

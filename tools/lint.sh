@@ -1,0 +1,65 @@
+#!/bin/sh
+# Static style gate for lib/ — plain grep/sed, no extra tooling.
+#
+# Enforced rules:
+#   1. No polymorphic compare (`compare` unqualified, or `Stdlib.compare`)
+#      in lib/: it silently mis-orders floats (nan), records and custom
+#      types, and it boxes.  Use Int.compare / Float.compare /
+#      String.compare / a typed comparator.
+#   2. No Hashtbl in lib/parallel outside documented sites: the domain
+#      pool must stay free of shared mutable tables.  Annotate a reviewed
+#      exception with `(* lint: hashtbl *)` on the same line.
+#   3. No direct stdout printing in lib/ (print_string, print_endline,
+#      Printf.printf, Format.printf, ...): libraries must report through
+#      Logs, telemetry, or a caller-supplied formatter.  Annotate a
+#      reviewed exception with `(* lint: stdout *)` on the same line.
+#
+# Exit status: 0 clean, 1 violations found.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  # $1 = rule title, $2 = offending grep -n lines (may be empty)
+  if [ -n "$2" ]; then
+    echo "lint: $1"
+    printf '%s\n' "$2" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+# Strip OCaml comments well enough for line greps: drop (* ... *) spans
+# that open and close on one line (multi-line comment bodies are rare in
+# this codebase and prose rarely trips the patterns below anyway).
+strip_comments() {
+  sed 's/(\*[^*]*\(\*[^)][^*]*\)*\*)//g'
+}
+
+bare='(?<![A-Za-z0-9_.'\''])'
+after='(?![A-Za-z0-9_'\''])'
+
+# --- rule 1: polymorphic compare ------------------------------------
+hits=$(grep -rn --include='*.ml' -P "${bare}compare${after}|Stdlib\\.compare" lib/ \
+  | strip_comments \
+  | grep -P "${bare}compare${after}|Stdlib\\.compare" || true)
+report "polymorphic compare in lib/ (use a typed comparator)" "$hits"
+
+# --- rule 2: Hashtbl in lib/parallel --------------------------------
+if [ -d lib/parallel ]; then
+  hits=$(grep -rn --include='*.ml' 'Hashtbl' lib/parallel/ \
+    | grep -v 'lint: hashtbl' || true)
+  report "Hashtbl in lib/parallel (annotate reviewed sites with (* lint: hashtbl *))" "$hits"
+fi
+
+# --- rule 3: stdout prints in lib/ ----------------------------------
+hits=$(grep -rn --include='*.ml' -P \
+  "${bare}(print_string|print_endline|print_newline|print_int|print_float|print_char)${after}|Printf\\.printf|Format\\.printf${after}" \
+  lib/ | grep -v 'lint: stdout' || true)
+report "stdout printing in lib/ (use Logs/telemetry, or annotate with (* lint: stdout *))" "$hits"
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: clean"
+fi
+exit "$fail"
