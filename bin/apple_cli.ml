@@ -7,10 +7,18 @@ module Tr = Apple_traffic
 module Rng = Apple_prelude.Rng
 module T = Apple_telemetry.Telemetry
 module V = Apple_verify.Verify
+module Obs = Apple_obs.Counters
+module Flight = Apple_obs.Flight
+module Poller = Apple_obs.Poller
+module Provenance = Apple_obs.Provenance
+module Top = Apple_obs.Top
+module Walk = Apple_dataplane.Walk
+module PS = Apple_packetsim.Packet_sim
+module I = Apple_vnf.Instance
 
 open Cmdliner
 
-(* --- telemetry option (shared by every subcommand) ------------------ *)
+(* --- telemetry options (shared by every subcommand) ----------------- *)
 
 let metrics_arg =
   let doc =
@@ -25,15 +33,36 @@ let metrics_arg =
     & opt (some (enum [ ("text", T.Text); ("json", T.Json); ("prom", T.Prom) ])) None
     & info [ "metrics" ] ~docv:"FORMAT" ~env ~doc)
 
-(* Run [f] with telemetry enabled when a report was requested, then print
-   the report to stdout (also when [f] fails, so a crashed run still
-   shows what the pipeline did up to that point). *)
-let with_metrics metrics f =
-  match metrics with
-  | None -> f ()
-  | Some fmt ->
+let metrics_out_arg =
+  let doc =
+    "Write the metrics report to $(docv) instead of stdout.  Implies \
+     $(b,--metrics) (text format unless one was given) — handy for CI \
+     artifact collection."
+  in
+  let env = Cmd.Env.info "APPLE_METRICS_OUT" ~doc:"Same as $(b,--metrics-out)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~env ~doc)
+
+(* Run [f] with telemetry enabled when a report was requested, then emit
+   the report — to stdout, or to [--metrics-out FILE] — also when [f]
+   fails, so a crashed run still shows what the pipeline did up to that
+   point. *)
+let with_metrics metrics out f =
+  match (metrics, out) with
+  | None, None -> f ()
+  | fmt, out ->
+      let fmt = Option.value ~default:T.Text fmt in
       T.set_enabled true;
-      Fun.protect ~finally:(fun () -> print_string (T.render fmt)) f
+      let emit () =
+        let report = T.render fmt in
+        match out with
+        | None -> print_string report
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc report)
+      in
+      Fun.protect ~finally:emit f
 
 let topology_of_string = function
   | "internet2" -> Ok (B.internet2 ())
@@ -64,7 +93,7 @@ let experiment_names =
   [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
     "fig10"; "fig11"; "fig12"; "jobs"; "ablations"; "all" ]
 
-let run_experiment name seed scale =
+let run_experiment name seed scale load_source =
   let opts = { C.Experiments.seed; scale } in
   let first (r, _) = r in
   match name with
@@ -75,7 +104,11 @@ let run_experiment name seed scale =
   | "fig6" -> C.Experiments.print (C.Experiments.fig6 opts); Ok ()
   | "fig7" -> C.Experiments.print (C.Experiments.fig7 opts); Ok ()
   | "fig8" -> C.Experiments.print (C.Experiments.fig8 opts); Ok ()
-  | "fig9" -> C.Experiments.print (C.Experiments.fig9 opts); Ok ()
+  | "fig9" ->
+      (match load_source with
+      | `Oracle -> C.Experiments.print (C.Experiments.fig9 opts)
+      | `Polled -> C.Experiments.print (C.Experiments.fig9_polled opts));
+      Ok ()
   | "fig10" -> C.Experiments.print (first (C.Experiments.fig10 opts)); Ok ()
   | "fig11" -> C.Experiments.print (first (C.Experiments.fig11 opts)); Ok ()
   | "fig12" -> C.Experiments.print (first (C.Experiments.fig12 opts)); Ok ()
@@ -99,14 +132,33 @@ let experiment_cmd =
     let exp_conv = Arg.enum (List.map (fun n -> (n, n)) experiment_names) in
     Arg.(required & pos 0 (some exp_conv) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let action name seed scale metrics =
-    match with_metrics metrics (fun () -> run_experiment name seed scale) with
+  let load_source_arg =
+    let doc =
+      "Load source driving the Fig. 9 overload detector: $(b,oracle) reads \
+       the simulator's ground-truth rate (the paper's setting), $(b,polled) \
+       reads EWMA-smoothed dataplane counters through the observability \
+       poller and additionally reports detection latency vs poll period.  \
+       Only $(b,fig9) honors this."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("polled", `Polled) ]) `Oracle
+      & info [ "load-source" ] ~docv:"SOURCE" ~doc)
+  in
+  let action name seed scale load_source metrics out =
+    match
+      with_metrics metrics out (fun () ->
+          run_experiment name seed scale load_source)
+    with
     | Ok () -> `Ok ()
     | Error (`Msg m) -> `Error (false, m)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
-    Term.(ret (const action $ name_arg $ seed_arg $ scale_arg $ metrics_arg))
+    Term.(
+      ret
+        (const action $ name_arg $ seed_arg $ scale_arg $ load_source_arg
+       $ metrics_arg $ metrics_out_arg))
 
 (* --- solve command ------------------------------------------------- *)
 
@@ -114,8 +166,9 @@ let engine_conv =
   Arg.enum
     [ ("best", `Best); ("lp", `Lp); ("per-class", `Per_class); ("greedy", `Greedy) ]
 
-let solve_action topo seed total max_classes engine jobs verify tm_file metrics =
-  with_metrics metrics @@ fun () ->
+let solve_action topo seed total max_classes engine jobs verify tm_file metrics
+    out =
+  with_metrics metrics out @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let tm =
     match tm_file with
@@ -212,12 +265,87 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the Optimization Engine once and print the placement summary")
-    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg))
+    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg $ metrics_out_arg))
 
 (* --- verify command ------------------------------------------------ *)
 
-let verify_action topo seed total max_classes engine jobs metrics =
-  with_metrics metrics @@ fun () ->
+(* One representative packet walk per sub-class, labelled with the
+   sub-class key as its flow id so the flight recorder (and [apple
+   trace]) can attribute each event to a flow. *)
+let walk_representatives scenario asg (built : C.Rule_generator.built)
+    ~on_result =
+  Array.iter
+    (fun c ->
+      let subs =
+        List.filter
+          (fun sub -> sub.C.Subclass.class_id = c.C.Types.id)
+          asg.C.Subclass.subclasses
+      in
+      if subs <> [] then begin
+        let prefixes =
+          C.Rule_generator.subclass_prefixes c subs
+            ~depth:built.C.Rule_generator.split_depth
+        in
+        List.iteri
+          (fun idx sub ->
+            match prefixes.(idx) with
+            | [] -> ()
+            | p :: _ ->
+                let flow = C.Subclass.key sub in
+                let r =
+                  Walk.run built.C.Rule_generator.network
+                    ~path:(Array.to_list c.C.Types.path)
+                    ~cls:c.C.Types.id ~src_ip:p.C.Types.Prefix.addr ~flow ()
+                in
+                on_result c sub p r)
+          subs
+      end)
+    scenario.C.Types.classes
+
+let code_ordinal = function
+  | V.Chain_order -> 0
+  | V.Path_deviation -> 1
+  | V.Blackhole -> 2
+  | V.Forwarding_loop -> 3
+  | V.Shadowed_rule -> 4
+  | V.Tag_collision -> 5
+  | V.Isolation -> 6
+  | V.Capacity -> 7
+  | V.Unverified -> 8
+
+(* Evidence for a rejected configuration: re-walk every sub-class
+   representative with the flight recorder on, append one Violation
+   event per verifier finding, and dump the ring next to the report. *)
+let dump_flight_evidence ~path scenario asg built (r : V.report) =
+  let saved = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled saved) @@ fun () ->
+  Flight.clear ();
+  walk_representatives scenario asg built ~on_result:(fun _ _ _ _ -> ());
+  List.iter
+    (fun v ->
+      Flight.record Flight.Violation
+        ~a:(code_ordinal v.V.code)
+        ~b:(Option.value ~default:(-1) v.V.class_id)
+        ~c:(Option.value ~default:(-1) v.V.sub_id)
+        ~d:(Option.value ~default:(-1) v.V.switch)
+        ())
+    r.V.violations;
+  Flight.dump ~path
+
+let flight_out_arg =
+  let doc =
+    "Where to dump the flight recorder (binary event ring) when the \
+     verifier rejects the configuration; inspect it with $(b,apple trace)."
+  in
+  Arg.(
+    value
+    & opt string "apple-flight.bin"
+    & info [ "flight-out" ] ~docv:"FILE" ~doc)
+
+let verify_action topo seed total max_classes engine jobs flight_out metrics
+    out =
+  with_metrics metrics out @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let rng = Rng.create seed in
   let tm = Tr.Synth.gravity rng ~n ~total in
@@ -227,7 +355,7 @@ let verify_action topo seed total max_classes engine jobs metrics =
      the command exercises the same code path as a gated epoch. *)
   let captured = ref None in
   let gate s asg built =
-    captured := Some (V.check s asg built);
+    captured := Some (V.check s asg built, asg, built);
     Ok ()
   in
   let controller = C.Controller.create ~engine ?jobs ~gate scenario in
@@ -235,7 +363,7 @@ let verify_action topo seed total max_classes engine jobs metrics =
     let report = C.Controller.run_epoch controller in
     match !captured with
     | None -> `Error (false, "internal error: the verifier gate never ran")
-    | Some r ->
+    | Some (r, asg, built) ->
         Format.printf "topology:  %s (%d nodes), %d classes, engine %s@."
           topo.B.label n
           (Array.length scenario.C.Types.classes)
@@ -247,7 +375,12 @@ let verify_action topo seed total max_classes engine jobs metrics =
           report.C.Controller.tcam_entries;
         Format.printf "%a" V.pp_report r;
         if V.ok r then `Ok ()
-        else `Error (false, "configuration rejected by the static verifier")
+        else begin
+          dump_flight_evidence ~path:flight_out scenario asg built r;
+          Format.printf "flight recorder dumped to %s (see apple trace)@."
+            flight_out;
+          `Error (false, "configuration rejected by the static verifier")
+        end
   with C.Optimization_engine.Infeasible msg ->
     `Error (false, "infeasible: " ^ msg)
 
@@ -278,12 +411,12 @@ let verify_cmd =
          "Statically certify a generated configuration: chain order, \
           interference freedom, isolation, capacity and table \
           well-formedness, with a concrete witness per violation")
-    Term.(ret (const verify_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ metrics_arg))
+    Term.(ret (const verify_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ flight_out_arg $ metrics_arg $ metrics_out_arg))
 
 (* --- replay command ------------------------------------------------ *)
 
-let replay_action topo seed snapshots metrics =
-  with_metrics metrics @@ fun () ->
+let replay_action topo seed snapshots metrics out =
+  with_metrics metrics out @@ fun () ->
   let profile =
     { Tr.Synth.default_profile with Tr.Synth.snapshots; total_rate = 3000.0;
       burst_probability = 0.06; burst_factor = 25.0; burst_length = 6 }
@@ -318,12 +451,12 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay time-varying traffic with and without fast failover")
-    Term.(ret (const replay_action $ topo_arg $ seed_arg $ snapshots_arg $ metrics_arg))
+    Term.(ret (const replay_action $ topo_arg $ seed_arg $ snapshots_arg $ metrics_arg $ metrics_out_arg))
 
 (* --- policies command ----------------------------------------------- *)
 
-let policies_action topo file verify metrics =
-  with_metrics metrics @@ fun () ->
+let policies_action topo file verify metrics out =
+  with_metrics metrics out @@ fun () ->
   let env = Apple_classifier.Predicate.env () in
   match C.Policy_file.parse_file ~env ~topology:topo ~path:file with
   | Error e -> `Error (false, Format.asprintf "%s: %a" file C.Policy_file.pp_error e)
@@ -382,7 +515,193 @@ let policies_cmd =
   Cmd.v
     (Cmd.info "policies"
        ~doc:"Aggregate a policy file into classes, place VNFs and verify")
-    Term.(ret (const policies_action $ topo_arg $ file_arg $ verify_arg $ metrics_arg))
+    Term.(ret (const policies_action $ topo_arg $ file_arg $ verify_arg $ metrics_arg $ metrics_out_arg))
+
+(* --- top command ---------------------------------------------------- *)
+
+let top_action topo seed total max_classes duration once flight_out metrics
+    out =
+  with_metrics metrics out @@ fun () ->
+  let n = Apple_topology.Graph.num_nodes topo.B.graph in
+  let rng = Rng.create seed in
+  let tm = Tr.Synth.gravity rng ~n ~total in
+  let config = { C.Scenario.default_config with C.Scenario.max_classes } in
+  let scenario = C.Scenario.build ~config ~seed topo tm in
+  let controller = C.Controller.create scenario in
+  try
+    let report = C.Controller.run_epoch controller in
+    let asg =
+      match C.Controller.assignment controller with
+      | Some asg -> asg
+      | None -> failwith "internal error: epoch left no assignment"
+    in
+    let built = report.C.Controller.rules in
+    (* One CBR flow per sub-class, offered at the sub-class's pinned
+       share of its class rate (1500 B packets). *)
+    let flows = ref [] in
+    Array.iter
+      (fun c ->
+        let subs =
+          List.filter
+            (fun sub -> sub.C.Subclass.class_id = c.C.Types.id)
+            asg.C.Subclass.subclasses
+        in
+        if subs <> [] then begin
+          let prefixes =
+            C.Rule_generator.subclass_prefixes c subs
+              ~depth:built.C.Rule_generator.split_depth
+          in
+          List.iteri
+            (fun idx sub ->
+              match prefixes.(idx) with
+              | [] -> ()
+              | p :: _ ->
+                  let mbps = c.C.Types.rate *. sub.C.Subclass.weight in
+                  let pps = mbps *. 1e6 /. 8.0 /. 1500.0 in
+                  if pps >= 1.0 then
+                    flows :=
+                      {
+                        PS.flow_name =
+                          Printf.sprintf "c%d.s%d" c.C.Types.id
+                            sub.C.Subclass.sub_id;
+                        cls = c.C.Types.id;
+                        src_ip = p.C.Types.Prefix.addr;
+                        path = Array.to_list c.C.Types.path;
+                        source = PS.Cbr pps;
+                        start_at = 0.0;
+                        stop_at = duration;
+                      }
+                      :: !flows)
+            subs
+        end)
+      scenario.C.Types.classes;
+    let flows = List.rev !flows in
+    if flows = [] then failwith "no sub-class carries measurable traffic";
+    let saved = Obs.enabled () in
+    Obs.reset ();
+    Flight.clear ();
+    Obs.set_enabled true;
+    Fun.protect ~finally:(fun () -> Obs.set_enabled saved)
+    @@ fun () ->
+    let poller = Poller.create () in
+    let poll now =
+      Poller.poll poller ~now;
+      if not once then print_endline (Top.summary ~now poller)
+    in
+    let r =
+      PS.run ~seed ~network:built.C.Rule_generator.network
+        ~instances:asg.C.Subclass.instances ~flows ~duration
+        ~poll:(Poller.period poller, poll)
+        ()
+    in
+    let capacities =
+      List.map
+        (fun i -> (I.id i, (I.spec i).Apple_vnf.Nf.capacity_mbps))
+        asg.C.Subclass.instances
+    in
+    print_string (Top.render ~capacities ~now:duration poller);
+    Format.printf
+      "simulated %.2fs of traffic: %d flows, %d packets sent, %.3f%% lost@."
+      duration (List.length flows) r.PS.total_sent (100.0 *. r.PS.loss_rate);
+    (match flight_out with
+    | None -> ()
+    | Some path ->
+        Flight.dump ~path;
+        Format.printf "flight recorder dumped to %s@." path);
+    `Ok ()
+  with
+  | C.Optimization_engine.Infeasible msg -> `Error (false, "infeasible: " ^ msg)
+  | PS.Unroutable msg -> `Error (false, "unroutable flow: " ^ msg)
+  | Failure msg -> `Error (false, msg)
+
+let top_cmd =
+  let topo_arg =
+    let doc = "Topology: internet2, geant, univ1 or as3679." in
+    Arg.(value & opt topology_conv (B.internet2 ()) & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let total_arg =
+    let doc = "Network-wide offered load in Mbps." in
+    Arg.(value & opt float 2000.0 & info [ "total" ] ~docv:"MBPS" ~doc)
+  in
+  let classes_arg =
+    let doc = "Maximum number of origin-destination pairs carrying policies." in
+    Arg.(value & opt int 40 & info [ "max-classes" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Virtual seconds of packet traffic to simulate." in
+    Arg.(value & opt float 0.25 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Print only the final load tables (default also prints one status \
+       line per counter poll)."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let flight_arg =
+    let doc = "Also dump the flight recorder to $(docv) after the run." in
+    Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Solve an epoch, drive packet traffic through the installed rule \
+          tables, and render per-switch and per-VNF-instance load from \
+          polled dataplane counters")
+    Term.(
+      ret
+        (const top_action $ topo_arg $ seed_arg $ total_arg $ classes_arg
+       $ duration_arg $ once_arg $ flight_arg $ metrics_arg $ metrics_out_arg))
+
+(* --- trace command --------------------------------------------------- *)
+
+let trace_action flow dump =
+  match Flight.load ~path:dump with
+  | Error e -> `Error (false, e)
+  | Ok events -> (
+      match flow with
+      | None ->
+          let listing = Provenance.flows events in
+          Format.printf "%s: %d event(s), %d flow(s)@." dump
+            (List.length events) (List.length listing);
+          List.iter
+            (fun (f, count) ->
+              let chain = Provenance.of_events events ~flow:f in
+              let outcome =
+                match chain.Provenance.outcome with
+                | `Ok -> "ok"
+                | `Failed e -> "FAILED: " ^ e
+                | `Unknown -> "unknown"
+              in
+              Format.printf "  flow %d: %d event(s), %s@." f count outcome)
+            listing;
+          `Ok ()
+      | Some f ->
+          print_string (Provenance.render (Provenance.of_events events ~flow:f));
+          `Ok ())
+
+let trace_cmd =
+  let flow_arg =
+    let doc =
+      "Flow id to explain (a sub-class key for verifier walks, a flow \
+       index for packet-sim runs).  Without it, list every flow in the \
+       dump."
+    in
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"FLOW" ~doc)
+  in
+  let dump_arg =
+    let doc = "Flight-recorder dump to read." in
+    Arg.(
+      value
+      & opt string "apple-flight.bin"
+      & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Reconstruct a flow's causal chain (classification rule, sub-class \
+          tag, hosts, VNF instances, outcome) from a flight-recorder dump")
+    Term.(ret (const trace_action $ flow_arg $ dump_arg))
 
 (* --- topologies command -------------------------------------------- *)
 
@@ -404,6 +723,29 @@ let topologies_cmd =
 let main =
   let doc = "APPLE: interference-free NFV policy enforcement (ICDCS 2016 reproduction)" in
   Cmd.group (Cmd.info "apple" ~doc)
-    [ experiment_cmd; solve_cmd; verify_cmd; replay_cmd; policies_cmd; topologies_cmd ]
+    [
+      experiment_cmd;
+      solve_cmd;
+      verify_cmd;
+      replay_cmd;
+      policies_cmd;
+      top_cmd;
+      trace_cmd;
+      topologies_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+(* Last-gasp flight dump: if a command dies on an uncaught exception
+   while the dataplane counters were live, persist whatever the ring
+   still holds so [apple trace --dump apple-flight-crash.bin] can
+   reconstruct the final flows.  [~catch:false] lets the exception reach
+   us instead of cmdliner's backtrace printer; we re-raise with the
+   original backtrace so the exit behaviour is unchanged. *)
+let () =
+  try exit (Cmd.eval ~catch:false main)
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    if Obs.enabled () && Flight.length () > 0 then begin
+      Flight.dump ~path:"apple-flight-crash.bin";
+      Printf.eprintf "apple: flight recorder dumped to apple-flight-crash.bin\n%!"
+    end;
+    Printexc.raise_with_backtrace e bt

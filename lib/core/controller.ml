@@ -36,6 +36,7 @@ type t = {
   engine : engine;
   jobs : int option;
   failover : Dynamic_handler.config;
+  load_source : Dynamic_handler.load_source;
   gate : gate option;
   mutable report : epoch_report option;
   mutable state : Netstate.t option;
@@ -44,13 +45,15 @@ type t = {
 }
 
 let create ?(objective = Optimization_engine.Min_instances) ?(engine = `Best)
-    ?jobs ?(failover = Dynamic_handler.default_config) ?gate s =
+    ?jobs ?(failover = Dynamic_handler.default_config)
+    ?(load_source = Dynamic_handler.Oracle) ?gate s =
   {
     s;
     objective;
     engine;
     jobs;
     failover;
+    load_source;
     gate;
     report = None;
     state = None;
@@ -102,8 +105,14 @@ let run_epoch t =
   t.report <- Some report;
   t.state <- Some state;
   t.assignment <- Some assignment;
-  t.handler <- Some (Dynamic_handler.create ~config:t.failover state);
+  t.handler <-
+    Some
+      (Dynamic_handler.create ~config:t.failover ~load_source:t.load_source
+         state);
   T.Counter.incr m_epochs;
+  Apple_obs.Flight.record Apple_obs.Flight.Epoch
+    ~a:(Array.length t.s.Types.classes)
+    ~b:report.instances ~c:report.cores ();
   T.Journal.recordf ~kind:"epoch"
     "epoch done: %d instances, %d cores, %d TCAM entries in %.2fs"
     report.instances report.cores report.tcam_entries report.solve_seconds;
@@ -124,6 +133,7 @@ let handle_snapshot t tm =
 let scenario t = t.s
 let netstate t = t.state
 let last_report t = t.report
+let assignment t = t.assignment
 
 let verify t =
   match (t.report, t.assignment) with

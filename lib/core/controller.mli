@@ -49,14 +49,16 @@ val create :
   ?engine:engine ->
   ?jobs:int ->
   ?failover:Dynamic_handler.config ->
+  ?load_source:Dynamic_handler.load_source ->
   ?gate:gate ->
   Types.scenario ->
   t
 (** [jobs] bounds the domains used by the [`Per_class] and [`Greedy]
     engines' parallel sections (default
     {!Apple_parallel.Pool.default_jobs}); placements are identical for
-    every value.  [gate] (none by default) vets each epoch's rule tables
-    before installation. *)
+    every value.  [load_source] (default [Oracle]) is forwarded to the
+    Dynamic Handler built on each epoch.  [gate] (none by default) vets
+    each epoch's rule tables before installation. *)
 
 val run_epoch : t -> epoch_report
 (** Global optimization for the scenario's current rates: solve, pin
@@ -73,6 +75,11 @@ val handle_snapshot : t -> Apple_traffic.Matrix.t -> float
 val scenario : t -> Types.scenario
 val netstate : t -> Netstate.t option
 val last_report : t -> epoch_report option
+
+val assignment : t -> Subclass.assignment option
+(** Sub-class assignment of the last installed epoch, if any — the
+    ground truth [apple top] and [apple trace] need to synthesize
+    representative flows per sub-class. *)
 
 val verify : t -> (unit, string) result
 (** End-to-end self-check of the current epoch: distribution constraints

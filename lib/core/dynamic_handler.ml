@@ -5,6 +5,7 @@ let log = Logs.Src.create "apple.failover" ~doc:"Dynamic Handler (fast failover)
 
 module Log = (val Logs.src_log log : Logs.LOG)
 module T = Apple_telemetry.Telemetry
+module Flight = Apple_obs.Flight
 
 (* Global mirrors of the per-handler counters, so one report covers a
    whole replay with many handlers; weight_moves counts each individual
@@ -40,9 +41,20 @@ type episode = {
       (** failover instances (pool) and the sub-classes pinned to each *)
 }
 
+(* Where the detector reads instance load from.  [Oracle] is the seed
+   behaviour: the simulator's own ground-truth offered load, state no
+   real controller has.  [Polled] reads the measured rates of an
+   {!Apple_obs.Poller} — overloads are detected from dataplane counter
+   deltas, delayed and smoothed exactly as an OpenFlow controller would
+   see them.  Rollback bookkeeping (weights, baselines) always uses the
+   controller's own state: that part is control-plane state, not a
+   measurement. *)
+type load_source = Oracle | Polled of Apple_obs.Poller.t
+
 type t = {
   config : config;
   state : Netstate.t;
+  load_source : load_source;
   mutable episodes : episode list;
   mutable n_overloads : int;
   mutable n_spawns : int;
@@ -51,7 +63,7 @@ type t = {
   mutable next_sub : int array;
 }
 
-let create ?(config = default_config) state =
+let create ?(config = default_config) ?(load_source = Oracle) state =
   let next_sub =
     Array.map
       (fun subs ->
@@ -61,6 +73,7 @@ let create ?(config = default_config) state =
   {
     config;
     state;
+    load_source;
     episodes = [];
     n_overloads = 0;
     n_spawns = 0;
@@ -68,6 +81,16 @@ let create ?(config = default_config) state =
     n_rebalances = 0;
     next_sub;
   }
+
+(* Detection-side utilization: ground truth under [Oracle], the poller's
+   smoothed counter-derived estimate under [Polled]. *)
+let measured_utilization t inst =
+  match t.load_source with
+  | Oracle -> Instance.utilization inst
+  | Polled p ->
+      let cap = (Instance.spec inst).Nf.capacity_mbps in
+      if cap <= 0.0 then 0.0
+      else Apple_obs.Poller.offered_mbps p (Instance.id inst) /. cap
 
 let find_episode t inst =
   List.find_opt
@@ -224,6 +247,8 @@ let pin_to_pool t episode inst template stage amount =
 let failover t hot =
   t.n_overloads <- t.n_overloads + 1;
   T.Counter.incr m_overloads;
+  Flight.record Flight.Overload ~a:(Instance.id hot)
+    ~b:(int_of_float (1000.0 *. Instance.utilization hot)) ();
   T.Journal.recordf ~kind:"failover" "episode opened: %s#%d at switch %d (%.0f/%.0f Mbps)"
     (Nf.name (Instance.kind hot)) (Instance.id hot) (Instance.host hot)
     (Instance.offered hot)
@@ -381,6 +406,7 @@ let rec rollback t episode =
     episode.spawned;
   t.n_rollbacks <- t.n_rollbacks + 1;
   T.Counter.incr m_rollbacks;
+  Flight.record Flight.Recover ~a:(Instance.id episode.instance) ();
   T.Journal.recordf ~kind:"failover"
     "rollback: instance %d recovered, %d failover instance(s) cancelled"
     (Instance.id episode.instance)
@@ -424,7 +450,7 @@ let step t =
   (* Detect (new or continued) overloads. *)
   let hot =
     List.filter
-      (fun inst -> Instance.utilization inst > t.config.high_watermark)
+      (fun inst -> measured_utilization t inst > t.config.high_watermark)
       (Netstate.instances_in_use t.state)
   in
   let hot =

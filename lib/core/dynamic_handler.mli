@@ -21,9 +21,22 @@ val default_config : config
 (** high 0.95, low 0.45 — the 8.5/4 Kpps thresholds of Sec. VIII-E scaled
     to the monitor's ~9 Kpps capacity. *)
 
+type load_source =
+  | Oracle
+      (** read {!Apple_vnf.Instance.offered} directly — simulator ground
+          truth, the seed behaviour *)
+  | Polled of Apple_obs.Poller.t
+      (** read the poller's counter-derived rate estimates, delayed and
+          EWMA-smoothed exactly as a real controller's measurement plane
+          would be *)
+
 type t
 
-val create : ?config:config -> Netstate.t -> t
+val create : ?config:config -> ?load_source:load_source -> Netstate.t -> t
+(** [load_source] (default [Oracle]) selects where overload {e detection}
+    reads instance load from.  Rollback bookkeeping always uses the
+    controller's own weights and baselines — that is control-plane
+    state, not a measurement. *)
 
 val step : t -> unit
 (** One control round against current instance loads: detect overloads,

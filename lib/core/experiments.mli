@@ -45,6 +45,13 @@ val fig7 : opts -> rendered
 val fig8 : opts -> rendered
 val fig9 : opts -> rendered
 
+val fig9_polled : opts -> rendered
+(** The Fig. 9 experiment with detection driven by polled dataplane
+    counters ({!Apple_obs.Poller}) instead of the oracle rate: event
+    timelines for both modes side by side, plus detection latency as a
+    function of the poll period (10–200 ms).  The oracle run stays the
+    ground truth; the gap is the measurement plane's delay. *)
+
 val fig10 : opts -> rendered * (string * Apple_prelude.Stats.boxplot) list
 (** TCAM reduction ratio boxplots per topology. *)
 

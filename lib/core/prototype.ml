@@ -134,7 +134,10 @@ type detection_run = {
   packet_loss : float;
 }
 
-let overload_detection_experiment ~seed () =
+module Obs = Apple_obs.Counters
+module Poller = Apple_obs.Poller
+
+let overload_detection_experiment ?(load_source = `Oracle) ~seed () =
   let world = Engine.create () in
   let rng = Rng.create seed in
   let capacity_kpps = 10.5 in
@@ -150,49 +153,98 @@ let overload_detection_experiment ~seed () =
     Overload.create ~high_watermark:8.5 ~low_watermark:4.0 ()
   in
   let master_rate w = source_rate (Engine.now w) *. !master_share in
-  (* Drive the detector from a polling loop (the per-port counter poll of
-     Sec. VII-B) so the callbacks can close over the world. *)
-  Engine.every world ~period:(Overload.poll_period detector) ~until:10.0
-    (fun w ->
-      match Overload.observe detector ~rate:(master_rate w) with
-      | _, `Went_overloaded ->
-          record `Overload_detected w;
-          (* Reconfigure a pre-booted ClickOS VM (30 ms) and install the
-             new sub-class rules (70 ms); then half the traffic moves. *)
-          Engine.schedule w
-            ~delay:(Lifecycle.reconfigure_time +. Lifecycle.rule_install_time)
-            (fun w' ->
-              sibling_live := true;
-              master_share := 0.5;
-              record `New_instance_ready w')
-      | _, `Recovered ->
-          record `Rolled_back w;
-          master_share := 1.0;
-          sibling_live := false
-      | _, `No_change -> ())
-  ;
+  let react w = function
+    | `Went_overloaded ->
+        record `Overload_detected w;
+        (* Reconfigure a pre-booted ClickOS VM (30 ms) and install the
+           new sub-class rules (70 ms); then half the traffic moves. *)
+        Engine.schedule w
+          ~delay:(Lifecycle.reconfigure_time +. Lifecycle.rule_install_time)
+          (fun w' ->
+            sibling_live := true;
+            master_share := 0.5;
+            record `New_instance_ready w')
+    | `Recovered ->
+        record `Rolled_back w;
+        master_share := 1.0;
+        sibling_live := false
+    | `No_change -> ()
+  in
+  (* Detector drive: the oracle reads the instantaneous master rate (the
+     seed behaviour, simulator ground truth); polled mode credits real
+     dataplane counters from a fine-grained traffic integrator and reads
+     them back through a {!Poller}, so detection sees exactly what a
+     counter-polling controller would — delayed and EWMA-smoothed. *)
+  let install_detector () =
+    match load_source with
+    | `Oracle ->
+        Engine.every world ~period:(Overload.poll_period detector) ~until:10.0
+          (fun w ->
+            let _, transition = Overload.observe detector ~rate:(master_rate w) in
+            react w transition)
+    | `Polled period ->
+        let master_inst = 0 in
+        let dt = 0.005 in
+        let carry = ref 0.0 in
+        (* Integrator first: the engine breaks same-time ties by insertion
+           order, so traffic up to t is counted before the poll at t. *)
+        Engine.every world ~period:dt ~until:10.0 (fun w ->
+            let pkts = (master_rate w *. 1000.0 *. dt) +. !carry in
+            let whole = int_of_float pkts in
+            carry := pkts -. float_of_int whole;
+            if whole > 0 then
+              Obs.inst_traffic ~id:master_inst ~packets:whole
+                ~bytes:(whole * 1500));
+        let poller = Poller.create ~period () in
+        Engine.every world ~period ~until:10.0 (fun w ->
+            Poller.poll poller ~now:(Engine.now w);
+            let rate = Poller.inst_rate_pps poller master_inst /. 1000.0 in
+            let _, transition = Overload.observe detector ~rate in
+            react w transition)
+  in
   (* Sample the rates and accumulate loss. *)
   let send = ref [] and master = ref [] and sibling = ref [] in
   let offered = ref 0.0 and dropped = ref 0.0 in
   let sample_period = 0.05 in
-  Engine.every world ~period:sample_period ~until:10.0 (fun w ->
-      let t = Engine.now w in
-      let rate = source_rate t in
-      let m = rate *. !master_share in
-      let s = rate -. m in
-      send := (t, rate) :: !send;
-      master := (t, m) :: !master;
-      sibling := (t, s) :: !sibling;
-      let loss_m = Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:m in
-      let loss_s =
-        if s > 0.0 && not !sibling_live then 1.0
-        else Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:s
-      in
-      offered := !offered +. (rate *. sample_period);
-      dropped :=
-        !dropped +. (((m *. loss_m) +. (s *. loss_s)) *. sample_period));
-  ignore rng;
-  Engine.run ~until:10.5 world;
+  let install_sampler () =
+    Engine.every world ~period:sample_period ~until:10.0 (fun w ->
+        let t = Engine.now w in
+        let rate = source_rate t in
+        let m = rate *. !master_share in
+        let s = rate -. m in
+        send := (t, rate) :: !send;
+        master := (t, m) :: !master;
+        sibling := (t, s) :: !sibling;
+        let loss_m =
+          Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:m
+        in
+        let loss_s =
+          if s > 0.0 && not !sibling_live then 1.0
+          else Instance.loss_at_pps ~capacity_pps:capacity_kpps ~offered_pps:s
+        in
+        offered := !offered +. (rate *. sample_period);
+        dropped :=
+          !dropped +. (((m *. loss_m) +. (s *. loss_s)) *. sample_period))
+  in
+  let simulate () =
+    install_detector ();
+    install_sampler ();
+    ignore rng;
+    Engine.run ~until:10.5 world
+  in
+  (match load_source with
+  | `Oracle -> simulate ()
+  | `Polled _ ->
+      (* Counters on for the duration of the run only, previous state
+         (and a clean slate) restored either way. *)
+      let saved = Obs.enabled () in
+      Obs.reset ();
+      Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_enabled saved;
+          Obs.reset ())
+        simulate);
   {
     send_rate = List.rev !send;
     master_rate = List.rev !master;
@@ -200,3 +252,21 @@ let overload_detection_experiment ~seed () =
     det_events = List.rev !events;
     packet_loss = (if !offered > 0.0 then !dropped /. !offered else 0.0);
   }
+
+let detection_latency run =
+  let onset = 2.0 in
+  List.find_map
+    (fun e ->
+      match e.kind with
+      | `Overload_detected -> Some (e.time -. onset)
+      | _ -> None)
+    run.det_events
+
+let detection_latency_vs_poll ~seed ~periods =
+  List.map
+    (fun p ->
+      let run = overload_detection_experiment ~load_source:(`Polled p) ~seed () in
+      match detection_latency run with
+      | Some l -> (p, l)
+      | None -> (p, infinity))
+    periods

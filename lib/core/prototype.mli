@@ -68,4 +68,27 @@ type detection_run = {
   packet_loss : float;  (** end-to-end, expected 0 *)
 }
 
-val overload_detection_experiment : seed:int -> unit -> detection_run
+val overload_detection_experiment :
+  ?load_source:[ `Oracle | `Polled of float ] ->
+  seed:int ->
+  unit ->
+  detection_run
+(** [`Oracle] (the default) drives the detector from the instantaneous
+    master rate — simulator ground truth, the seed behaviour.  [`Polled
+    period] instead credits dataplane counters ({!Apple_obs.Counters})
+    from a fine-grained traffic integrator and reads them back through an
+    {!Apple_obs.Poller} on the given period, so the detector sees the
+    delayed, EWMA-smoothed estimate a counter-polling controller would.
+    Counters are enabled only for the duration of the run and restored
+    afterwards. *)
+
+val detection_latency : detection_run -> float option
+(** Seconds from the overload onset (t = 2.0) to the first
+    [`Overload_detected] event; [None] if the run never detected it. *)
+
+val detection_latency_vs_poll :
+  seed:int -> periods:float list -> (float * float) list
+(** One polled run per period: [(period, detection latency)] pairs, with
+    [infinity] marking a missed detection.  The latency is expected to
+    grow monotonically with the poll period — the measurement-granularity
+    trade-off of Sec. VII-B. *)

@@ -279,6 +279,8 @@ let build ?(split_depth = 6) ?(tag_mode = `Auto) (s : Types.scenario)
       built.tcam_with_tagging built.tcam_without_tagging built.vswitch_rules
       built.global_tags_used
   end;
+  Apple_obs.Flight.record Apple_obs.Flight.Rules ~a:built.tcam_with_tagging
+    ~b:built.vswitch_rules ~c:built.global_tags_used ();
   built
 
 let reduction_ratio built =

@@ -1,35 +1,42 @@
 module Prefix_split = Apple_classifier.Prefix_split
+module Counters = Apple_obs.Counters
 
+(* Every installed physical rule gets a per-table uid at install time,
+   the key under which Apple_obs.Counters accumulates its match/byte
+   counters (the moral equivalent of an OpenFlow cookie). *)
 type t = {
   sw : int;
-  mutable phys : Rule.phys_rule list;  (* kept sorted by descending priority *)
+  mutable next_uid : int;
+  mutable phys : (int * Rule.phys_rule) list;  (* kept sorted by descending priority *)
   mutable vsw : Rule.vswitch_rule list;
 }
 
-let create ~switch = { sw = switch; phys = []; vsw = [] }
+let create ~switch = { sw = switch; next_uid = 0; phys = []; vsw = [] }
 let switch t = t.sw
 
-let add_phys t r =
-  t.phys <-
-    List.sort
-      (fun a b -> Int.compare b.Rule.priority a.Rule.priority)
-      (r :: t.phys)
+let fresh_uid t =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  uid
 
+let sort_phys entries =
+  List.stable_sort
+    (fun (_, a) (_, b) -> Int.compare b.Rule.priority a.Rule.priority)
+    entries
+
+let add_phys t r = t.phys <- sort_phys ((fresh_uid t, r) :: t.phys)
 let add_vswitch t r = t.vsw <- r :: t.vsw
 
-let phys_rules t = t.phys
+let phys_rules t = List.map snd t.phys
+let phys_entries t = t.phys
 let vswitch_rules t = List.rev t.vsw
 
-let set_phys t rules =
-  t.phys <-
-    List.stable_sort
-      (fun a b -> Int.compare b.Rule.priority a.Rule.priority)
-      rules
+let set_phys t rules = t.phys <- sort_phys (List.map (fun r -> (fresh_uid t, r)) rules)
 
 let set_vswitch t rules = t.vsw <- List.rev rules
 
 let tcam_entries t =
-  List.fold_left (fun acc r -> acc + Rule.tcam_entries r) 0 t.phys
+  List.fold_left (fun acc (_, r) -> acc + Rule.tcam_entries r) 0 t.phys
 
 let tcam_entries_crossproduct t ~other_table =
   tcam_entries t * max 1 other_table
@@ -64,15 +71,20 @@ let prefixes_match prefixes ~src_ip =
   | [] -> true
   | ps -> List.exists (fun p -> Prefix_split.member p src_ip) ps
 
-let lookup_phys t tags ~src_ip =
-  let matching r =
+let lookup_phys_entry ?(bytes = 0) t tags ~src_ip =
+  let matching (_, r) =
     host_matches r.Rule.pmatch.Rule.m_host tags
     && subclass_matches r.Rule.pmatch.Rule.m_subclass tags
     && prefixes_match r.Rule.pmatch.Rule.m_prefixes ~src_ip
   in
   match List.find_opt matching t.phys with
-  | Some r -> Some r.Rule.action
+  | Some (uid, r) ->
+      Counters.rule_hit ~sw:t.sw ~uid ~bytes;
+      Some (uid, r.Rule.action)
   | None -> None
+
+let lookup_phys t tags ~src_ip =
+  Option.map snd (lookup_phys_entry t tags ~src_ip)
 
 let lookup_vswitch t port ~cls ~subclass =
   let matching r =

@@ -17,6 +17,11 @@ val add_vswitch : t -> Rule.vswitch_rule -> unit
 val phys_rules : t -> Rule.phys_rule list
 (** Descending priority. *)
 
+val phys_entries : t -> (int * Rule.phys_rule) list
+(** Descending priority, with each rule's install-time uid — the key
+    under which {!Apple_obs.Counters} accumulates match/byte counters
+    (the moral equivalent of an OpenFlow cookie). *)
+
 val vswitch_rules : t -> Rule.vswitch_rule list
 (** Match order (first match wins). *)
 
@@ -44,7 +49,15 @@ val total_tcam : network -> int
 val total_vswitch : network -> int
 
 val lookup_phys : t -> Tag.tags -> src_ip:int -> Rule.phys_action option
-(** Highest-priority matching rule's action, mimicking the Fig. 2 walk. *)
+(** Highest-priority matching rule's action, mimicking the Fig. 2 walk.
+    When {!Apple_obs.Counters.enabled}, the matched rule's counter is
+    bumped (with zero bytes). *)
+
+val lookup_phys_entry :
+  ?bytes:int -> t -> Tag.tags -> src_ip:int -> (int * Rule.phys_action) option
+(** Like {!lookup_phys} but also returns the matched rule's uid, and
+    credits [bytes] (default 0) to its byte counter when counters are
+    enabled. *)
 
 val lookup_vswitch :
   t ->

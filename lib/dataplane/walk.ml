@@ -1,6 +1,10 @@
+module Counters = Apple_obs.Counters
+module Flight = Apple_obs.Flight
+
 type trace = {
   visited : int list;
   instances : int list;
+  rule_path : (int * int) list;
   final_host_tag : Tag.host_field;
   subclass_tag : int option;
 }
@@ -12,6 +16,27 @@ type error =
   | Wrong_host of { switch : int; wanted : int }
 
 exception Walk_error of error
+
+(* Integer encodings shared with the flight recorder (documented in
+   Apple_obs.Flight and decoded by Apple_obs.Provenance). *)
+let host_code = function Tag.Empty -> -1 | Tag.Fin -> -2 | Tag.Host h -> h
+
+let action_code = function
+  | Rule.Fwd_to_host _ -> 0
+  | Rule.Tag_and_deliver _ -> 1
+  | Rule.Tag_and_forward _ -> 2
+  | Rule.Set_host_and_forward _ -> 3
+  | Rule.Goto_next -> 4
+
+let error_code = function
+  | No_matching_rule _ -> 1
+  | Vswitch_miss _ -> 2
+  | Host_loop _ -> 3
+  | Wrong_host _ -> 4
+
+let error_switch = function
+  | No_matching_rule sw | Vswitch_miss sw | Host_loop sw -> sw
+  | Wrong_host { switch; _ } -> switch
 
 (* Process the packet inside the APPLE host attached to [sw]: follow
    vSwitch rules from [entry_port] until a Back_to_network action.
@@ -33,7 +58,7 @@ let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
     match Tcam.lookup_vswitch table port ~cls:cls_match ~subclass with
     | None -> raise (Walk_error (Vswitch_miss sw))
     | Some (Rule.To_instance inst) ->
-        record_instance inst;
+        record_instance ~sw inst;
         if rewriters inst then header_valid := false;
         step (Rule.From_instance inst)
     | Some (Rule.Back_to_network next_host) -> tags.Tag.host <- next_host
@@ -41,16 +66,42 @@ let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
   step entry_port
 
 let run net ~path ~cls ~src_ip ?(start_in_host = false)
-    ?(rewriters = fun _ -> false) () =
+    ?(rewriters = fun _ -> false) ?(flow = -1) () =
+  let obs = Counters.enabled () in
   let tags = Tag.fresh () in
   let visited = ref [] in
   let stages = ref [] in
+  let rules = ref [] in
   let header_valid = ref true in
-  let record_instance i = stages := i :: !stages in
+  let record_instance ~sw i =
+    stages := i :: !stages;
+    if obs then Flight.record Flight.Inst_enter ~a:flow ~b:sw ~c:i ()
+  in
+  let record_tag () =
+    if obs then
+      Flight.record Flight.Tag_set ~a:flow
+        ~b:(Option.value ~default:(-1) tags.Tag.subclass)
+        ~c:(host_code tags.Tag.host) ()
+  in
+  (* Physical lookup with per-rule provenance: remember (switch, uid)
+     and emit a flight event for every match. *)
+  let lookup table ~sw =
+    match Tcam.lookup_phys_entry table tags ~src_ip with
+    | None -> None
+    | Some (uid, action) ->
+        rules := (sw, uid) :: !rules;
+        if obs then
+          Flight.record Flight.Rule_match ~a:flow ~b:sw ~c:uid
+            ~d:(action_code action) ();
+        Some action
+  in
   let enter_host sw ~entry_port =
     host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
       ~header_valid
   in
+  if obs then
+    Flight.record Flight.Walk_start ~a:flow ~b:cls ~c:src_ip
+      ~d:(match path with sw :: _ -> sw | [] -> -1) ();
   try
     (match (path, start_in_host) with
     | first :: _, true ->
@@ -59,15 +110,16 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
            classification rules live in the vSwitch mirror of the ingress
            table; we model it as the physical classification applied
            immediately, then host processing if the first host is local. *)
-        let table = net.(first) in
-        (match Tcam.lookup_phys table tags ~src_ip with
+        (match lookup net.(first) ~sw:first with
         | Some (Rule.Tag_and_deliver { subclass; host }) ->
             tags.Tag.subclass <- Some subclass;
+            record_tag ();
             if host <> first then raise (Walk_error (Wrong_host { switch = first; wanted = host }));
             enter_host first ~entry_port:Rule.From_production_vm
         | Some (Rule.Tag_and_forward { subclass; host }) ->
             tags.Tag.subclass <- Some subclass;
-            tags.Tag.host <- host
+            tags.Tag.host <- host;
+            record_tag ()
         | Some (Rule.Fwd_to_host _ | Rule.Set_host_and_forward _ | Rule.Goto_next)
         | None ->
             raise (Walk_error (No_matching_rule first)))
@@ -76,8 +128,7 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
       | [] -> ()
       | sw :: rest ->
           visited := sw :: !visited;
-          let table = net.(sw) in
-          (match Tcam.lookup_phys table tags ~src_ip with
+          (match lookup net.(sw) ~sw with
           | None -> raise (Walk_error (No_matching_rule sw))
           | Some (Rule.Goto_next) -> ()
           | Some (Rule.Fwd_to_host host) ->
@@ -86,26 +137,36 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
               enter_host sw ~entry_port:Rule.From_network
           | Some (Rule.Tag_and_deliver { subclass; host }) ->
               tags.Tag.subclass <- Some subclass;
+              record_tag ();
               if host <> sw then
                 raise (Walk_error (Wrong_host { switch = sw; wanted = host }));
               enter_host sw ~entry_port:Rule.From_network
           | Some (Rule.Tag_and_forward { subclass; host }) ->
               tags.Tag.subclass <- Some subclass;
-              tags.Tag.host <- host
-          | Some (Rule.Set_host_and_forward host) -> tags.Tag.host <- host);
+              tags.Tag.host <- host;
+              record_tag ()
+          | Some (Rule.Set_host_and_forward host) ->
+              tags.Tag.host <- host;
+              record_tag ());
           hop rest
     in
     (* If the packet was pre-tagged inside the first host, the first
        switch still sees it with its (possibly local) host tag. *)
     hop path;
+    if obs then Flight.record Flight.Walk_end ~a:flow ~b:0 ();
     Ok
       {
         visited = List.rev !visited;
         instances = List.rev !stages;
+        rule_path = List.rev !rules;
         final_host_tag = tags.Tag.host;
         subclass_tag = tags.Tag.subclass;
       }
-  with Walk_error e -> Error e
+  with Walk_error e ->
+    if obs then
+      Flight.record Flight.Walk_end ~a:flow ~b:(error_code e)
+        ~c:(error_switch e) ();
+    Error e
 
 let policy_enforced trace ~instance_kind ~chain =
   let kinds = List.map instance_kind trace.instances in

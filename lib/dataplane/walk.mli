@@ -14,6 +14,10 @@
 type trace = {
   visited : int list;  (** switches traversed, in order *)
   instances : int list;  (** VNF instance ids applied, in order *)
+  rule_path : (int * int) list;
+      (** (switch, rule uid) of every TCAM match, in order — the flow's
+          provenance, and the rules a packet-level simulator should
+          credit for each of the flow's packets *)
   final_host_tag : Tag.host_field;
   subclass_tag : int option;
 }
@@ -31,6 +35,7 @@ val run :
   src_ip:int ->
   ?start_in_host:bool ->
   ?rewriters:(int -> bool) ->
+  ?flow:int ->
   unit ->
   (trace, error) result
 (** Walk one packet of class [cls] with the given source address along the
@@ -39,7 +44,9 @@ val run :
     scenario of Fig. 3).  [rewriters] flags instances that rewrite packet
     headers (e.g. NAT); after traversing one, header-derived class
     matching becomes impossible, so only globally-tagged vSwitch rules
-    keep working (Sec. X). *)
+    keep working (Sec. X).  [flow] (default -1) labels the walk's
+    {!Apple_obs.Flight} events when observability is enabled, so
+    [apple trace] can reconstruct the causal chain per flow. *)
 
 val policy_enforced :
   trace -> instance_kind:(int -> Apple_vnf.Nf.kind) -> chain:Apple_vnf.Nf.kind list -> bool

@@ -1,0 +1,147 @@
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled v = enabled_flag := v
+
+type rule_stats = { r_matches : int; r_bytes : int }
+
+type inst_stats = {
+  i_packets : int;
+  i_bytes : int;
+  i_drops : int;
+  i_queue_depth : int;
+  i_queue_peak : int;
+}
+
+(* Mutable cells behind the immutable snapshot types, so a counter bump
+   is two field writes under the lock — no allocation. *)
+type rule_cell = { mutable c_matches : int; mutable c_bytes : int }
+
+type inst_cell = {
+  mutable c_packets : int;
+  mutable c_bytes : int;
+  mutable c_drops : int;
+  mutable c_depth : int;
+  mutable c_peak : int;
+}
+
+let lock = Mutex.create ()
+let rules : (int * int, rule_cell) Hashtbl.t = Hashtbl.create 256
+let insts : (int, inst_cell) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset rules;
+  Hashtbl.reset insts;
+  Mutex.unlock lock
+
+let rule_cell key =
+  match Hashtbl.find_opt rules key with
+  | Some c -> c
+  | None ->
+      let c = { c_matches = 0; c_bytes = 0 } in
+      Hashtbl.replace rules key c;
+      c
+
+let inst_cell id =
+  match Hashtbl.find_opt insts id with
+  | Some c -> c
+  | None ->
+      let c = { c_packets = 0; c_bytes = 0; c_drops = 0; c_depth = 0; c_peak = 0 } in
+      Hashtbl.replace insts id c;
+      c
+
+let rule_hit ~sw ~uid ~bytes =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    let c = rule_cell (sw, uid) in
+    c.c_matches <- c.c_matches + 1;
+    c.c_bytes <- c.c_bytes + bytes;
+    Mutex.unlock lock
+  end
+
+let inst_traffic ~id ~packets ~bytes =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    let c = inst_cell id in
+    c.c_packets <- c.c_packets + packets;
+    c.c_bytes <- c.c_bytes + bytes;
+    Mutex.unlock lock
+  end
+
+let inst_packet ~id ~bytes = inst_traffic ~id ~packets:1 ~bytes
+
+let inst_drop ~id =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    let c = inst_cell id in
+    c.c_drops <- c.c_drops + 1;
+    Mutex.unlock lock
+  end
+
+let inst_queue ~id ~depth =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    let c = inst_cell id in
+    c.c_depth <- depth;
+    if depth > c.c_peak then c.c_peak <- depth;
+    Mutex.unlock lock
+  end
+
+let freeze_rule c = { r_matches = c.c_matches; r_bytes = c.c_bytes }
+
+let freeze_inst c =
+  {
+    i_packets = c.c_packets;
+    i_bytes = c.c_bytes;
+    i_drops = c.c_drops;
+    i_queue_depth = c.c_depth;
+    i_queue_peak = c.c_peak;
+  }
+
+let rule_stats ~sw ~uid =
+  Mutex.lock lock;
+  let r =
+    match Hashtbl.find_opt rules (sw, uid) with
+    | Some c -> freeze_rule c
+    | None -> { r_matches = 0; r_bytes = 0 }
+  in
+  Mutex.unlock lock;
+  r
+
+let inst_stats ~id =
+  Mutex.lock lock;
+  let r =
+    match Hashtbl.find_opt insts id with
+    | Some c -> freeze_inst c
+    | None ->
+        { i_packets = 0; i_bytes = 0; i_drops = 0; i_queue_depth = 0; i_queue_peak = 0 }
+  in
+  Mutex.unlock lock;
+  r
+
+let compare_rule_key (sw, uid) (sw', uid') =
+  match Int.compare sw sw' with 0 -> Int.compare uid uid' | n -> n
+
+let rule_snapshot () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun k c acc -> (k, freeze_rule c) :: acc) rules [] in
+  Mutex.unlock lock;
+  List.sort (fun (k, _) (k', _) -> compare_rule_key k k') all
+
+let inst_snapshot () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun k c acc -> (k, freeze_inst c) :: acc) insts [] in
+  Mutex.unlock lock;
+  List.sort (fun (k, _) (k', _) -> Int.compare k k') all
+
+let switch_totals () =
+  let sums = Hashtbl.create 32 in
+  List.iter
+    (fun ((sw, _), st) ->
+      let m, b =
+        match Hashtbl.find_opt sums sw with Some (m, b) -> (m, b) | None -> (0, 0)
+      in
+      Hashtbl.replace sums sw (m + st.r_matches, b + st.r_bytes))
+    (rule_snapshot ());
+  Hashtbl.fold (fun sw (m, b) acc -> (sw, { r_matches = m; r_bytes = b }) :: acc) sums []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

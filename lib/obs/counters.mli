@@ -1,0 +1,70 @@
+(** Dataplane statistics: per-TCAM-rule match/byte counters and
+    per-VNF-instance packet/byte/drop/queue counters, the measurement
+    plane an SDN controller actually has (OpenFlow per-rule counters,
+    per-port stats).  {!Apple_dataplane.Tcam} bumps rule counters on
+    every lookup, {!Apple_packetsim.Packet_sim} bumps instance counters
+    on every packet event, and {!Poller} samples both periodically.
+
+    The whole observability subsystem ({!Counters}, {!Flight}) is
+    {b off by default} behind one global switch; every update site reads
+    one boolean first, so the disabled path costs a load-and-branch and
+    enabling it never changes placements, rule tables or simulation
+    results (the determinism property of [test/test_obs.ml]).
+
+    Keys are plain ints so the store has no dependency on the dataplane
+    types: rules are identified by [(switch, rule uid)] — the uid is
+    assigned by {!Apple_dataplane.Tcam} at install time — and instances
+    by their {!Apple_vnf.Instance.id}. *)
+
+val enabled : unit -> bool
+(** Current state of the global observability switch (default [false]).
+    Also gates {!Flight} recording. *)
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop every rule and instance counter (a fresh measurement epoch). *)
+
+(** {2 Per-rule counters} *)
+
+type rule_stats = {
+  r_matches : int;  (** lookups that selected this rule *)
+  r_bytes : int;  (** bytes credited to those matches *)
+}
+
+val rule_hit : sw:int -> uid:int -> bytes:int -> unit
+(** Count one match of rule [uid] on switch [sw] carrying [bytes]. *)
+
+val rule_stats : sw:int -> uid:int -> rule_stats
+(** Zeros for rules never hit. *)
+
+val rule_snapshot : unit -> ((int * int) * rule_stats) list
+(** All counted rules, sorted by [(switch, uid)]. *)
+
+val switch_totals : unit -> (int * rule_stats) list
+(** Per-switch sums over its rules, sorted by switch. *)
+
+(** {2 Per-instance counters} *)
+
+type inst_stats = {
+  i_packets : int;
+  i_bytes : int;
+  i_drops : int;  (** packets lost to the drop-tail buffer *)
+  i_queue_depth : int;  (** current queue length *)
+  i_queue_peak : int;  (** high watermark of the queue length *)
+}
+
+val inst_packet : id:int -> bytes:int -> unit
+(** Count one packet served by instance [id]. *)
+
+val inst_traffic : id:int -> packets:int -> bytes:int -> unit
+(** Bulk variant for flow-level integrators (many packets at once). *)
+
+val inst_drop : id:int -> unit
+val inst_queue : id:int -> depth:int -> unit
+
+val inst_stats : id:int -> inst_stats
+(** Zeros for instances never seen. *)
+
+val inst_snapshot : unit -> (int * inst_stats) list
+(** All counted instances, sorted by id. *)

@@ -1,0 +1,123 @@
+module T = Apple_telemetry.Telemetry
+module Engine = Apple_sim.Engine
+
+let m_polls = T.Counter.create "apple.obs.polls"
+
+type sample = {
+  mutable last_packets : int;
+  mutable last_bytes : int;
+  mutable pps : float;
+  mutable bps : float;
+  mutable primed : bool;  (* a rate estimate exists (not just a baseline) *)
+}
+
+type t = {
+  p_period : float;
+  alpha : float;
+  insts : (int, sample) Hashtbl.t;
+  switches : (int, sample) Hashtbl.t;
+  mutable p_last_poll : float option;
+  mutable n_polls : int;
+}
+
+let create ?(period = 0.05) ?(alpha = 0.5) () =
+  if period <= 0.0 then invalid_arg "Poller.create: period must be positive";
+  if alpha <= 0.0 || alpha > 1.0 then
+    invalid_arg "Poller.create: alpha must be in (0, 1]";
+  {
+    p_period = period;
+    alpha;
+    insts = Hashtbl.create 64;
+    switches = Hashtbl.create 32;
+    p_last_poll = None;
+    n_polls = 0;
+  }
+
+let period t = t.p_period
+let polls t = t.n_polls
+let last_poll t = t.p_last_poll
+
+let staleness t ~now =
+  match t.p_last_poll with Some p -> now -. p | None -> infinity
+
+let fresh_sample () =
+  { last_packets = 0; last_bytes = 0; pps = 0.0; bps = 0.0; primed = false }
+
+let sample_of table key =
+  match Hashtbl.find_opt table key with
+  | Some s -> s
+  | None ->
+      let s = fresh_sample () in
+      Hashtbl.replace table key s;
+      s
+
+(* One counter observation: update the EWMA from the delta when a
+   previous poll exists, else just record the baseline. *)
+let observe t dt s ~packets ~bytes =
+  (match dt with
+  | Some dt when dt > 0.0 ->
+      let raw_pps = float_of_int (packets - s.last_packets) /. dt in
+      let raw_bps = 8.0 *. float_of_int (bytes - s.last_bytes) /. dt in
+      if s.primed then begin
+        s.pps <- (t.alpha *. raw_pps) +. ((1.0 -. t.alpha) *. s.pps);
+        s.bps <- (t.alpha *. raw_bps) +. ((1.0 -. t.alpha) *. s.bps)
+      end
+      else begin
+        s.pps <- raw_pps;
+        s.bps <- raw_bps;
+        s.primed <- true
+      end
+  | Some _ | None -> ());
+  s.last_packets <- packets;
+  s.last_bytes <- bytes
+
+let poll t ~now =
+  let dt =
+    match t.p_last_poll with Some prev -> Some (now -. prev) | None -> None
+  in
+  t.p_last_poll <- Some now;
+  t.n_polls <- t.n_polls + 1;
+  let inst_rows = Counters.inst_snapshot () in
+  List.iter
+    (fun (id, st) ->
+      observe t dt (sample_of t.insts id) ~packets:st.Counters.i_packets
+        ~bytes:st.Counters.i_bytes)
+    inst_rows;
+  List.iter
+    (fun (sw, st) ->
+      observe t dt (sample_of t.switches sw) ~packets:st.Counters.r_matches
+        ~bytes:st.Counters.r_bytes)
+    (Counters.switch_totals ());
+  if T.enabled () then begin
+    T.Counter.incr m_polls;
+    List.iter
+      (fun (id, _) ->
+        match Hashtbl.find_opt t.insts id with
+        | Some s when s.primed ->
+            T.Gauge.set (T.Gauge.create (Printf.sprintf "apple.obs.inst.%d.pps" id)) s.pps;
+            T.Gauge.set
+              (T.Gauge.create (Printf.sprintf "apple.obs.inst.%d.mbps" id))
+              (s.bps /. 1e6)
+        | Some _ | None -> ())
+      inst_rows
+  end;
+  Flight.record Poll ~a:t.n_polls ~b:(List.length inst_rows) ()
+
+let attach t engine ~until =
+  Engine.every engine ~period:t.p_period ~until (fun w -> poll t ~now:(Engine.now w))
+
+let rate_of table key f =
+  match Hashtbl.find_opt table key with
+  | Some s when s.primed -> f s
+  | Some _ | None -> 0.0
+
+let inst_rate_pps t id = rate_of t.insts id (fun s -> s.pps)
+let inst_rate_bps t id = rate_of t.insts id (fun s -> s.bps)
+let offered_mbps t id = inst_rate_bps t id /. 1e6
+let switch_match_pps t sw = rate_of t.switches sw (fun s -> s.pps)
+
+let sorted_keys table =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort Int.compare
+
+let known_instances t = sorted_keys t.insts
+let known_switches t = sorted_keys t.switches

@@ -1,0 +1,147 @@
+type step =
+  | Started of { cls : int; src_ip : int; ingress : int }
+  | Matched of { switch : int; rule_uid : int; action : int }
+  | Tagged of { subclass : int; host : int }
+  | Entered of { switch : int; instance : int }
+  | Dropped of { instance : int }
+  | Finished of { error : int; switch : int }
+
+type chain = {
+  flow : int;
+  steps : (float * step) list;
+  rules : (int * int) list;
+  instances : int list;
+  subclass : int option;
+  drops : int;
+  outcome : [ `Ok | `Failed of string | `Unknown ];
+}
+
+let action_name = function
+  | 0 -> "deliver to local host"
+  | 1 -> "tag sub-class + deliver to local host"
+  | 2 -> "tag sub-class + tag host ID, go to next table"
+  | 3 -> "set host ID, go to next table"
+  | 4 -> "pass by (go to next table)"
+  | n -> Printf.sprintf "action?%d" n
+
+let host_name = function
+  | -1 -> "Empty"
+  | -2 -> "Fin"
+  | h -> Printf.sprintf "host %d" h
+
+let error_name = function
+  | 0 -> "ok"
+  | 1 -> "no matching rule"
+  | 2 -> "vSwitch lookup miss"
+  | 3 -> "vSwitch rule loop"
+  | 4 -> "delivery to non-local host"
+  | n -> Printf.sprintf "error?%d" n
+
+let step_of (e : Flight.event) =
+  match e.Flight.kind with
+  | Flight.Walk_start ->
+      Some (Started { cls = e.Flight.b; src_ip = e.Flight.c; ingress = e.Flight.d })
+  | Flight.Rule_match ->
+      Some (Matched { switch = e.Flight.b; rule_uid = e.Flight.c; action = e.Flight.d })
+  | Flight.Tag_set -> Some (Tagged { subclass = e.Flight.b; host = e.Flight.c })
+  | Flight.Inst_enter ->
+      Some (Entered { switch = e.Flight.b; instance = e.Flight.c })
+  | Flight.Pkt_drop -> Some (Dropped { instance = e.Flight.b })
+  | Flight.Walk_end -> Some (Finished { error = e.Flight.b; switch = e.Flight.c })
+  | Flight.Poll | Flight.Overload | Flight.Recover | Flight.Epoch
+  | Flight.Rules | Flight.Violation | Flight.Note ->
+      None
+
+(* The per-flow event kinds all carry the flow id in operand [a]. *)
+let flow_of (e : Flight.event) =
+  match step_of e with Some _ -> Some e.Flight.a | None -> None
+
+let of_events events ~flow =
+  let steps =
+    List.filter_map
+      (fun e ->
+        match step_of e with
+        | Some s when e.Flight.a = flow -> Some (e.Flight.time, s)
+        | Some _ | None -> None)
+      events
+  in
+  let rules =
+    List.filter_map
+      (function _, Matched { switch; rule_uid; _ } -> Some (switch, rule_uid) | _ -> None)
+      steps
+  in
+  let instances =
+    List.filter_map
+      (function _, Entered { instance; _ } -> Some instance | _ -> None)
+      steps
+  in
+  let subclass =
+    List.fold_left
+      (fun acc -> function _, Tagged { subclass; _ } -> Some subclass | _ -> acc)
+      None steps
+  in
+  let drops =
+    List.length (List.filter (function _, Dropped _ -> true | _ -> false) steps)
+  in
+  let outcome =
+    List.fold_left
+      (fun acc -> function
+        | _, Finished { error = 0; _ } -> `Ok
+        | _, Finished { error; _ } -> `Failed (error_name error)
+        | _ -> acc)
+      `Unknown steps
+  in
+  { flow; steps; rules; instances; subclass; drops; outcome }
+
+let flows events =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match flow_of e with
+      | Some f ->
+          Hashtbl.replace counts f
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts f))
+      | None -> ())
+    events;
+  Hashtbl.fold (fun f n acc -> (f, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let render_step = function
+  | Started { cls; src_ip; ingress } ->
+      Printf.sprintf "walk start: class %d, src 0x%08x, ingress switch %d" cls
+        src_ip ingress
+  | Matched { switch; rule_uid; action } ->
+      Printf.sprintf "switch %d: TCAM rule #%d matched -> %s" switch rule_uid
+        (action_name action)
+  | Tagged { subclass; host } ->
+      Printf.sprintf "tagged: sub-class %d, host ID %s" subclass (host_name host)
+  | Entered { switch; instance } ->
+      Printf.sprintf "host at switch %d: entered VNF instance %d" switch instance
+  | Dropped { instance } ->
+      Printf.sprintf "packet dropped at instance %d (buffer full)" instance
+  | Finished { error = 0; _ } -> "walk end: delivered"
+  | Finished { error; switch } ->
+      Printf.sprintf "walk end: FAILED at switch %d (%s)" switch
+        (error_name error)
+
+let render chain =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "flow %d: %d rule match(es), %d instance(s)%s, outcome %s\n"
+       chain.flow
+       (List.length chain.rules)
+       (List.length chain.instances)
+       (match chain.subclass with
+       | Some s -> Printf.sprintf ", sub-class %d" s
+       | None -> "")
+       (match chain.outcome with
+       | `Ok -> "ok"
+       | `Failed e -> "FAILED (" ^ e ^ ")"
+       | `Unknown -> "unknown"));
+  if chain.drops > 0 then
+    Buffer.add_string b (Printf.sprintf "  %d packet drop(s) recorded\n" chain.drops);
+  List.iter
+    (fun (time, step) ->
+      Buffer.add_string b (Printf.sprintf "  [%12.6f] %s\n" time (render_step step)))
+    chain.steps;
+  Buffer.contents b

@@ -1,0 +1,47 @@
+(** Flow provenance: reconstruct "why did this packet take this path?"
+    from flight-recorder events — the classification rule that matched,
+    the sub-class tag it received, the hosts and VNF instances it
+    traversed, and where (if anywhere) the walk went wrong.
+
+    Works on live {!Flight.events} or on a dump reloaded with
+    {!Flight.load}, so [apple trace <flow>] can explain a flow from the
+    file [apple verify] wrote at violation time. *)
+
+type step =
+  | Started of { cls : int; src_ip : int; ingress : int }
+  | Matched of { switch : int; rule_uid : int; action : int }
+      (** [action] is the {!Flight} action code *)
+  | Tagged of { subclass : int; host : int }  (** [host] is a host code *)
+  | Entered of { switch : int; instance : int }
+  | Dropped of { instance : int }
+  | Finished of { error : int; switch : int }  (** [error] 0 = clean *)
+
+type chain = {
+  flow : int;
+  steps : (float * step) list;  (** (time, step), chronological *)
+  rules : (int * int) list;  (** (switch, rule uid) matched, in order *)
+  instances : int list;  (** instances entered, in order *)
+  subclass : int option;  (** last sub-class tag applied *)
+  drops : int;
+  outcome : [ `Ok | `Failed of string | `Unknown ];
+}
+
+val of_events : Flight.event list -> flow:int -> chain
+(** Decode the causal chain of one flow.  [outcome] is [`Unknown] when
+    no walk-end event survived in the ring. *)
+
+val flows : Flight.event list -> (int * int) list
+(** Flow ids appearing in per-flow events, with their event counts,
+    sorted by flow id. *)
+
+val action_name : int -> string
+(** Human name of a {!Flight.Rule_match} action code. *)
+
+val host_name : int -> string
+(** Human name of a host code (id, "Empty" or "Fin"). *)
+
+val error_name : int -> string
+(** Human name of a walk error code ("ok" for 0). *)
+
+val render : chain -> string
+(** Multi-line report: one line per step plus a summary header. *)

@@ -1,0 +1,75 @@
+module Table = Apple_prelude.Text_table
+
+let render ?(capacities = []) ~now poller =
+  let b = Buffer.create 1024 in
+  let stale = Poller.staleness poller ~now in
+  Buffer.add_string b
+    (Printf.sprintf "APPLE dataplane load -- poll #%d, period %.3fs, staleness %s\n"
+       (Poller.polls poller) (Poller.period poller)
+       (if stale = infinity then "never polled" else Printf.sprintf "%.3fs" stale));
+  let switches = Poller.known_switches poller in
+  if switches <> [] then begin
+    let t = Table.create [ "Switch"; "Match rate"; "Matches"; "Bytes" ] in
+    let totals = Counters.switch_totals () in
+    List.iter
+      (fun sw ->
+        let st =
+          match List.assoc_opt sw totals with
+          | Some st -> st
+          | None -> { Counters.r_matches = 0; r_bytes = 0 }
+        in
+        Table.add_row t
+          [
+            string_of_int sw;
+            Printf.sprintf "%.1f pps" (Poller.switch_match_pps poller sw);
+            string_of_int st.Counters.r_matches;
+            string_of_int st.Counters.r_bytes;
+          ])
+      switches;
+    Buffer.add_string b (Table.render t);
+    Buffer.add_char b '\n'
+  end;
+  let instances = Poller.known_instances poller in
+  if instances = [] then Buffer.add_string b "no instance traffic sampled yet\n"
+  else begin
+    let t =
+      Table.create
+        [ "Instance"; "Rate"; "Offered"; "Util"; "Packets"; "Drops"; "Queue"; "Peak" ]
+    in
+    List.iter
+      (fun id ->
+        let st = Counters.inst_stats ~id in
+        let mbps = Poller.offered_mbps poller id in
+        let util =
+          match List.assoc_opt id capacities with
+          | Some cap when cap > 0.0 -> Printf.sprintf "%.0f%%" (100.0 *. mbps /. cap)
+          | Some _ | None -> "-"
+        in
+        Table.add_row t
+          [
+            string_of_int id;
+            Printf.sprintf "%.1f pps" (Poller.inst_rate_pps poller id);
+            Printf.sprintf "%.2f Mbps" mbps;
+            util;
+            string_of_int st.Counters.i_packets;
+            string_of_int st.Counters.i_drops;
+            string_of_int st.Counters.i_queue_depth;
+            string_of_int st.Counters.i_queue_peak;
+          ])
+      instances;
+    Buffer.add_string b (Table.render t);
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+let summary ~now poller =
+  let total_pps =
+    List.fold_left
+      (fun acc id -> acc +. Poller.inst_rate_pps poller id)
+      0.0
+      (Poller.known_instances poller)
+  in
+  Printf.sprintf "poll #%d t=%.3f instances=%d total=%.2f Kpps"
+    (Poller.polls poller) now
+    (List.length (Poller.known_instances poller))
+    (total_pps /. 1000.0)

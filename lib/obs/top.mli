@@ -1,0 +1,17 @@
+(** Rendering for [apple top]: per-switch and per-instance load tables
+    built from a {!Poller}'s current estimates.  Pure string rendering —
+    printing is the CLI's job (the no-stdout-in-lib gate of
+    [tools/lint.sh] holds unconditionally for [lib/obs]). *)
+
+val render :
+  ?capacities:(int * float) list ->
+  now:float ->
+  Poller.t ->
+  string
+(** Two aligned tables: TCAM match rates per switch, then packet/bit
+    rates, drops and queue depths per instance.  [capacities] maps
+    instance ids to Mbps so utilization can be shown. *)
+
+val summary : now:float -> Poller.t -> string
+(** One status line ("poll #N t=... instances=... total=... Kpps") for
+    live refresh loops. *)

@@ -4,6 +4,8 @@ module Nf = Apple_vnf.Nf
 module Walk = Apple_dataplane.Walk
 module Rng = Apple_prelude.Rng
 module Stats = Apple_prelude.Stats
+module Obs = Apple_obs.Counters
+module Flight = Apple_obs.Flight
 
 type config = {
   link_latency : float;
@@ -50,6 +52,7 @@ exception Unroutable of string
 (* Single-server FIFO queue with a drop-tail buffer.  Service time is
    deterministic (per-packet capacity of the instance). *)
 type server = {
+  inst_id : int;
   service_time : float;
   buffer : int;  (* waiting room, packets (excluding the one in service) *)
   mutable queued : int;
@@ -71,11 +74,11 @@ let service_time_of config inst =
   let pps = mbps *. 1e6 /. 8.0 /. float_of_int config.packet_bytes in
   1.0 /. pps
 
-let itinerary config ~network ~servers (spec : flow_spec) =
+let itinerary config ~network ~servers ~flow (spec : flow_spec) =
   (* One walk decides the whole flow's route; per-packet steps alternate
      a link per hop plus the servers of instances applied at that hop. *)
   match
-    Walk.run network ~path:spec.path ~cls:spec.cls ~src_ip:spec.src_ip ()
+    Walk.run network ~path:spec.path ~cls:spec.cls ~src_ip:spec.src_ip ~flow ()
   with
   | Error e ->
       raise
@@ -105,9 +108,9 @@ let itinerary config ~network ~servers (spec : flow_spec) =
       ignore config;
       (* servers first (processing happens along the way), links spread
          around them; ordering only shifts constant latency *)
-      serves @ links
+      (serves @ links, trace.Walk.rule_path)
 
-let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
+let run ?(config = default_config) ?(seed = 1) ?poll ~network ~instances ~flows
     ~duration () =
   let world = Engine.create () in
   let rng = Rng.create seed in
@@ -116,6 +119,7 @@ let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
     (fun inst ->
       Hashtbl.replace servers (Instance.id inst)
         {
+          inst_id = Instance.id inst;
           service_time = service_time_of config inst;
           buffer = config.queue_packets;
           queued = 0;
@@ -128,9 +132,12 @@ let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
   let delivered = Array.make (Array.length specs) 0 in
   let dropped = Array.make (Array.length specs) 0 in
   let latencies = Array.make (Array.length specs) [] in
-  let itineraries =
-    Array.map (fun spec -> itinerary config ~network ~servers spec) specs
+  let routed =
+    Array.mapi (fun idx spec -> itinerary config ~network ~servers ~flow:idx spec) specs
   in
+  let itineraries = Array.map fst routed in
+  let rule_paths = Array.map snd routed in
+  let obs = Obs.enabled () in
   let rec advance pkt w =
     match pkt.todo with
     | [] ->
@@ -142,14 +149,21 @@ let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
         Engine.schedule w ~delay:config.link_latency (advance pkt)
     | Serve server :: rest ->
         if server.busy then begin
-          if server.queued >= server.buffer then
+          if server.queued >= server.buffer then begin
             (* drop-tail *)
-            dropped.(pkt.flow_idx) <- dropped.(pkt.flow_idx) + 1
+            dropped.(pkt.flow_idx) <- dropped.(pkt.flow_idx) + 1;
+            if obs then begin
+              Obs.inst_drop ~id:server.inst_id;
+              Flight.record Flight.Pkt_drop ~a:pkt.flow_idx ~b:server.inst_id ()
+            end
+          end
           else begin
             server.queued <- server.queued + 1;
+            if obs then Obs.inst_queue ~id:server.inst_id ~depth:server.queued;
             Queue.add
               (fun w' ->
                 server.queued <- server.queued - 1;
+                if obs then Obs.inst_queue ~id:server.inst_id ~depth:server.queued;
                 serve server pkt rest w')
               server.waiters
           end
@@ -157,6 +171,7 @@ let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
         else serve server pkt rest w
   and serve server pkt rest w =
     server.busy <- true;
+    if obs then Obs.inst_packet ~id:server.inst_id ~bytes:config.packet_bytes;
     Engine.schedule w ~delay:server.service_time (fun w' ->
         server.busy <- false;
         (* Wake the next waiter before moving on. *)
@@ -171,6 +186,13 @@ let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
     (fun idx spec ->
       let emit w =
         sent.(idx) <- sent.(idx) + 1;
+        if obs then
+          (* Per-rule match/byte counters: every packet of the flow takes
+             the same TCAM matches its routing walk recorded. *)
+          List.iter
+            (fun (sw, uid) ->
+              Obs.rule_hit ~sw ~uid ~bytes:config.packet_bytes)
+            rule_paths.(idx);
         let pkt = { flow_idx = idx; born = Engine.now w; todo = itineraries.(idx) } in
         advance pkt w
       in
@@ -207,6 +229,11 @@ let run ?(config = default_config) ?(seed = 1) ~network ~instances ~flows
       in
       Engine.schedule_at world ~time:spec.start_at start)
     specs;
+  (* Controller-side counter polling rides on the same virtual clock. *)
+  (match poll with
+  | Some (period, f) ->
+      Engine.every world ~period ~until:duration (fun w -> f (Engine.now w))
+  | None -> ());
   Engine.run ~until:(duration +. 1.0) world;
   let flow_reports =
     Array.to_list

@@ -64,6 +64,7 @@ exception Unroutable of string
 val run :
   ?config:config ->
   ?seed:int ->
+  ?poll:float * (float -> unit) ->
   network:Apple_dataplane.Tcam.network ->
   instances:Apple_vnf.Instance.t list ->
   flows:flow_spec list ->
@@ -72,7 +73,16 @@ val run :
   report
 (** Simulate [duration] seconds.  [instances] must cover every instance
     id referenced by the installed vSwitch rules on the flows' paths.
-    Deterministic for a given [seed] (default 1). *)
+    Deterministic for a given [seed] (default 1).
+
+    [poll = (period, f)] invokes [f now] every [period] virtual seconds
+    (e.g. [Apple_obs.Poller.poll]), modelling the controller's counter
+    polling loop on the same clock as the packets.
+
+    When {!Apple_obs.Counters.enabled}, every packet credits the
+    match/byte counters of the TCAM rules on its flow's walk, and every
+    instance's packet/drop/queue counters track its server — that is
+    the measurement plane [apple top] renders. *)
 
 val loss_of : report -> string -> float
 (** Loss rate of the named flow.  Raises [Not_found] for unknown names. *)

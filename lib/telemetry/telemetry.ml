@@ -160,7 +160,12 @@ module Histogram = struct
     !lo
 
   let observe h v =
-    if !enabled_flag then begin
+    (* NaN would fail every [v <= upper] comparison, land in the overflow
+       bucket and poison [h_sum] forever; drop it.  Zero and negative
+       values are real observations (an instant duration, a clock that
+       went backwards) and land in the smallest bucket, which the binary
+       search already guarantees. *)
+    if !enabled_flag && not (Float.is_nan v) then begin
       ignore (Atomic.fetch_and_add h.h_counts.(bucket_index h v) 1);
       Mutex.lock h.h_mutex;
       h.h_sum <- h.h_sum +. v;
@@ -564,49 +569,73 @@ let prom_name n =
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
     n
 
+(* Exposition-format label values escape backslash, double quote and
+   newline (and nothing else). *)
+let prom_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let render_prometheus () =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  List.iter
-    (fun (n, v) ->
-      let n = prom_name n in
-      line "# TYPE %s counter" n;
-      line "%s %d" n v)
-    (counters ());
-  List.iter
-    (fun (n, v) ->
-      let n = prom_name n in
-      line "# TYPE %s gauge" n;
-      line "%s %s" n (json_float v))
-    (gauges ());
-  (* Histograms need the raw buckets, not the summary. *)
-  List.iter
-    (function
-      | M_histogram h ->
-          let n = prom_name h.h_name in
-          line "# TYPE %s histogram" n;
-          let cum = ref 0 in
-          Array.iteri
-            (fun i c ->
-              cum := !cum + Atomic.get c;
-              let le =
-                if h.h_upper.(i) = infinity then "+Inf"
-                else json_float h.h_upper.(i)
-              in
-              line "%s_bucket{le=\"%s\"} %d" n le !cum)
-            h.h_counts;
-          line "%s_sum %s" n (json_float h.h_sum);
-          line "%s_count %d" n !cum
-      | _ -> ())
-    (sorted_metrics ());
-  List.iter
-    (fun (n, s) ->
-      let n = prom_name n in
-      line "# TYPE %s_seconds_total counter" n;
-      line "%s_seconds_total %s" n (json_float s.sp_wall);
-      line "# TYPE %s_count counter" n;
-      line "%s_count %d" n s.sp_count)
-    (spans ());
+  let raw_name = function
+    | M_counter c -> c.c_name
+    | M_gauge g -> g.g_name
+    | M_histogram h -> h.h_name
+    | M_span s -> s.s_name
+  in
+  let emit = function
+    | M_counter c ->
+        let n = prom_name c.c_name in
+        line "# TYPE %s counter" n;
+        line "%s %d" n (Counter.value c)
+    | M_gauge g ->
+        let n = prom_name g.g_name in
+        line "# TYPE %s gauge" n;
+        line "%s %s" n (json_float g.g_value)
+    | M_histogram h ->
+        (* Raw cumulative buckets, not the summary. *)
+        let n = prom_name h.h_name in
+        line "# TYPE %s histogram" n;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + Atomic.get c;
+            let le =
+              if h.h_upper.(i) = infinity then "+Inf"
+              else json_float h.h_upper.(i)
+            in
+            line "%s_bucket{le=\"%s\"} %d" n (prom_label_value le) !cum)
+          h.h_counts;
+        line "%s_sum %s" n (json_float h.h_sum);
+        line "%s_count %d" n !cum
+    | M_span s ->
+        let n = prom_name s.s_name in
+        line "# TYPE %s_seconds_total counter" n;
+        line "%s_seconds_total %s" n (json_float s.s_wall);
+        line "# TYPE %s_count counter" n;
+        line "%s_count %d" n s.s_count
+  in
+  (* One pass, globally ordered by exposition name (raw name breaks
+     ties): the output is byte-stable regardless of metric kind or
+     registry insertion order.  Sorting by [prom_name] rather than the
+     raw name matters — the sanitizer maps '.'/'-' to '_', which does
+     not preserve [String.compare] order. *)
+  sorted_metrics ()
+  |> List.map (fun m -> ((prom_name (raw_name m), raw_name m), m))
+  |> List.sort (fun ((pa, ra), _) ((pb, rb), _) ->
+         match String.compare pa pb with
+         | 0 -> String.compare ra rb
+         | c -> c)
+  |> List.iter (fun (_, m) -> emit m);
   Buffer.contents buf
 
 let render = function

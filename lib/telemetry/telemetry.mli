@@ -79,6 +79,11 @@ module Histogram : sig
       shape parameters of the first creation win. *)
 
   val observe : t -> float -> unit
+  (** Count one observation.  NaN is dropped (it would poison the sum and
+      misbucket into the overflow bucket); zero and negative values land
+      in the smallest bucket; a value exactly on a bucket's upper bound
+      lands in that bucket (bounds are inclusive). *)
+
   val count : t -> int
   val sum : t -> float
   val max_value : t -> float

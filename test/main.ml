@@ -28,6 +28,7 @@ let () =
       ("tcp", Test_tcp.suite);
       ("aggregation", Test_aggregation.suite);
       ("verify", Test_verify.suite);
+      ("obs", Test_obs.suite);
       ("policy-file", Test_policy_file.suite);
       ("fuzz", Test_fuzz.suite);
     ]

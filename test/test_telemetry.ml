@@ -77,6 +77,33 @@ let test_histogram_observe_and_percentile () =
   Alcotest.(check (float 1e-9)) "p95 = observed max" 40000.0
     (T.Histogram.percentile h 95.0)
 
+let test_histogram_edge_observations () =
+  with_telemetry @@ fun () ->
+  let h =
+    T.Histogram.create ~lo:1.0 ~buckets_per_decade:1 ~decades:2
+      "test.hist.edges"
+  in
+  (* Zero and negative are genuine observations in the smallest bucket. *)
+  T.Histogram.observe h 0.0;
+  T.Histogram.observe h (-3.0);
+  Alcotest.(check int) "zero and negative in bucket 0" 2
+    (T.Histogram.bucket_count h 0);
+  Alcotest.(check (float 1e-9)) "sum includes them" (-3.0) (T.Histogram.sum h);
+  (* NaN is dropped entirely: no count, no poisoned sum. *)
+  T.Histogram.observe h Float.nan;
+  Alcotest.(check int) "nan not counted" 2 (T.Histogram.count h);
+  Alcotest.(check bool) "sum still finite" true
+    (Float.is_finite (T.Histogram.sum h));
+  (* Boundary values land in the bucket whose inclusive upper they hit. *)
+  T.Histogram.observe h 10.0;
+  Alcotest.(check int) "exact boundary inclusive" 3
+    (T.Histogram.bucket_count h 0);
+  (* Infinity goes to the overflow bucket and becomes the max. *)
+  T.Histogram.observe h infinity;
+  Alcotest.(check int) "inf in overflow" 1
+    (T.Histogram.bucket_count h (T.Histogram.num_buckets h - 1));
+  Alcotest.(check bool) "inf is max" true (T.Histogram.max_value h = infinity)
+
 (* --- registry -------------------------------------------------------- *)
 
 let test_registry_idempotent () =
@@ -216,6 +243,70 @@ let test_exporters_render () =
   Alcotest.(check bool) "prom overflow bucket" true
     (contains prom "test_render_hist_bucket{le=\"+Inf\"} 1")
 
+let test_prometheus_golden () =
+  with_telemetry @@ fun () ->
+  (* Uniquely-prefixed metrics that sort adjacently under prom_name, so
+     the exact consecutive block below is stable no matter what the rest
+     of the suite registered before this test. *)
+  let c = T.Counter.create "test.prom.gold.a" in
+  T.Counter.add c 7;
+  let g = T.Gauge.create "test.prom.gold.b" in
+  T.Gauge.set g 2.5;
+  let h =
+    T.Histogram.create ~lo:1.0 ~buckets_per_decade:1 ~decades:1
+      "test.prom.gold.h"
+  in
+  T.Histogram.observe h 5.0;
+  T.Histogram.observe h 20.0;
+  let prom = T.render T.Prom in
+  let golden =
+    String.concat "\n"
+      [
+        "# TYPE test_prom_gold_a counter";
+        "test_prom_gold_a 7";
+        "# TYPE test_prom_gold_b gauge";
+        "test_prom_gold_b 2.5";
+        "# TYPE test_prom_gold_h histogram";
+        "test_prom_gold_h_bucket{le=\"10\"} 1";
+        "test_prom_gold_h_bucket{le=\"+Inf\"} 2";
+        "test_prom_gold_h_sum 25";
+        "test_prom_gold_h_count 2";
+      ]
+  in
+  Alcotest.(check bool)
+    "golden block present verbatim (names sanitized, kinds interleaved)" true
+    (contains prom golden);
+  (* Global ordering: every # TYPE family name is non-decreasing, except
+     the two families one span emits back-to-back (_seconds_total then
+     _count). *)
+  let type_names =
+    String.split_on_char '\n' prom
+    |> List.filter_map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "#"; "TYPE"; name; _kind ] -> Some name
+           | _ -> None)
+  in
+  Alcotest.(check bool) "several families rendered" true
+    (List.length type_names >= 3);
+  let span_pair a b =
+    let suffix = "_seconds_total" in
+    String.length a > String.length suffix
+    && String.sub a
+         (String.length a - String.length suffix)
+         (String.length suffix)
+       = suffix
+    && b
+       = String.sub a 0 (String.length a - String.length suffix) ^ "_count"
+  in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+        if not (String.compare a b <= 0 || span_pair a b) then
+          Alcotest.failf "families out of order: %s before %s" a b;
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted type_names
+
 let test_format_of_string () =
   Alcotest.(check bool) "text" true (T.format_of_string "text" = Ok T.Text);
   Alcotest.(check bool) "json" true (T.format_of_string "json" = Ok T.Json);
@@ -230,6 +321,8 @@ let suite =
       test_histogram_bucket_boundaries;
     Alcotest.test_case "histogram: observe/sum/percentile" `Quick
       test_histogram_observe_and_percentile;
+    Alcotest.test_case "histogram: zero/negative/NaN/boundary edges" `Quick
+      test_histogram_edge_observations;
     Alcotest.test_case "registry: idempotent create, type clash rejected"
       `Quick test_registry_idempotent;
     Alcotest.test_case "reset zeroes values, keeps handles" `Quick
@@ -245,5 +338,7 @@ let suite =
       test_span_sim_time;
     Alcotest.test_case "exporters: text/json/prom sanity" `Quick
       test_exporters_render;
+    Alcotest.test_case "exporters: prometheus golden block and ordering"
+      `Quick test_prometheus_golden;
     Alcotest.test_case "format_of_string" `Quick test_format_of_string;
   ]

@@ -13,6 +13,9 @@
 #      Printf.printf, Format.printf, ...): libraries must report through
 #      Logs, telemetry, or a caller-supplied formatter.  Annotate a
 #      reviewed exception with `(* lint: stdout *)` on the same line.
+#   4. Rule 3 holds UNCONDITIONALLY for lib/obs: the measurement plane
+#      returns strings (Top.render, Provenance.render) and printing is
+#      the CLI's job, so even `(* lint: stdout *)` is rejected there.
 #
 # Exit status: 0 clean, 1 violations found.
 
@@ -58,6 +61,16 @@ hits=$(grep -rn --include='*.ml' -P \
   "${bare}(print_string|print_endline|print_newline|print_int|print_float|print_char)${after}|Printf\\.printf|Format\\.printf${after}" \
   lib/ | grep -v 'lint: stdout' || true)
 report "stdout printing in lib/ (use Logs/telemetry, or annotate with (* lint: stdout *))" "$hits"
+
+# --- rule 4: no stdout in lib/obs, annotation or not ----------------
+# lib/obs renders to strings by contract; the (* lint: stdout *) escape
+# hatch does not apply there.
+if [ -d lib/obs ]; then
+  hits=$(grep -rn --include='*.ml' -P \
+    "${bare}(print_string|print_endline|print_newline|print_int|print_float|print_char)${after}|Printf\\.printf|Format\\.printf${after}" \
+    lib/obs/ || true)
+  report "stdout printing in lib/obs (render to strings; no annotation escape)" "$hits"
+fi
 
 if [ "$fail" -eq 0 ]; then
   echo "lint: clean"
