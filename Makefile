@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint check clean
+.PHONY: all build test bench lint check clean goldens
 
 all: build
 
@@ -11,6 +11,11 @@ test:
 # Full paper-scale benchmark run (slow).
 bench:
 	dune exec bench/main.exe
+
+# Refresh the differential-regression goldens (test/goldens/*.txt) from
+# the current build; review the diff before committing.
+goldens:
+	dune exec tools/make_goldens.exe -- test/goldens
 
 # Style gate: no polymorphic compare in lib/, no Hashtbl in
 # lib/parallel, no stdout printing from libraries.

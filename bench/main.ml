@@ -8,8 +8,8 @@
      dune exec bench/main.exe -- table5 --json bench.json
 
    Positional arguments select what runs: a section (paper | ablations |
-   jobs | micro) or an individual artifact (table1 | table3 | table4 |
-   table5 | fig6 ... fig12).  Without arguments, APPLE_BENCH_ONLY filters
+   jobs | failover | micro) or an individual artifact (table1 | table3 |
+   table4 | table5 | fig6 ... fig12).  Without arguments, APPLE_BENCH_ONLY filters
    sections (comma-separated), else everything runs.  --json FILE
    additionally writes a BENCH_core.json snapshot of the scalar metrics
    (schema documented in EXPERIMENTS.md).  One experiment driver per
@@ -34,7 +34,7 @@ let seed =
 
 (* --- command line --------------------------------------------------- *)
 
-let section_names = [ "paper"; "ablations"; "jobs"; "micro" ]
+let section_names = [ "paper"; "ablations"; "jobs"; "micro"; "failover" ]
 
 let experiment_names =
   [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
@@ -354,6 +354,10 @@ let test_drfq =
           Apple_sched.Drfq.enqueue s f ~bytes:1024;
           ignore (Apple_sched.Drfq.dequeue s)))
 
+let run_failover opts =
+  print_endline "---- failover under injected faults (chaos engine) ----\n";
+  C.Experiments.print (Apple_chaos.Experiments.fig_failover opts)
+
 let run_micro () =
   print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
   let tests =
@@ -410,6 +414,7 @@ let () =
       experiment_names;
   if wants "ablations" then run_ablations opts;
   if wants "jobs" then run_jobs opts;
+  if wants "failover" then run_failover opts;
   if wants "micro" then run_micro ();
   Option.iter write_snapshot !json_path;
   print_endline "\nbench: done"

@@ -15,6 +15,7 @@ module Top = Apple_obs.Top
 module Walk = Apple_dataplane.Walk
 module PS = Apple_packetsim.Packet_sim
 module I = Apple_vnf.Instance
+module Ch = Apple_chaos
 
 open Cmdliner
 
@@ -703,6 +704,143 @@ let trace_cmd =
           tag, hosts, VNF instances, outcome) from a flight-recorder dump")
     Term.(ret (const trace_action $ flow_arg $ dump_arg))
 
+(* --- chaos command -------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let chaos_action topo seed schedule_file duration round jobs boot flight_out
+    metrics out =
+  with_metrics metrics out @@ fun () ->
+  let schedule =
+    match schedule_file with
+    | Some path -> Ch.Fault.parse (read_file path)
+    | None ->
+        (* Default drill: kill the hottest instance half a second in. *)
+        Ok
+          (Ch.Fault.add Ch.Fault.empty ~at:0.5
+             (Ch.Fault.Kill_instance Ch.Fault.Hottest))
+  in
+  match schedule with
+  | Error m -> `Error (false, "bad schedule: " ^ m)
+  | Ok schedule -> (
+      Obs.set_enabled true;
+      let config =
+        { Ch.Chaos.default_config with Ch.Chaos.duration; round; jobs; boot }
+      in
+      let s =
+        Ch.Experiments.scenario_for { C.Experiments.seed; scale = 1.0 } topo
+      in
+      try
+        let o = Ch.Chaos.run ~config ~seed ~schedule s in
+        print_string (Ch.Chaos.render o);
+        (match flight_out with
+        | Some path when Flight.length () > 0 ->
+            Flight.dump ~path;
+            Format.printf "flight recorder dumped to %s (see apple trace)@."
+              path
+        | _ -> ());
+        `Ok ()
+      with
+      | C.Controller.Rejected m ->
+          `Error (false, "initial epoch rejected by the static verifier: " ^ m)
+      | C.Optimization_engine.Infeasible m -> `Error (false, "infeasible: " ^ m))
+
+let chaos_cmd =
+  let topo_arg =
+    let doc = "Topology: internet2, geant, univ1 or as3679." in
+    Arg.(
+      value
+      & opt topology_conv (B.internet2 ())
+      & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let schedule_arg =
+    let doc =
+      "Fault schedule file (lines $(b,at TIME KIND ARGS); see \
+       examples/chaos_internet2.sched).  Without one, a single \
+       kill-instance drill against the hottest instance runs at t=0.5 s."
+    in
+    Arg.(
+      value & opt (some file) None & info [ "schedule" ] ~docv:"FILE" ~doc)
+  in
+  let duration_arg =
+    let doc =
+      "Run length in simulated seconds; 0 auto-extends past the last \
+       scheduled event plus the slowest respawn."
+    in
+    Arg.(value & opt float 0.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let round_arg =
+    let doc = "Control-round period in simulated seconds." in
+    Arg.(value & opt float 0.05 & info [ "round" ] ~docv:"SECONDS" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the placement engine; the outcome is \
+       byte-identical for every value."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let boot_arg =
+    let doc =
+      "Respawn boot path: $(b,clickos) (30 ms), $(b,openstack) (3.9-4.6 s), \
+       $(b,reconfigure) (30 ms) or $(b,normal) (30 s).  Default: per-kind."
+    in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("clickos", Apple_vnf.Lifecycle.Raw_clickos);
+                  ("openstack", Apple_vnf.Lifecycle.Openstack);
+                  ("reconfigure", Apple_vnf.Lifecycle.Reconfigure);
+                  ("normal", Apple_vnf.Lifecycle.Normal_vm);
+                ]))
+          None
+      & info [ "boot" ] ~docv:"PATH" ~doc)
+  in
+  let chaos_flight_arg =
+    let doc =
+      "Dump the flight recorder (blackholes, repairs, heals) to $(docv) \
+       after the run; inspect it with $(b,apple trace)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject a deterministic fault schedule (VM deaths, link/switch \
+          failures, TCAM rule loss, poller blackouts) into a running \
+          scenario and report recovery times, packet loss and verifier \
+          status per fault")
+    Term.(
+      ret
+        (const chaos_action $ topo_arg $ seed_arg $ schedule_arg
+       $ duration_arg $ round_arg $ jobs_arg $ boot_arg $ chaos_flight_arg
+       $ metrics_arg $ metrics_out_arg))
+
+(* --- failover experiment command ------------------------------------ *)
+
+let failover_action seed scale metrics out =
+  with_metrics metrics out @@ fun () ->
+  C.Experiments.print (Ch.Experiments.fig_failover { C.Experiments.seed; scale });
+  `Ok ()
+
+let failover_cmd =
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Run the failover table: recovery time, packets lost and verifier \
+          status per fault kind and schedule density on Internet2 and GEANT")
+    Term.(
+      ret (const failover_action $ seed_arg $ scale_arg $ metrics_arg
+         $ metrics_out_arg))
+
 (* --- topologies command -------------------------------------------- *)
 
 let topologies_action () =
@@ -731,6 +869,8 @@ let main =
       policies_cmd;
       top_cmd;
       trace_cmd;
+      chaos_cmd;
+      failover_cmd;
       topologies_cmd;
     ]
 

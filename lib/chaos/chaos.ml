@@ -1,0 +1,570 @@
+module Engine = Apple_sim.Engine
+module Rng = Apple_prelude.Rng
+module Table = Apple_prelude.Text_table
+module Instance = Apple_vnf.Instance
+module Lifecycle = Apple_vnf.Lifecycle
+module Failmask = Apple_dataplane.Failmask
+module Tcam = Apple_dataplane.Tcam
+module Walk = Apple_dataplane.Walk
+module Counters = Apple_obs.Counters
+module Types = Apple_core.Types
+module Subclass = Apple_core.Subclass
+module Netstate = Apple_core.Netstate
+module Controller = Apple_core.Controller
+module Dynamic_handler = Apple_core.Dynamic_handler
+module Resource_orchestrator = Apple_core.Resource_orchestrator
+module Rule_generator = Apple_core.Rule_generator
+module T = Apple_telemetry.Telemetry
+
+let log = Logs.Src.create "apple.chaos" ~doc:"Chaos engine"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type config = {
+  round : float;
+  duration : float;
+  packet_bytes : int;
+  jobs : int option;
+  boot : Lifecycle.boot_path option;
+  backoff : Resource_orchestrator.backoff;
+}
+
+let default_config =
+  {
+    round = 0.05;
+    duration = 0.0;
+    packet_bytes = 1500;
+    jobs = None;
+    boot = None;
+    backoff = Resource_orchestrator.default_backoff;
+  }
+
+type verdict = [ `Ok | `Rejected of string | `Skipped ]
+
+type fault_outcome = {
+  o_at : float;
+  o_label : string;
+  o_recovery : float option;
+  o_lost : int;
+  o_verdict : verdict;
+}
+
+type outcome = {
+  scenario_label : string;
+  seed : int;
+  faults : fault_outcome list;
+  total_lost : int;
+  heals_ok : int;
+  heals_rejected : int;
+  final_loss : float;
+  log : string list;
+}
+
+(* Failed element a fault owns, the key under which round-by-round
+   blackhole losses are attributed back to the fault. *)
+type elem = L of int * int | S of int | I of int | T of int | B
+
+let elem_equal a b =
+  match (a, b) with
+  | L (u, v), L (u', v') -> u = u' && v = v'
+  | S a, S b | I a, I b | T a, T b -> a = b
+  | B, B -> true
+  | (L _ | S _ | I _ | T _ | B), _ -> false
+
+(* Mutable in-flight record; frozen into [fault_outcome] at the end. *)
+type fo = {
+  fo_at : float;
+  mutable fo_label : string;
+  mutable fo_recovery : float option;
+  mutable fo_lost : int;
+  mutable fo_carry : float;
+  mutable fo_rate : float;  (* extra dark rate (TCAM loss), Mbps *)
+  mutable fo_verdict : verdict;
+}
+
+let norm (u, v) = if u <= v then (u, v) else (v, u)
+
+let run ?(config = default_config) ~seed ~schedule (s : Types.scenario) =
+  (match Fault.validate schedule with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Chaos.run: invalid schedule: " ^ m));
+  let ctrl =
+    Controller.create ?jobs:config.jobs ~gate:Apple_verify.Verify.gate s
+  in
+  ignore (Controller.run_epoch ctrl);
+  let state =
+    match Controller.netstate ctrl with Some st -> st | None -> assert false
+  in
+  let handler =
+    match Controller.handler ctrl with Some h -> h | None -> assert false
+  in
+  let mask = state.Netstate.mask in
+  let world = Engine.create () in
+  let rng = Rng.create seed in
+  let duration =
+    if config.duration > 0.0 then config.duration
+    else
+      let last = List.fold_left (fun acc e -> max acc e.Fault.at) 0.0 schedule in
+      (* Grace window covering the slowest heal: capped backoff plus a
+         normal-VM boot. *)
+      last +. config.backoff.Resource_orchestrator.cap
+      +. Lifecycle.normal_vm_boot +. 2.0
+  in
+  let lines = ref [] in
+  let logf w fmt =
+    Format.kasprintf
+      (fun m ->
+        let line = Printf.sprintf "[%8.3f] %s" (Engine.now w) m in
+        lines := line :: !lines;
+        T.Journal.recordf ~kind:"chaos" "%s" m;
+        Log.info (fun f -> f "%s" line))
+      fmt
+  in
+  (* Chronological list of fault records, and the active set keyed by
+     failed element (assoc list: deterministic order, tiny sizes). *)
+  let all = ref [] in
+  let active = ref [] in
+  let open_fault w ~elem ~label =
+    let fo =
+      {
+        fo_at = Engine.now w;
+        fo_label = label;
+        fo_recovery = None;
+        fo_lost = 0;
+        fo_carry = 0.0;
+        fo_rate = 0.0;
+        fo_verdict = `Skipped;
+      }
+    in
+    all := fo :: !all;
+    active := (elem, fo) :: !active;
+    fo
+  in
+  let close_fault w elem =
+    match List.find_opt (fun (e, _) -> elem_equal e elem) !active with
+    | None -> ()
+    | Some (_, fo) ->
+        active := List.filter (fun (e, _) -> not (elem_equal e elem)) !active;
+        fo.fo_recovery <- Some (Engine.now w -. fo.fo_at);
+        (* Every healed epoch is re-checked by the verifier gate. *)
+        (match Controller.recheck_gate ctrl with
+        | Ok () -> fo.fo_verdict <- `Ok
+        | Error m -> fo.fo_verdict <- `Rejected m);
+        logf w "healed: %s after %.3fs (%d packet(s) lost, verifier %s)"
+          fo.fo_label
+          (Engine.now w -. fo.fo_at)
+          fo.fo_lost
+          (match fo.fo_verdict with
+          | `Ok -> "ok"
+          | `Rejected _ -> "REJECTED"
+          | `Skipped -> "skipped")
+  in
+  (* ---- symbolic target resolution (at injection time) ------------- *)
+  let hottest_instance () =
+    Netstate.recompute_loads state;
+    List.fold_left
+      (fun acc inst ->
+        if Failmask.instance_down mask (Instance.id inst) then acc
+        else
+          match acc with
+          | None -> Some inst
+          | Some best ->
+              let c = Float.compare (Instance.offered inst) (Instance.offered best) in
+              if c > 0 || (c = 0 && Instance.id inst < Instance.id best) then
+                Some inst
+              else acc)
+      None
+      (Netstate.instances_in_use state)
+  in
+  let rate_weighted fold =
+    (* max element by accumulated class rate; ties by smallest key *)
+    let weights = Hashtbl.create 32 in
+    Array.iter
+      (fun (c : Types.flow_class) ->
+        if c.Types.rate > 0.0 then
+          fold c (fun key ->
+              Hashtbl.replace weights key
+                (c.Types.rate
+                +. Option.value ~default:0.0 (Hashtbl.find_opt weights key))))
+      s.Types.classes;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) weights []
+  in
+  let busiest_link () =
+    rate_weighted (fun c add ->
+        let p = c.Types.path in
+        for i = 1 to Array.length p - 1 do
+          add (norm (p.(i - 1), p.(i)))
+        done)
+    |> List.filter (fun ((u, v), _) -> not (Failmask.link_down mask u v))
+    |> List.sort (fun ((a1, a2), va) ((b1, b2), vb) ->
+           match Float.compare vb va with
+           | 0 -> ( match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+           | c -> c)
+    |> function
+    | (k, _) :: _ -> Some k
+    | [] -> None
+  in
+  let busiest_switch () =
+    rate_weighted (fun c add -> Array.iter add c.Types.path)
+    |> List.filter (fun (sw, _) -> not (Failmask.switch_down mask sw))
+    |> List.sort (fun (a, va) (b, vb) ->
+           match Float.compare vb va with 0 -> Int.compare a b | c -> c)
+    |> function
+    | (k, _) :: _ -> Some k
+    | [] -> None
+  in
+  (* Stacks pairing symbolic up/restart events with the element their
+     down/crash actually hit. *)
+  let sym_links = ref [] and sym_switches = ref [] in
+  (* Respawn attempt counter per host (repeated crashes back off). *)
+  let attempts = Hashtbl.create 8 in
+  let blind_until = ref neg_infinity in
+  (* ---- per-fault injection ---------------------------------------- *)
+  let kill_instance w target =
+    let victim =
+      match target with
+      | Fault.Hottest -> hottest_instance ()
+      | Fault.Id i ->
+          List.find_opt
+            (fun inst -> Instance.id inst = i)
+            (Resource_orchestrator.instances state.Netstate.orchestrator)
+      | Fault.Busiest | Fault.Pair _ -> None
+    in
+    match victim with
+    | None -> logf w "kill-instance: no eligible instance; ignored"
+    | Some dead ->
+        let id = Instance.id dead and host = Instance.host dead in
+        Failmask.fail_instance mask id;
+        let fo =
+          open_fault w ~elem:(I id)
+            ~label:
+              (Printf.sprintf "kill-instance %d (%s at switch %d)" id
+                 (Apple_vnf.Nf.name (Instance.kind dead))
+                 host)
+        in
+        logf w "%s" fo.fo_label;
+        let stranded = Dynamic_handler.repair handler ~dead in
+        logf w "repair: stranded weight %.3f across classes (%.1f Mbps blackholed)"
+          stranded
+          (Netstate.blackholed_rate state);
+        let attempt =
+          Option.value ~default:0 (Hashtbl.find_opt attempts host)
+        in
+        Hashtbl.replace attempts host (attempt + 1);
+        ignore
+          (Resource_orchestrator.respawn state.Netstate.orchestrator ~world:w
+             ~rng ?boot:config.boot ~policy:config.backoff ~attempt
+             ~on_ready:(fun replacement ->
+               Controller.heal_instance ctrl ~dead ~replacement;
+               logf world "instance %d respawned as %d (attempt %d)" id
+                 (Instance.id replacement) attempt;
+               close_fault world (I id))
+             dead)
+  in
+  let link_down w target =
+    let link =
+      match target with
+      | Fault.Pair (u, v) -> Some (norm (u, v))
+      | Fault.Busiest -> busiest_link ()
+      | Fault.Hottest | Fault.Id _ -> None
+    in
+    match link with
+    | None -> logf w "link-down: no eligible link; ignored"
+    | Some (u, v) ->
+        Failmask.fail_link mask u v;
+        if target = Fault.Busiest then sym_links := (u, v) :: !sym_links;
+        let fo =
+          open_fault w ~elem:(L (u, v))
+            ~label:(Printf.sprintf "link-down %d-%d" u v)
+        in
+        logf w "%s" fo.fo_label
+  in
+  let link_up w target =
+    let link =
+      match target with
+      | Fault.Pair (u, v) -> Some (norm (u, v))
+      | Fault.Busiest -> (
+          match !sym_links with
+          | l :: rest ->
+              sym_links := rest;
+              Some l
+          | [] -> None)
+      | Fault.Hottest | Fault.Id _ -> None
+    in
+    match link with
+    | None -> logf w "link-up: nothing to heal; ignored"
+    | Some (u, v) ->
+        Failmask.restore_link mask u v;
+        logf w "link-up %d-%d" u v;
+        close_fault w (L (u, v))
+  in
+  let switch_crash w target =
+    let sw =
+      match target with
+      | Fault.Id i -> Some i
+      | Fault.Busiest -> busiest_switch ()
+      | Fault.Hottest | Fault.Pair _ -> None
+    in
+    match sw with
+    | None -> logf w "switch-crash: no eligible switch; ignored"
+    | Some sw ->
+        Failmask.fail_switch mask sw;
+        if target = Fault.Busiest then sym_switches := sw :: !sym_switches;
+        let fo =
+          open_fault w ~elem:(S sw) ~label:(Printf.sprintf "switch-crash %d" sw)
+        in
+        logf w "%s" fo.fo_label
+  in
+  let switch_restart w target =
+    let sw =
+      match target with
+      | Fault.Id i -> Some i
+      | Fault.Busiest -> (
+          match !sym_switches with
+          | sw :: rest ->
+              sym_switches := rest;
+              Some sw
+          | [] -> None)
+      | Fault.Hottest | Fault.Pair _ -> None
+    in
+    match sw with
+    | None -> logf w "switch-restart: nothing to heal; ignored"
+    | Some sw ->
+        Failmask.restore_switch mask sw;
+        logf w "switch-restart %d" sw;
+        close_fault w (S sw)
+  in
+  (* Rate of traffic whose representative walk fails against the current
+     tables (excluding mask-induced blackholes, which are attributed to
+     their own faults). *)
+  let walk_dark_rate () =
+    match (Controller.last_report ctrl, Controller.assignment ctrl) with
+    | Some report, Some asg ->
+        let net = report.Controller.rules.Rule_generator.network in
+        let depth = report.Controller.rules.Rule_generator.split_depth in
+        Array.fold_left
+          (fun acc (c : Types.flow_class) ->
+            let subs =
+              List.filter
+                (fun sub -> sub.Subclass.class_id = c.Types.id)
+                asg.Subclass.subclasses
+            in
+            let prefixes = Rule_generator.subclass_prefixes c subs ~depth in
+            let dark = ref 0.0 in
+            List.iteri
+              (fun idx (sub : Subclass.subclass) ->
+                match prefixes.(idx) with
+                | [] -> ()
+                | p :: _ -> (
+                    match
+                      Walk.run net
+                        ~path:(Array.to_list c.Types.path)
+                        ~cls:c.Types.id ~src_ip:p.Types.Prefix.addr ()
+                    with
+                    | Ok _ -> ()
+                    | Error _ ->
+                        dark := !dark +. (c.Types.rate *. sub.Subclass.weight)))
+              subs;
+            acc +. !dark)
+          0.0 s.Types.classes
+    | _ -> 0.0
+  in
+  let tcam_loss w target p =
+    let sw =
+      match target with
+      | Fault.Id i -> Some i
+      | Fault.Busiest -> busiest_switch ()
+      | Fault.Hottest | Fault.Pair _ -> None
+    in
+    match sw with
+    | None -> logf w "tcam-loss: no eligible switch; ignored"
+    | Some sw ->
+        (match Controller.last_report ctrl with
+        | None -> ()
+        | Some report ->
+            let table = report.Controller.rules.Rule_generator.network.(sw) in
+            let doomed =
+              List.filter_map
+                (fun (uid, _) -> if Rng.float rng 1.0 < p then Some uid else None)
+                (Tcam.phys_entries table)
+            in
+            let lost =
+              Tcam.retain_phys table ~keep:(fun uid ->
+                  not (List.mem uid doomed))
+            in
+            let fo =
+              open_fault w ~elem:(T sw)
+                ~label:
+                  (Printf.sprintf "tcam-loss at switch %d (%d rule(s), p=%g)"
+                     sw lost p)
+            in
+            fo.fo_rate <- walk_dark_rate ();
+            logf w "%s, %.1f Mbps dark" fo.fo_label fo.fo_rate;
+            (* The controller reinstalls the full tables one rule-install
+               latency later and the gate re-checks them. *)
+            Engine.schedule w ~delay:Lifecycle.rule_install_time (fun w' ->
+                ignore (Controller.reinstall_rules ctrl);
+                logf w' "tcam reinstall at switch %d" sw;
+                close_fault w' (T sw)))
+  in
+  let poller_blackout w d =
+    blind_until := max !blind_until (Engine.now w +. d);
+    let fo =
+      open_fault w ~elem:B ~label:(Printf.sprintf "poller-blackout %gs" d)
+    in
+    logf w "%s" fo.fo_label;
+    Engine.schedule w ~delay:d (fun w' ->
+        logf w' "poller back";
+        close_fault w' B)
+  in
+  let inject w = function
+    | Fault.Kill_instance t -> kill_instance w t
+    | Fault.Link_down t -> link_down w t
+    | Fault.Link_up t -> link_up w t
+    | Fault.Switch_crash t -> switch_crash w t
+    | Fault.Switch_restart t -> switch_restart w t
+    | Fault.Tcam_loss (t, p) -> tcam_loss w t p
+    | Fault.Poller_blackout d -> poller_blackout w d
+  in
+  (* ---- control rounds + loss integration -------------------------- *)
+  let bytes_per_mbps_s = 1e6 /. 8.0 in
+  let credit fo ~sw mbps_s =
+    fo.fo_carry <-
+      fo.fo_carry
+      +. (mbps_s *. bytes_per_mbps_s /. float_of_int config.packet_bytes);
+    let whole = int_of_float fo.fo_carry in
+    if whole > 0 then begin
+      fo.fo_carry <- fo.fo_carry -. float_of_int whole;
+      fo.fo_lost <- fo.fo_lost + whole;
+      Counters.blackhole ~sw ~packets:whole
+    end
+  in
+  (* First failed element on the sub-class's route, in traversal order:
+     mirrors the packet simulator's emit-time check. *)
+  let first_dead (p : Netstate.pinned) (c : Types.flow_class) =
+    let path = c.Types.path in
+    let n = Array.length path in
+    let rec scan i =
+      if i >= n then None
+      else if i > 0 && Failmask.link_down mask path.(i - 1) path.(i) then
+        let u, v = norm (path.(i - 1), path.(i)) in
+        Some (L (u, v), path.(i - 1))
+      else if Failmask.switch_down mask path.(i) then
+        Some (S path.(i), path.(i))
+      else scan (i + 1)
+    in
+    match scan 0 with
+    | Some hit -> Some hit
+    | None ->
+        Array.fold_left
+          (fun acc inst ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if Failmask.instance_down mask (Instance.id inst) then
+                  Some (I (Instance.id inst), Instance.host inst)
+                else None)
+          None p.Netstate.stage_instances
+  in
+  let round_tick w =
+    if Engine.now w >= !blind_until then Dynamic_handler.step handler
+    else Netstate.recompute_loads state;
+    if !active <> [] then begin
+      let dt = config.round in
+      Array.iteri
+        (fun h subs ->
+          let c = s.Types.classes.(h) in
+          if c.Types.rate > 0.0 then
+            List.iter
+              (fun (p : Netstate.pinned) ->
+                if p.Netstate.weight > 0.0 then
+                  match first_dead p c with
+                  | None -> ()
+                  | Some (elem, sw) -> (
+                      match
+                        List.find_opt (fun (e, _) -> elem_equal e elem) !active
+                      with
+                      | Some (_, fo) ->
+                          credit fo ~sw (c.Types.rate *. p.Netstate.weight *. dt)
+                      | None -> ()))
+              subs)
+        state.Netstate.per_class;
+      (* TCAM-loss dark traffic (rule misses, not mask faults). *)
+      List.iter
+        (fun (e, fo) ->
+          match e with
+          | T sw when fo.fo_rate > 0.0 -> credit fo ~sw (fo.fo_rate *. dt)
+          | T _ | L _ | S _ | I _ | B -> ())
+        !active
+    end
+  in
+  Engine.every world ~period:config.round ~until:duration round_tick;
+  List.iter
+    (fun e ->
+      Engine.schedule_at world ~time:e.Fault.at (fun w -> inject w e.Fault.fault))
+    schedule;
+  Engine.run ~until:(duration +. 1e-9) world;
+  (* Freeze. *)
+  let faults =
+    List.rev_map
+      (fun fo ->
+        {
+          o_at = fo.fo_at;
+          o_label = fo.fo_label;
+          o_recovery = fo.fo_recovery;
+          o_lost = fo.fo_lost;
+          o_verdict = fo.fo_verdict;
+        })
+      !all
+  in
+  Netstate.recompute_loads state;
+  {
+    scenario_label = s.Types.topo.Apple_topology.Builders.label;
+    seed;
+    faults;
+    total_lost = List.fold_left (fun acc f -> acc + f.o_lost) 0 faults;
+    heals_ok =
+      List.length (List.filter (fun f -> f.o_verdict = `Ok) faults);
+    heals_rejected =
+      List.length
+        (List.filter
+           (fun f -> match f.o_verdict with `Rejected _ -> true | _ -> false)
+           faults);
+    final_loss = Netstate.network_loss state;
+    log = List.rev !lines;
+  }
+
+let render o =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "chaos run: %s, seed %d\n" o.scenario_label o.seed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "%d fault(s), %d packet(s) lost, %d/%d heals verified, final loss %.4f\n"
+       (List.length o.faults) o.total_lost o.heals_ok
+       (o.heals_ok + o.heals_rejected)
+       o.final_loss);
+  List.iter (fun line -> Buffer.add_string b (line ^ "\n")) o.log;
+  let t =
+    Table.create [ "fault"; "t_inject"; "recovery_s"; "pkts_lost"; "verifier" ]
+  in
+  List.iter
+    (fun f ->
+      Table.add_row t
+        [
+          f.o_label;
+          Printf.sprintf "%.3f" f.o_at;
+          (match f.o_recovery with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-");
+          string_of_int f.o_lost;
+          (match f.o_verdict with
+          | `Ok -> "ok"
+          | `Rejected m -> "REJECTED: " ^ m
+          | `Skipped -> "open");
+        ])
+    o.faults;
+  Buffer.add_string b (Table.render t);
+  if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '\n' then
+    Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,186 @@
+module Builders = Apple_topology.Builders
+module Synth = Apple_traffic.Synth
+module Matrix = Apple_traffic.Matrix
+module Rng = Apple_prelude.Rng
+module Table = Apple_prelude.Text_table
+module Lifecycle = Apple_vnf.Lifecycle
+module Scenario = Apple_core.Scenario
+module Core_exp = Apple_core.Experiments
+
+type rendered = Core_exp.rendered = { title : string; body : string }
+type opts = Core_exp.opts = { seed : int; scale : float }
+
+let default_opts = Core_exp.default_opts
+
+(* Same scenario recipe as the core ablations: synthetic snapshots for
+   the topology, averaged into one matrix, paths at least two hops so
+   link faults have something to darken. *)
+let scenario_for opts (named : Builders.named) =
+  let rng = Rng.create opts.seed in
+  let profile =
+    {
+      Synth.default_profile with
+      Synth.snapshots = 8;
+      (* [scale] shrinks the offered load, not the topology: smoke runs
+         still exercise every fault kind and repair path, just with
+         proportionally fewer packets at stake. *)
+      total_rate = 3_000.0 *. opts.scale;
+      burst_probability = 0.06;
+      burst_factor = 25.0;
+      burst_length = 6;
+    }
+  in
+  let snapshots = Synth.for_topology rng profile named in
+  Scenario.build
+    ~config:{ Scenario.default_config with Scenario.min_path_hops = 2 }
+    ~seed:opts.seed named (Matrix.mean_of snapshots)
+
+(* One schedule per (fault kind, density).  Densities stagger repeats so
+   repairs overlap: that is exactly the regime the repair path's
+   bookkeeping has to survive. *)
+let schedules =
+  let f = Fault.add in
+  [
+    ( "kill-instance",
+      [
+        ("sparse", f Fault.empty ~at:0.5 (Fault.Kill_instance Fault.Hottest));
+        ( "dense",
+          f
+            (f
+               (f Fault.empty ~at:0.5 (Fault.Kill_instance Fault.Hottest))
+               ~at:1.2 (Fault.Kill_instance Fault.Hottest))
+            ~at:1.9
+            (Fault.Kill_instance Fault.Hottest) );
+      ] );
+    ( "link-down",
+      [
+        ( "sparse",
+          f
+            (f Fault.empty ~at:0.5 (Fault.Link_down Fault.Busiest))
+            ~at:1.5 (Fault.Link_up Fault.Busiest) );
+        ( "dense",
+          List.fold_left
+            (fun s (at, fault) -> f s ~at fault)
+            Fault.empty
+            [
+              (0.5, Fault.Link_down Fault.Busiest);
+              (0.9, Fault.Link_down Fault.Busiest);
+              (1.5, Fault.Link_up Fault.Busiest);
+              (1.9, Fault.Link_up Fault.Busiest);
+            ] );
+      ] );
+    ( "switch-crash",
+      [
+        ( "sparse",
+          f
+            (f Fault.empty ~at:0.5 (Fault.Switch_crash Fault.Busiest))
+            ~at:1.5 (Fault.Switch_restart Fault.Busiest) );
+        ( "dense",
+          List.fold_left
+            (fun s (at, fault) -> f s ~at fault)
+            Fault.empty
+            [
+              (0.5, Fault.Switch_crash Fault.Busiest);
+              (0.9, Fault.Switch_crash Fault.Busiest);
+              (1.5, Fault.Switch_restart Fault.Busiest);
+              (1.9, Fault.Switch_restart Fault.Busiest);
+            ] );
+      ] );
+    ( "tcam-loss",
+      [
+        ("sparse", f Fault.empty ~at:0.5 (Fault.Tcam_loss (Fault.Busiest, 0.3)));
+        ( "dense",
+          List.fold_left
+            (fun s (at, fault) -> f s ~at fault)
+            Fault.empty
+            [
+              (0.5, Fault.Tcam_loss (Fault.Busiest, 0.3));
+              (0.8, Fault.Tcam_loss (Fault.Busiest, 0.3));
+              (1.1, Fault.Tcam_loss (Fault.Busiest, 0.3));
+            ] );
+      ] );
+    ( "poller-blackout",
+      [
+        ("sparse", f Fault.empty ~at:0.5 (Fault.Poller_blackout 0.4));
+        ( "dense",
+          List.fold_left
+            (fun s (at, fault) -> f s ~at fault)
+            Fault.empty
+            [
+              (0.5, Fault.Poller_blackout 0.4);
+              (1.0, Fault.Poller_blackout 0.4);
+              (1.5, Fault.Poller_blackout 0.4);
+            ] );
+      ] );
+  ]
+
+let chaos_config =
+  {
+    Chaos.default_config with
+    (* ClickOS boots keep the table about recovery mechanics, not about
+       waiting out a 30 s VM boot; fig. uses the boot-delay sweep for
+       that axis. *)
+    Chaos.boot = Some Lifecycle.Raw_clickos;
+  }
+
+let fig_failover opts =
+  let t =
+    Table.create
+      [
+        "Topology";
+        "Fault";
+        "Density";
+        "Events";
+        "Mean recovery";
+        "Pkts lost";
+        "Verifier";
+      ]
+  in
+  List.iter
+    (fun make ->
+      let named : Builders.named = make () in
+      let s = scenario_for opts named in
+      List.iter
+        (fun (kind, densities) ->
+          List.iter
+            (fun (density, schedule) ->
+              let o =
+                Chaos.run ~config:chaos_config ~seed:opts.seed ~schedule s
+              in
+              let recoveries =
+                List.filter_map (fun f -> f.Chaos.o_recovery) o.Chaos.faults
+              in
+              let mean_recovery =
+                match recoveries with
+                | [] -> "-"
+                | rs ->
+                    Printf.sprintf "%.3f s"
+                      (List.fold_left ( +. ) 0.0 rs
+                      /. float_of_int (List.length rs))
+              in
+              let n = List.length o.Chaos.faults in
+              let verifier =
+                if o.Chaos.heals_rejected > 0 then
+                  Printf.sprintf "REJECTED %d/%d" o.Chaos.heals_rejected n
+                else if o.Chaos.heals_ok = n then
+                  Printf.sprintf "ok %d/%d" o.Chaos.heals_ok n
+                else Printf.sprintf "ok %d/%d (open %d)" o.Chaos.heals_ok n
+                       (n - o.Chaos.heals_ok)
+              in
+              Table.add_row t
+                [
+                  named.Builders.label;
+                  kind;
+                  density;
+                  string_of_int n;
+                  mean_recovery;
+                  string_of_int o.Chaos.total_lost;
+                  verifier;
+                ])
+            densities)
+        schedules)
+    [ Builders.internet2; Builders.geant ];
+  {
+    title = "Failover under injected faults (chaos engine)";
+    body = Table.render t;
+  }

@@ -1,0 +1,24 @@
+(** The failover artifact: recovery behaviour under the chaos engine.
+
+    Lives here rather than in {!Apple_core.Experiments} because the
+    dependency points this way — the chaos engine is built on top of the
+    core (and the verifier), so the core's experiment table cannot refer
+    to it. *)
+
+type rendered = Apple_core.Experiments.rendered = {
+  title : string;
+  body : string;
+}
+
+type opts = Apple_core.Experiments.opts = { seed : int; scale : float }
+
+val default_opts : opts
+
+val scenario_for : opts -> Apple_topology.Builders.named -> Apple_core.Types.scenario
+(** The scenario recipe shared by {!fig_failover}, the CLI and the
+    tests: averaged synthetic snapshots, paths at least two hops. *)
+
+val fig_failover : opts -> rendered
+(** Recovery time, packets lost and verifier status per fault kind and
+    schedule density (one sparse and one dense schedule per kind), on
+    Internet2 and GEANT.  Fully deterministic for a given seed. *)

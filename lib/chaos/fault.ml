@@ -1,0 +1,218 @@
+type target = Hottest | Busiest | Id of int | Pair of int * int
+
+type fault =
+  | Kill_instance of target
+  | Link_down of target
+  | Link_up of target
+  | Switch_crash of target
+  | Switch_restart of target
+  | Tcam_loss of target * float
+  | Poller_blackout of float
+
+type event = { at : float; fault : fault }
+type schedule = event list
+
+let empty = []
+
+(* Insert before the first strictly-later event, so same-time events
+   keep insertion order (the engine breaks ties the same way). *)
+let add sched ~at fault =
+  let e = { at; fault } in
+  let rec ins = function
+    | [] -> [ e ]
+    | x :: rest when x.at <= at -> x :: ins rest
+    | later -> e :: later
+  in
+  ins sched
+
+let fault_name = function
+  | Kill_instance _ -> "kill-instance"
+  | Link_down _ -> "link-down"
+  | Link_up _ -> "link-up"
+  | Switch_crash _ -> "switch-crash"
+  | Switch_restart _ -> "switch-restart"
+  | Tcam_loss _ -> "tcam-loss"
+  | Poller_blackout _ -> "poller-blackout"
+
+let target_to_string = function
+  | Hottest -> "hottest"
+  | Busiest -> "busiest"
+  | Id i -> string_of_int i
+  | Pair (u, v) -> Printf.sprintf "%d-%d" u v
+
+let pp_fault ppf f =
+  match f with
+  | Kill_instance t | Link_down t | Link_up t | Switch_crash t
+  | Switch_restart t ->
+      Format.fprintf ppf "%s %s" (fault_name f) (target_to_string t)
+  | Tcam_loss (t, p) ->
+      Format.fprintf ppf "%s %s %g" (fault_name f) (target_to_string t) p
+  | Poller_blackout d -> Format.fprintf ppf "%s %g" (fault_name f) d
+
+let pp_event ppf e = Format.fprintf ppf "at %g %a" e.at pp_fault e.fault
+
+let to_string sched =
+  String.concat ""
+    (List.map (fun e -> Format.asprintf "%a\n" pp_event e) sched)
+
+(* ------------------------------------------------------------------ *)
+(* Validation.                                                         *)
+
+let legal_target = function
+  | Kill_instance (Hottest | Id _) -> true
+  | Kill_instance (Busiest | Pair _) -> false
+  | (Link_down t | Link_up t) -> ( match t with Busiest | Pair _ -> true | Hottest | Id _ -> false)
+  | (Switch_crash t | Switch_restart t) -> (
+      match t with Busiest | Id _ -> true | Hottest | Pair _ -> false)
+  | Tcam_loss (t, _) -> (
+      match t with Busiest | Id _ -> true | Hottest | Pair _ -> false)
+  | Poller_blackout _ -> true
+
+(* Link keys are undirected. *)
+let norm_pair (u, v) = if u <= v then (u, v) else (v, u)
+
+let validate sched =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.at <= b.at && sorted rest
+    | [ _ ] | [] -> true
+  in
+  if not (sorted sched) then err "schedule is not sorted by time"
+  else begin
+    (* Per-element (and aggregate symbolic) pairing counts, checked at
+       every prefix so an up never precedes its down. *)
+    let link_downs = Hashtbl.create 8 and sym_links = ref 0 in
+    let sw_downs = Hashtbl.create 8 and sym_sw = ref 0 in
+    let bump tbl k d = Hashtbl.replace tbl k (d + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+    let count tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+    let rec check i = function
+      | [] -> Ok ()
+      | e :: rest ->
+          let fail fmt =
+            Format.kasprintf
+              (fun m -> err "event %d (at %g): %s" i e.at m)
+              fmt
+          in
+          if e.at < 0.0 then fail "negative time"
+          else if not (legal_target e.fault) then
+            fail "target not legal for %s" (fault_name e.fault)
+          else begin
+            let r =
+              match e.fault with
+              | Tcam_loss (_, p) when not (p > 0.0 && p <= 1.0) ->
+                  fail "loss probability %g outside (0, 1]" p
+              | Poller_blackout d when not (d > 0.0) ->
+                  fail "blackout duration %g not positive" d
+              | Link_down (Pair (u, v)) ->
+                  bump link_downs (norm_pair (u, v)) 1;
+                  Ok ()
+              | Link_down Busiest -> incr sym_links; Ok ()
+              | Link_up (Pair (u, v)) ->
+                  let k = norm_pair (u, v) in
+                  if count link_downs k <= 0 then
+                    fail "link-up %s before its link-down"
+                      (target_to_string (Pair (u, v)))
+                  else begin bump link_downs k (-1); Ok () end
+              | Link_up Busiest ->
+                  if !sym_links <= 0 then fail "link-up busiest before its link-down"
+                  else begin decr sym_links; Ok () end
+              | Switch_crash (Id s) -> bump sw_downs s 1; Ok ()
+              | Switch_crash Busiest -> incr sym_sw; Ok ()
+              | Switch_restart (Id s) ->
+                  if count sw_downs s <= 0 then
+                    fail "switch-restart %d before its switch-crash" s
+                  else begin bump sw_downs s (-1); Ok () end
+              | Switch_restart Busiest ->
+                  if !sym_sw <= 0 then
+                    fail "switch-restart busiest before its switch-crash"
+                  else begin decr sym_sw; Ok () end
+              | Kill_instance _ | Tcam_loss _ | Poller_blackout _
+              | Link_down (Hottest | Id _)
+              | Link_up (Hottest | Id _)
+              | Switch_crash (Hottest | Pair _)
+              | Switch_restart (Hottest | Pair _) ->
+                  Ok ()
+            in
+            match r with Ok () -> check (i + 1) rest | Error _ as e -> e
+          end
+    in
+    check 0 sched
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Text format.                                                        *)
+
+let parse_target word =
+  match word with
+  | "hottest" -> Ok Hottest
+  | "busiest" -> Ok Busiest
+  | w -> (
+      match String.index_opt w '-' with
+      | Some i when i > 0 -> (
+          match
+            ( int_of_string_opt (String.sub w 0 i),
+              int_of_string_opt (String.sub w (i + 1) (String.length w - i - 1))
+            )
+          with
+          | Some u, Some v -> Ok (Pair (u, v))
+          | _ -> Error (Printf.sprintf "bad link %S" w))
+      | _ -> (
+          match int_of_string_opt w with
+          | Some i -> Ok (Id i)
+          | None -> Error (Printf.sprintf "bad target %S" w)))
+
+let parse_line line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let ( let* ) = Result.bind in
+  match words with
+  | "at" :: time :: kind :: args -> (
+      let* at =
+        match float_of_string_opt time with
+        | Some t -> Ok t
+        | None -> Error (Printf.sprintf "bad time %S" time)
+      in
+      let one mk = function
+        | [ t ] ->
+            let* target = parse_target t in
+            Ok { at; fault = mk target }
+        | _ -> Error (Printf.sprintf "%s takes one target" kind)
+      in
+      match (kind, args) with
+      | "kill-instance", args -> one (fun t -> Kill_instance t) args
+      | "link-down", args -> one (fun t -> Link_down t) args
+      | "link-up", args -> one (fun t -> Link_up t) args
+      | "switch-crash", args -> one (fun t -> Switch_crash t) args
+      | "switch-restart", args -> one (fun t -> Switch_restart t) args
+      | "tcam-loss", [ t; p ] -> (
+          let* target = parse_target t in
+          match float_of_string_opt p with
+          | Some p -> Ok { at; fault = Tcam_loss (target, p) }
+          | None -> Error (Printf.sprintf "bad probability %S" p))
+      | "tcam-loss", _ -> Error "tcam-loss takes a target and a probability"
+      | "poller-blackout", [ d ] -> (
+          match float_of_string_opt d with
+          | Some d -> Ok { at; fault = Poller_blackout d }
+          | None -> Error (Printf.sprintf "bad duration %S" d))
+      | "poller-blackout", _ -> Error "poller-blackout takes a duration"
+      | k, _ -> Error (Printf.sprintf "unknown fault kind %S" k))
+  | _ -> Error "expected: at TIME KIND ARGS"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let stripped = String.trim line in
+        if stripped = "" || stripped.[0] = '#' then go (n + 1) acc rest
+        else (
+          match parse_line stripped with
+          | Ok e -> go (n + 1) (e :: acc) rest
+          | Error m -> Error (Printf.sprintf "line %d: %s" n m))
+  in
+  match go 1 [] lines with
+  | Error _ as e -> e
+  | Ok events -> (
+      let sched = List.fold_left (fun s e -> add s ~at:e.at e.fault) empty events in
+      match validate sched with Ok () -> Ok sched | Error m -> Error m)

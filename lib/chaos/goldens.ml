@@ -1,0 +1,83 @@
+module Core_exp = Apple_core.Experiments
+module Lifecycle = Apple_vnf.Lifecycle
+module Builders = Apple_topology.Builders
+
+(* The drill mirrors examples/chaos_internet2.sched; test_chaos pins the
+   two against each other so they cannot drift apart. *)
+let drill_schedule =
+  List.fold_left
+    (fun s (at, fault) -> Fault.add s ~at fault)
+    Fault.empty
+    [
+      (0.5, Fault.Kill_instance Fault.Hottest);
+      (0.8, Fault.Link_down Fault.Busiest);
+      (1.6, Fault.Link_up Fault.Busiest);
+      (2.0, Fault.Switch_crash Fault.Busiest);
+      (2.8, Fault.Switch_restart Fault.Busiest);
+      (3.2, Fault.Tcam_loss (Fault.Busiest, 0.3));
+      (3.6, Fault.Poller_blackout 0.4);
+    ]
+
+let chaos_internet2 () =
+  let opts = Core_exp.default_opts in
+  let s = Experiments.scenario_for opts (Builders.internet2 ()) in
+  let config =
+    { Chaos.default_config with Chaos.boot = Some Lifecycle.Raw_clickos }
+  in
+  Chaos.render (Chaos.run ~config ~seed:opts.Core_exp.seed ~schedule:drill_schedule s)
+
+let of_rendered (r : Core_exp.rendered) =
+  Printf.sprintf "== %s ==\n%s\n" r.Core_exp.title r.Core_exp.body
+
+let entries =
+  [
+    ("table3", fun () -> of_rendered (Core_exp.table3 Core_exp.default_opts));
+    ("table4", fun () -> of_rendered (Core_exp.table4 Core_exp.default_opts));
+    ("fig6", fun () -> of_rendered (Core_exp.fig6 Core_exp.default_opts));
+    ("chaos_internet2", chaos_internet2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Unified diff (LCS over lines; goldens are small, O(nm) is fine).    *)
+
+let split_lines s =
+  let lines = String.split_on_char '\n' s in
+  (* A trailing newline yields a final "" pseudo-line; drop it so equal
+     texts with/without it still show the real difference only. *)
+  match List.rev lines with
+  | "" :: rest -> Array.of_list (List.rev rest)
+  | _ -> Array.of_list lines
+
+let diff ~expected ~actual =
+  if String.equal expected actual then ""
+  else begin
+    let a = split_lines expected and b = split_lines actual in
+    let n = Array.length a and m = Array.length b in
+    let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+    for i = n - 1 downto 0 do
+      for j = m - 1 downto 0 do
+        lcs.(i).(j) <-
+          (if String.equal a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+           else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+      done
+    done;
+    let buf = Buffer.create 256 in
+    (* Emit the full diff body (no hunk headers: goldens are short and a
+       complete, readable picture beats saving lines). *)
+    let rec walk i j =
+      if i < n && j < m && String.equal a.(i) b.(j) then begin
+        Buffer.add_string buf ("  " ^ a.(i) ^ "\n");
+        walk (i + 1) (j + 1)
+      end
+      else if i < n && (j = m || lcs.(i + 1).(j) >= lcs.(i).(j + 1)) then begin
+        Buffer.add_string buf ("- " ^ a.(i) ^ "\n");
+        walk (i + 1) j
+      end
+      else if j < m then begin
+        Buffer.add_string buf ("+ " ^ b.(j) ^ "\n");
+        walk i (j + 1)
+      end
+    in
+    walk 0 0;
+    Buffer.contents buf
+  end

@@ -134,6 +134,54 @@ let scenario t = t.s
 let netstate t = t.state
 let last_report t = t.report
 let assignment t = t.assignment
+let handler t = t.handler
+
+let reinstall_rules t =
+  match (t.report, t.assignment) with
+  | Some report, Some assignment ->
+      let rules = Rule_generator.build t.s assignment in
+      t.report <-
+        Some
+          { report with rules; tcam_entries = rules.Rule_generator.tcam_with_tagging };
+      T.Journal.recordf ~kind:"epoch" "rules reinstalled: %d TCAM entries"
+        rules.Rule_generator.tcam_with_tagging;
+      rules
+  | _ -> invalid_arg "Controller.reinstall_rules: run_epoch first"
+
+let recheck_gate t =
+  match t.gate with
+  | None -> Ok ()
+  | Some gate -> (
+      match (t.assignment, t.report) with
+      | Some assignment, Some report ->
+          T.Span.with_ sp_gate (fun () -> gate t.s assignment report.rules)
+      | _ -> Error "no epoch has been run")
+
+let heal_instance t ~dead ~replacement =
+  match (t.state, t.handler, t.assignment) with
+  | Some state, Some handler, Some assignment ->
+      Dynamic_handler.heal handler ~dead ~replacement;
+      (* Point the assignment's pinning records at the replacement so
+         regenerated rules (and [verify]'s walks) name the live id. *)
+      let stale =
+        Hashtbl.fold
+          (fun k inst acc ->
+            if Instance.id inst = Instance.id dead then k :: acc else acc)
+          assignment.Subclass.instance_of []
+      in
+      List.iter
+        (fun k -> Hashtbl.replace assignment.Subclass.instance_of k replacement)
+        stale;
+      let instances =
+        List.map
+          (fun i -> if Instance.id i = Instance.id dead then replacement else i)
+          assignment.Subclass.instances
+      in
+      t.assignment <- Some { assignment with Subclass.instances };
+      Apple_dataplane.Failmask.restore_instance state.Netstate.mask
+        (Instance.id dead);
+      ignore (reinstall_rules t)
+  | _ -> invalid_arg "Controller.heal_instance: run_epoch first"
 
 let verify t =
   match (t.report, t.assignment) with

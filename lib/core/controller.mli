@@ -81,6 +81,33 @@ val assignment : t -> Subclass.assignment option
     ground truth [apple top] and [apple trace] need to synthesize
     representative flows per sub-class. *)
 
+val handler : t -> Dynamic_handler.t option
+(** The Dynamic Handler of the current epoch — the chaos engine drives
+    its repair path directly. *)
+
+val reinstall_rules : t -> Rule_generator.built
+(** Regenerate and install the rule tables from the current scenario and
+    assignment — the recovery action after TCAM rule loss or a heal.
+    The epoch report is updated in place; previously obtained
+    {!epoch_report.rules} values are stale afterwards.  Requires a prior
+    {!run_epoch}. *)
+
+val recheck_gate : t -> (unit, string) result
+(** Re-run the admission gate against the currently installed tables
+    (trivially [Ok] when no gate was configured) — every healed epoch
+    must pass before the chaos engine calls recovery complete. *)
+
+val heal_instance :
+  t ->
+  dead:Apple_vnf.Instance.t ->
+  replacement:Apple_vnf.Instance.t ->
+  unit
+(** Complete recovery from a VM death once the respawned [replacement]
+    is ready: heal the Dynamic Handler (swap pinnings, restore repaired
+    weights), update the assignment records, clear [dead] from the
+    failure mask and {!reinstall_rules}.  Requires a prior
+    {!run_epoch}. *)
+
 val verify : t -> (unit, string) result
 (** End-to-end self-check of the current epoch: distribution constraints
     (Eq. 2–6), sub-class weight consistency, instance-capacity respect,

@@ -15,6 +15,8 @@ let m_spawns = T.Counter.create "apple.failover.spawns"
 let m_rollbacks = T.Counter.create "apple.failover.rollbacks"
 let m_rebalances = T.Counter.create "apple.failover.rebalances"
 let m_weight_moves = T.Counter.create "apple.failover.weight_moves"
+let m_repairs = T.Counter.create "apple.failover.repairs"
+let m_heals = T.Counter.create "apple.failover.heals"
 
 type config = {
   high_watermark : float;
@@ -51,15 +53,29 @@ type episode = {
    measurement. *)
 type load_source = Oracle | Polled of Apple_obs.Poller.t
 
+(* One repair episode per dead instance (chaos-injected VM death).
+   Unlike overload episodes, repair does not spawn: the stranded share
+   stays on the victims — visibly blackholed — until the orchestrator's
+   respawned replacement comes up and {!heal} swaps it in. *)
+type repair_episode = {
+  dead : Instance.t;
+  mutable r_touched : Netstate.pinned list;
+      (** victims and siblings whose weight the repair changed; healing
+          restores each to its baseline *)
+}
+
 type t = {
   config : config;
   state : Netstate.t;
   load_source : load_source;
   mutable episodes : episode list;
+  mutable repairs : repair_episode list;
   mutable n_overloads : int;
   mutable n_spawns : int;
   mutable n_rollbacks : int;
   mutable n_rebalances : int;
+  mutable n_repairs : int;
+  mutable n_heals : int;
   mutable next_sub : int array;
 }
 
@@ -75,10 +91,13 @@ let create ?(config = default_config) ?(load_source = Oracle) state =
     state;
     load_source;
     episodes = [];
+    repairs = [];
     n_overloads = 0;
     n_spawns = 0;
     n_rollbacks = 0;
     n_rebalances = 0;
+    n_repairs = 0;
+    n_heals = 0;
     next_sub;
   }
 
@@ -431,6 +450,143 @@ let rec rollback t episode =
     episode.spawned;
   t.episodes <- List.filter (fun e -> not (e == episode)) t.episodes
 
+(* Re-run admission for only the sub-classes pinned to [dead], warm
+   started from current weights: shift as much of each victim's share as
+   the live sibling sub-classes can absorb under the high watermark; the
+   unabsorbable remainder stays on the victim, where it is visibly
+   blackholed (honest loss accounting) until {!heal} swaps in the
+   respawned replacement.  Returns the weight fraction left stranded,
+   summed over classes. *)
+let repair t ~dead =
+  Netstate.recompute_loads t.state;
+  let dead_id = Instance.id dead in
+  let episode =
+    match
+      List.find_opt (fun r -> Instance.id r.dead = dead_id) t.repairs
+    with
+    | Some r -> r
+    | None ->
+        let r = { dead; r_touched = [] } in
+        t.repairs <- r :: t.repairs;
+        r
+  in
+  let touch p =
+    if not (List.exists (fun q -> q == p) episode.r_touched) then
+      episode.r_touched <- p :: episode.r_touched
+  in
+  t.n_repairs <- t.n_repairs + 1;
+  T.Counter.incr m_repairs;
+  let stranded = ref 0.0 in
+  Array.iteri
+    (fun h subs ->
+      let rate = t.state.Netstate.scenario.Types.classes.(h).Types.rate in
+      let uses_dead p =
+        Array.exists
+          (fun inst -> Instance.id inst = dead_id)
+          p.Netstate.stage_instances
+      in
+      let victims =
+        List.filter (fun p -> p.Netstate.weight > 1e-12 && uses_dead p) subs
+      in
+      if victims <> [] && rate > 0.0 then begin
+        let siblings =
+          List.filter
+            (fun p ->
+              p.Netstate.weight > 0.0
+              && p.Netstate.baseline > 0.0
+              && (not (uses_dead p))
+              && not (Netstate.blackholed t.state p))
+            subs
+          |> List.sort (fun a b ->
+                 Float.compare
+                   (Netstate.subclass_utilization t.state a)
+                   (Netstate.subclass_utilization t.state b))
+        in
+        List.iter
+          (fun p ->
+            touch p;
+            let freed = ref p.Netstate.weight in
+            p.Netstate.weight <- 0.0;
+            Array.iter
+              (fun inst -> Instance.add_offered inst (-.rate *. !freed))
+              p.Netstate.stage_instances;
+            T.Counter.incr m_weight_moves;
+            List.iter
+              (fun s ->
+                if !freed > 1e-9 then begin
+                  let headroom = absorbable t s in
+                  let amount = min !freed (max 0.0 (headroom /. rate)) in
+                  if amount > 1e-9 then begin
+                    touch s;
+                    T.Counter.incr m_weight_moves;
+                    s.Netstate.weight <- s.Netstate.weight +. amount;
+                    Array.iter
+                      (fun inst -> Instance.add_offered inst (rate *. amount))
+                      s.Netstate.stage_instances;
+                    freed := !freed -. amount
+                  end
+                end)
+              siblings;
+            (* The unabsorbable remainder stays on the victim: those
+               flows keep forwarding into the dead instance and are
+               counted as blackholed, not silently dropped. *)
+            if !freed > 1e-9 then begin
+              p.Netstate.weight <- p.Netstate.weight +. !freed;
+              Array.iter
+                (fun inst -> Instance.add_offered inst (rate *. !freed))
+                p.Netstate.stage_instances;
+              stranded := !stranded +. !freed
+            end)
+          victims
+      end)
+    t.state.Netstate.per_class;
+  T.Journal.recordf ~kind:"repair"
+    "repair: instance %d dead, %d sub-class(es) touched, %.3f stranded"
+    dead_id
+    (List.length episode.r_touched)
+    !stranded;
+  Log.info (fun m ->
+      m "repair: instance %d dead, %d sub-class(es) touched, %.3f stranded"
+        dead_id
+        (List.length episode.r_touched)
+        !stranded);
+  Netstate.recompute_loads t.state;
+  !stranded
+
+(* The respawned [replacement] is up: swap it into every sub-class stage
+   still pinned to [dead] and restore the repair's touched weights to
+   their baselines. *)
+let heal t ~dead ~replacement =
+  let dead_id = Instance.id dead in
+  Array.iter
+    (fun subs ->
+      List.iter
+        (fun p ->
+          Array.iteri
+            (fun j inst ->
+              if Instance.id inst = dead_id then
+                p.Netstate.stage_instances.(j) <- replacement)
+            p.Netstate.stage_instances)
+        subs)
+    t.state.Netstate.per_class;
+  (match
+     List.find_opt (fun r -> Instance.id r.dead = dead_id) t.repairs
+   with
+  | Some episode ->
+      List.iter
+        (fun p -> p.Netstate.weight <- p.Netstate.baseline)
+        episode.r_touched;
+      t.repairs <- List.filter (fun r -> not (r == episode)) t.repairs
+  | None -> ());
+  t.n_heals <- t.n_heals + 1;
+  T.Counter.incr m_heals;
+  Flight.record Flight.Recover ~a:dead_id ~b:(Instance.id replacement) ();
+  T.Journal.recordf ~kind:"repair" "heal: instance %d replaced by %d" dead_id
+    (Instance.id replacement);
+  Log.info (fun m ->
+      m "heal: instance %d replaced by %d" dead_id (Instance.id replacement));
+  Netstate.recompute_loads t.state
+
 let step t =
   Netstate.recompute_loads t.state;
   (* Roll back episodes whose would-be load has subsided: restoring the
@@ -450,7 +606,13 @@ let step t =
   (* Detect (new or continued) overloads. *)
   let hot =
     List.filter
-      (fun inst -> measured_utilization t inst > t.config.high_watermark)
+      (fun inst ->
+        measured_utilization t inst > t.config.high_watermark
+        (* A dead instance is blackholed, not overloaded: its traffic is
+           the repair path's problem, not fast failover's. *)
+        && not
+             (Apple_dataplane.Failmask.instance_down t.state.Netstate.mask
+                (Instance.id inst)))
       (Netstate.instances_in_use t.state)
   in
   let hot =
@@ -475,10 +637,14 @@ let overloaded_instances t = List.map (fun e -> e.instance) t.episodes
 
 let spawned_cores t = Netstate.extra_cores t.state
 
+let pending_repairs t = List.map (fun r -> r.dead) t.repairs
+
 let events t =
   [
     ("overloads", t.n_overloads);
     ("spawns", t.n_spawns);
     ("rollbacks", t.n_rollbacks);
     ("rebalances", t.n_rebalances);
+    ("repairs", t.n_repairs);
+    ("heals", t.n_heals);
   ]

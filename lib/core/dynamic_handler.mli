@@ -43,6 +43,31 @@ val step : t -> unit
     fail over, and roll back recovered instances.  Loads are recomputed
     before and after.  Call once per traffic snapshot. *)
 
+(** {2 Crash repair}
+
+    The chaos engine's VM-death fault is handled by a separate repair
+    path, not by fast failover: a dead instance is a blackhole, not an
+    overload. *)
+
+val repair : t -> dead:Apple_vnf.Instance.t -> float
+(** Re-run admission for only the sub-classes pinned to [dead], warm
+    started from current weights: shift as much of each victim's share
+    as live sibling sub-classes absorb under the high watermark.  The
+    unabsorbable remainder stays on the victim — visibly blackholed (see
+    {!Netstate.blackholed}) — until {!heal}.  Returns the stranded
+    weight fraction summed over classes.  Idempotent per dead instance:
+    repeated calls extend the same repair episode. *)
+
+val heal : t -> dead:Apple_vnf.Instance.t -> replacement:Apple_vnf.Instance.t -> unit
+(** The respawned replacement is ready: swap it into every sub-class
+    stage still pinned to [dead], restore the repair episode's touched
+    weights to their baselines and close the episode.  The caller must
+    clear [dead] from the failure mask and reinstall rules (the
+    replacement has a new instance id). *)
+
+val pending_repairs : t -> Apple_vnf.Instance.t list
+(** Dead instances with an open repair episode. *)
+
 val overloaded_instances : t -> Apple_vnf.Instance.t list
 (** Instances currently in the overloaded state (for inspection). *)
 
@@ -51,4 +76,4 @@ val spawned_cores : t -> int
 
 val events : t -> (string * int) list
 (** Counters: [("overloads", n); ("spawns", n); ("rollbacks", n);
-    ("rebalances", n)]. *)
+    ("rebalances", n); ("repairs", n); ("heals", n)]. *)

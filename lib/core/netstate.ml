@@ -1,5 +1,6 @@
 module Instance = Apple_vnf.Instance
 module Nf = Apple_vnf.Nf
+module Failmask = Apple_dataplane.Failmask
 
 type pinned = {
   mutable weight : float;
@@ -15,6 +16,7 @@ type t = {
   orchestrator : Resource_orchestrator.t;
   mutable per_class : pinned list array;
   mutable extra_instances : Instance.t list;
+  mask : Failmask.t;
 }
 
 let of_assignment (s : Types.scenario) (asg : Subclass.assignment) =
@@ -49,12 +51,29 @@ let of_assignment (s : Types.scenario) (asg : Subclass.assignment) =
         pinned :: per_class.(sub.Subclass.class_id))
     asg.Subclass.subclasses;
   Array.iteri (fun h subs -> per_class.(h) <- List.rev subs) per_class;
-  { scenario = s; orchestrator; per_class; extra_instances = [] }
+  {
+    scenario = s;
+    orchestrator;
+    per_class;
+    extra_instances = [];
+    mask = Failmask.create ();
+  }
 
 let recompute_loads t =
   List.iter
     (fun inst -> Instance.set_offered inst 0.0)
     (Resource_orchestrator.instances t.orchestrator);
+  (* A chaos-killed instance leaves the orchestrator when its
+     replacement is requested but stays pinned (and load-bearing) until
+     the heal swaps it out — zero those too or their offered load would
+     accumulate across recomputes. *)
+  Array.iter
+    (fun subs ->
+      List.iter
+        (fun p ->
+          Array.iter (fun inst -> Instance.set_offered inst 0.0) p.stage_instances)
+        subs)
+    t.per_class;
   Array.iteri
     (fun h subs ->
       let rate = t.scenario.Types.classes.(h).Types.rate in
@@ -67,6 +86,26 @@ let recompute_loads t =
         subs)
     t.per_class
 
+(* A routing path is dark when any of its switches, or any link between
+   consecutive hops, is failed.  All sub-classes of a class share the
+   class's path, so a path fault blackholes the whole class. *)
+let path_down m (path : int array) =
+  Array.exists (Failmask.switch_down m) path
+  ||
+  let n = Array.length path in
+  let rec go i =
+    i < n && (Failmask.link_down m path.(i - 1) path.(i) || go (i + 1))
+  in
+  n > 1 && go 1
+
+let blackholed t p =
+  let m = t.mask in
+  (not (Failmask.is_clear m))
+  && (Array.exists
+        (fun inst -> Failmask.instance_down m (Instance.id inst))
+        p.stage_instances
+     || path_down m t.scenario.Types.classes.(p.p_class).Types.path)
+
 let network_loss t =
   let offered = ref 0.0 and delivered = ref 0.0 in
   Array.iteri
@@ -77,9 +116,11 @@ let network_loss t =
           if p.weight > 0.0 then begin
             let share = rate *. p.weight in
             let through =
-              Array.fold_left
-                (fun acc inst -> acc *. (1.0 -. Instance.loss_fraction inst))
-                1.0 p.stage_instances
+              if blackholed t p then 0.0
+              else
+                Array.fold_left
+                  (fun acc inst -> acc *. (1.0 -. Instance.loss_fraction inst))
+                  1.0 p.stage_instances
             in
             offered := !offered +. share;
             delivered := !delivered +. (share *. through)
@@ -87,6 +128,19 @@ let network_loss t =
         subs)
     t.per_class;
   if !offered <= 0.0 then 0.0 else 1.0 -. (!delivered /. !offered)
+
+let blackholed_rate t =
+  let lost = ref 0.0 in
+  Array.iteri
+    (fun h subs ->
+      let rate = t.scenario.Types.classes.(h).Types.rate in
+      List.iter
+        (fun p ->
+          if p.weight > 0.0 && blackholed t p then
+            lost := !lost +. (rate *. p.weight))
+        subs)
+    t.per_class;
+  !lost
 
 let subclass_utilization _t p =
   Array.fold_left

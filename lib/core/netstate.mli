@@ -24,6 +24,10 @@ type t = {
   mutable per_class : pinned list array;  (** index = class id *)
   mutable extra_instances : Apple_vnf.Instance.t list;
       (** instances spawned by fast failover, still alive *)
+  mask : Apple_dataplane.Failmask.t;
+      (** current failure mask: dead links/switches/instances injected by
+          the chaos engine; consulted by {!network_loss}, the packet
+          simulator and data-plane walks until repair clears it *)
 }
 
 val of_assignment :
@@ -35,10 +39,19 @@ val recompute_loads : t -> unit
 (** Reset every instance's offered load from current class rates and
     sub-class weights. *)
 
+val blackholed : t -> pinned -> bool
+(** The sub-class currently forwards into a failed element: one of its
+    pinned instances is dead, or its class's routing path crosses a dead
+    switch or link. *)
+
 val network_loss : t -> float
 (** Fraction of total offered traffic dropped, given current loads: a
     sub-class's delivered share is the product over its stages of
-    (1 - instance loss). *)
+    (1 - instance loss); a {!blackholed} sub-class delivers nothing. *)
+
+val blackholed_rate : t -> float
+(** Offered Mbps currently falling into blackholes — the integrand of
+    the chaos engine's packets-lost accounting. *)
 
 val subclass_utilization : t -> pinned -> float
 (** Max utilization across the sub-class's pinned instances. *)

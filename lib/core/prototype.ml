@@ -119,6 +119,40 @@ let naive_switch_transfer ~seed =
   Apple_packetsim.Tcp_model.transfer ~params ~outage ~bytes:file_bytes ()
 
 (* ------------------------------------------------------------------ *)
+(* Fig. 7 companion: blackout when the orchestrator respawns a crashed *)
+(* VM — supervisor backoff plus the boot path's latency.               *)
+
+type respawn_run = {
+  attempt : int;
+  backoff_s : float;
+  blackout_s : float;
+}
+
+let respawn_blackout ?(policy = Resource_orchestrator.default_backoff)
+    ?(boot = Lifecycle.Raw_clickos) ~seed ~attempts () =
+  List.init attempts (fun a ->
+      let world = Engine.create () in
+      let rng = Rng.create (seed + a) in
+      let orch = Resource_orchestrator.create ~host_cores:[| 8 |] in
+      let victim =
+        Resource_orchestrator.launch orch Apple_vnf.Nf.Firewall ~host:0
+      in
+      let killed_at = 1.0 in
+      let ready_at = ref infinity in
+      Engine.schedule world ~delay:killed_at (fun w ->
+          ignore
+            (Resource_orchestrator.respawn orch ~world:w ~rng ~boot ~policy
+               ~attempt:a
+               ~on_ready:(fun _ -> ready_at := Engine.now world)
+               victim));
+      Engine.run world;
+      {
+        attempt = a;
+        backoff_s = Resource_orchestrator.backoff_delay ~policy ~attempt:a ();
+        blackout_s = !ready_at -. killed_at;
+      })
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 9: overload detection and rollback timeline.                   *)
 
 type detection_event = {

@@ -31,6 +31,26 @@ type setup_run = {
 val vm_setup_experiment : seed:int -> runs:int -> setup_run list
 (** Paper: 10 runs, blackouts in [3.9, 4.6] s, mean ~4.2 s. *)
 
+(** Fig. 7 companion — throughput blackout when the Resource Orchestrator
+    respawns a crashed VM: the supervisor's capped exponential backoff
+    plus the boot path's latency (plus rule installation). *)
+type respawn_run = {
+  attempt : int;  (** which respawn attempt of the same slot *)
+  backoff_s : float;  (** supervisor delay before the boot starts *)
+  blackout_s : float;  (** kill -> replacement ready, seconds *)
+}
+
+val respawn_blackout :
+  ?policy:Resource_orchestrator.backoff ->
+  ?boot:Apple_vnf.Lifecycle.boot_path ->
+  seed:int ->
+  attempts:int ->
+  unit ->
+  respawn_run list
+(** One isolated kill-and-respawn world per attempt number 0..n-1.
+    [blackout_s] is expected to equal backoff + boot + rule install, and
+    to stop growing once the backoff hits [policy.cap]. *)
+
 (** Fig. 8 — CDF of the time to transfer a 20 MB file under three
     failover strategies. *)
 type transfer_variant = No_failover | Wait_five_seconds | Reconfigure_existing

@@ -1,0 +1,61 @@
+type t = {
+  switches : (int, unit) Hashtbl.t;
+  links : (int * int, unit) Hashtbl.t;
+  instances : (int, unit) Hashtbl.t;
+  (* Cached emptiness so the healthy-network fast path is one branch. *)
+  mutable failures : int;
+}
+
+let create () =
+  {
+    switches = Hashtbl.create 8;
+    links = Hashtbl.create 8;
+    instances = Hashtbl.create 8;
+    failures = 0;
+  }
+
+let is_clear t = t.failures = 0
+
+let clear t =
+  Hashtbl.reset t.switches;
+  Hashtbl.reset t.links;
+  Hashtbl.reset t.instances;
+  t.failures <- 0
+
+let add tbl t key =
+  if not (Hashtbl.mem tbl key) then begin
+    Hashtbl.replace tbl key ();
+    t.failures <- t.failures + 1
+  end
+
+let remove tbl t key =
+  if Hashtbl.mem tbl key then begin
+    Hashtbl.remove tbl key;
+    t.failures <- t.failures - 1
+  end
+
+let fail_switch t sw = add t.switches t sw
+let restore_switch t sw = remove t.switches t sw
+let switch_down t sw = t.failures > 0 && Hashtbl.mem t.switches sw
+
+let link_key u v = if u <= v then (u, v) else (v, u)
+let fail_link t u v = add t.links t (link_key u v)
+let restore_link t u v = remove t.links t (link_key u v)
+let link_down t u v = t.failures > 0 && Hashtbl.mem t.links (link_key u v)
+
+let fail_instance t id = add t.instances t id
+let restore_instance t id = remove t.instances t id
+let instance_down t id = t.failures > 0 && Hashtbl.mem t.instances id
+
+let failed_instances t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.instances []
+  |> List.sort Int.compare
+
+let failed_switches t =
+  Hashtbl.fold (fun sw () acc -> sw :: acc) t.switches []
+  |> List.sort Int.compare
+
+let failed_links t =
+  Hashtbl.fold (fun l () acc -> l :: acc) t.links []
+  |> List.sort (fun (a, b) (c, d) ->
+         match Int.compare a c with 0 -> Int.compare b d | n -> n)

@@ -1,0 +1,48 @@
+(** Failure masks: which switches, links and VNF instances are currently
+    dead, as seen by the data plane.
+
+    The chaos engine flips entries here on the simulation clock; {!Walk}
+    (and through it the packet simulator and the verifier's probe walks)
+    consults the mask so a packet hitting a failed element surfaces as a
+    structured blackhole instead of a silent wrong answer.  An empty mask
+    is free: every check is a hash lookup guarded by an emptiness test.
+
+    Links are undirected: failing (u, v) also fails (v, u). *)
+
+type t
+
+val create : unit -> t
+(** Everything healthy. *)
+
+val is_clear : t -> bool
+(** No switch, link or instance is currently failed. *)
+
+val clear : t -> unit
+(** Restore everything at once (end of a chaos run). *)
+
+(** {2 Switches} *)
+
+val fail_switch : t -> int -> unit
+val restore_switch : t -> int -> unit
+val switch_down : t -> int -> bool
+
+(** {2 Links} *)
+
+val fail_link : t -> int -> int -> unit
+val restore_link : t -> int -> int -> unit
+val link_down : t -> int -> int -> bool
+
+(** {2 VNF instances} *)
+
+val fail_instance : t -> int -> unit
+val restore_instance : t -> int -> unit
+val instance_down : t -> int -> bool
+
+val failed_instances : t -> int list
+(** Currently failed instance ids, ascending (deterministic). *)
+
+val failed_switches : t -> int list
+(** Currently failed switch ids, ascending. *)
+
+val failed_links : t -> (int * int) list
+(** Currently failed links as (min, max) endpoint pairs, ascending. *)

@@ -35,6 +35,11 @@ let set_phys t rules = t.phys <- sort_phys (List.map (fun r -> (fresh_uid t, r))
 
 let set_vswitch t rules = t.vsw <- List.rev rules
 
+let retain_phys t ~keep =
+  let before = List.length t.phys in
+  t.phys <- List.filter (fun (uid, _) -> keep uid) t.phys;
+  before - List.length t.phys
+
 let tcam_entries t =
   List.fold_left (fun acc (_, r) -> acc + Rule.tcam_entries r) 0 t.phys
 

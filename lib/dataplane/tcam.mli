@@ -32,6 +32,13 @@ val set_phys : t -> Rule.phys_rule list -> unit
 val set_vswitch : t -> Rule.vswitch_rule list -> unit
 (** Replace the vSwitch table, keeping the given match order. *)
 
+val retain_phys : t -> keep:(int -> bool) -> int
+(** Drop every APPLE-table entry whose uid fails [keep], preserving the
+    uids (and counters) of survivors; returns the number of entries
+    lost.  Models partial TCAM rule loss (e.g. a line-card reset) for
+    fault injection — unlike {!set_phys} it does not re-number rules, so
+    a subsequent reinstall is observable as fresh uids. *)
+
 val tcam_entries : t -> int
 (** Entries in the physical switch's APPLE table (pipelined layout). *)
 

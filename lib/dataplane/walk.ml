@@ -14,6 +14,9 @@ type error =
   | Vswitch_miss of int
   | Host_loop of int
   | Wrong_host of { switch : int; wanted : int }
+  | Link_dead of { from : int; to_ : int }
+  | Switch_dead of int
+  | Instance_dead of { switch : int; instance : int }
 
 exception Walk_error of error
 
@@ -33,17 +36,22 @@ let error_code = function
   | Vswitch_miss _ -> 2
   | Host_loop _ -> 3
   | Wrong_host _ -> 4
+  | Link_dead _ -> 5
+  | Switch_dead _ -> 6
+  | Instance_dead _ -> 7
 
 let error_switch = function
-  | No_matching_rule sw | Vswitch_miss sw | Host_loop sw -> sw
+  | No_matching_rule sw | Vswitch_miss sw | Host_loop sw | Switch_dead sw -> sw
   | Wrong_host { switch; _ } -> switch
+  | Link_dead { from; _ } -> from
+  | Instance_dead { switch; _ } -> switch
 
 (* Process the packet inside the APPLE host attached to [sw]: follow
    vSwitch rules from [entry_port] until a Back_to_network action.
    [header_valid] reflects whether header-derived class matching is still
    possible; traversing a rewriting instance clears it. *)
 let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
-    ~header_valid =
+    ~header_valid ~inst_dead =
   let table = net.(sw) in
   let subclass =
     match tags.Tag.subclass with
@@ -58,6 +66,8 @@ let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
     match Tcam.lookup_vswitch table port ~cls:cls_match ~subclass with
     | None -> raise (Walk_error (Vswitch_miss sw))
     | Some (Rule.To_instance inst) ->
+        if inst_dead inst then
+          raise (Walk_error (Instance_dead { switch = sw; instance = inst }));
         record_instance ~sw inst;
         if rewriters inst then header_valid := false;
         step (Rule.From_instance inst)
@@ -66,8 +76,19 @@ let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
   step entry_port
 
 let run net ~path ~cls ~src_ip ?(start_in_host = false)
-    ?(rewriters = fun _ -> false) ?(flow = -1) () =
+    ?(rewriters = fun _ -> false) ?(flow = -1) ?mask () =
   let obs = Counters.enabled () in
+  (* Failure-mask predicates; with no mask (or a clear one) every check
+     collapses to a constant. *)
+  let sw_dead, link_dead, inst_dead =
+    match mask with
+    | Some m when not (Failmask.is_clear m) ->
+        ( Failmask.switch_down m,
+          Failmask.link_down m,
+          Failmask.instance_down m )
+    | Some _ | None ->
+        ((fun _ -> false), (fun _ _ -> false), fun _ -> false)
+  in
   let tags = Tag.fresh () in
   let visited = ref [] in
   let stages = ref [] in
@@ -97,7 +118,7 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
   in
   let enter_host sw ~entry_port =
     host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
-      ~header_valid
+      ~header_valid ~inst_dead
   in
   if obs then
     Flight.record Flight.Walk_start ~a:flow ~b:cls ~c:src_ip
@@ -105,6 +126,7 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
   try
     (match (path, start_in_host) with
     | first :: _, true ->
+        if sw_dead first then raise (Walk_error (Switch_dead first));
         (* Traffic born in a production VM inside the first hop's host:
            the vSwitch tags it before it ever reaches the switch.  The
            classification rules live in the vSwitch mirror of the ingress
@@ -127,6 +149,11 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
     let rec hop = function
       | [] -> ()
       | sw :: rest ->
+          (match !visited with
+          | prev :: _ when link_dead prev sw ->
+              raise (Walk_error (Link_dead { from = prev; to_ = sw }))
+          | _ -> ());
+          if sw_dead sw then raise (Walk_error (Switch_dead sw));
           visited := sw :: !visited;
           (match lookup net.(sw) ~sw with
           | None -> raise (Walk_error (No_matching_rule sw))
@@ -163,9 +190,20 @@ let run net ~path ~cls ~src_ip ?(start_in_host = false)
         subclass_tag = tags.Tag.subclass;
       }
   with Walk_error e ->
-    if obs then
+    if obs then begin
+      (* Fault-window losses additionally get a structured Blackhole
+         event so [apple trace] can name the dead element. *)
+      (match e with
+      | Link_dead { from; to_ } ->
+          Flight.record Flight.Blackhole ~a:flow ~b:from ~c:to_ ~d:0 ()
+      | Switch_dead sw ->
+          Flight.record Flight.Blackhole ~a:flow ~b:sw ~c:(-1) ~d:1 ()
+      | Instance_dead { switch; instance } ->
+          Flight.record Flight.Blackhole ~a:flow ~b:switch ~c:instance ~d:2 ()
+      | No_matching_rule _ | Vswitch_miss _ | Host_loop _ | Wrong_host _ -> ());
       Flight.record Flight.Walk_end ~a:flow ~b:(error_code e)
-        ~c:(error_switch e) ();
+        ~c:(error_switch e) ()
+    end;
     Error e
 
 let policy_enforced trace ~instance_kind ~chain =
@@ -181,3 +219,9 @@ let pp_error ppf = function
   | Wrong_host { switch; wanted } ->
       Format.fprintf ppf "switch %d asked to deliver to non-local host %d"
         switch wanted
+  | Link_dead { from; to_ } ->
+      Format.fprintf ppf "blackhole: link %d-%d is down" from to_
+  | Switch_dead sw -> Format.fprintf ppf "blackhole: switch %d is down" sw
+  | Instance_dead { switch; instance } ->
+      Format.fprintf ppf "blackhole: VNF instance %d at switch %d is dead"
+        instance switch

@@ -27,6 +27,11 @@ type error =
   | Vswitch_miss of int
   | Host_loop of int  (** vSwitch rules cycled inside a host *)
   | Wrong_host of { switch : int; wanted : int }
+  | Link_dead of { from : int; to_ : int }
+      (** blackhole: the next path link is failed in the {!Failmask} *)
+  | Switch_dead of int  (** blackhole: the hop switch is failed *)
+  | Instance_dead of { switch : int; instance : int }
+      (** blackhole: a vSwitch rule steered into a dead VNF instance *)
 
 val run :
   Tcam.network ->
@@ -36,6 +41,7 @@ val run :
   ?start_in_host:bool ->
   ?rewriters:(int -> bool) ->
   ?flow:int ->
+  ?mask:Failmask.t ->
   unit ->
   (trace, error) result
 (** Walk one packet of class [cls] with the given source address along the
@@ -46,7 +52,12 @@ val run :
     matching becomes impossible, so only globally-tagged vSwitch rules
     keep working (Sec. X).  [flow] (default -1) labels the walk's
     {!Apple_obs.Flight} events when observability is enabled, so
-    [apple trace] can reconstruct the causal chain per flow. *)
+    [apple trace] can reconstruct the causal chain per flow.  [mask]
+    (default: none) injects the current {!Failmask}: a walk reaching a
+    dead link, switch or instance fails with the corresponding blackhole
+    error and, when observability is on, additionally records a
+    structured {!Apple_obs.Flight.Blackhole} event naming the dead
+    element. *)
 
 val policy_enforced :
   trace -> instance_kind:(int -> Apple_vnf.Nf.kind) -> chain:Apple_vnf.Nf.kind list -> bool
@@ -56,3 +67,8 @@ val interference_free : trace -> path:int list -> bool
 (** The visited switches are exactly the routing path. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val error_code : error -> int
+(** The integer encoding shared with the flight recorder's [Walk_end]
+    events (1 no-matching-rule ... 7 instance-dead); see
+    {!Apple_obs.Flight}. *)

@@ -28,10 +28,15 @@ let lock = Mutex.create ()
 let rules : (int * int, rule_cell) Hashtbl.t = Hashtbl.create 256
 let insts : (int, inst_cell) Hashtbl.t = Hashtbl.create 64
 
+(* Per-switch blackhole tally: packets lost to a failed link, switch or
+   instance (a fault-window loss, distinct from a drop-tail drop). *)
+let blackholes : (int, int ref) Hashtbl.t = Hashtbl.create 16
+
 let reset () =
   Mutex.lock lock;
   Hashtbl.reset rules;
   Hashtbl.reset insts;
+  Hashtbl.reset blackholes;
   Mutex.unlock lock
 
 let rule_cell key =
@@ -86,6 +91,21 @@ let inst_queue ~id ~depth =
     if depth > c.c_peak then c.c_peak <- depth;
     Mutex.unlock lock
   end
+
+let blackhole ~sw ~packets =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    (match Hashtbl.find_opt blackholes sw with
+    | Some r -> r := !r + packets
+    | None -> Hashtbl.replace blackholes sw (ref packets));
+    Mutex.unlock lock
+  end
+
+let blackhole_snapshot () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun sw r acc -> (sw, !r) :: acc) blackholes [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) all
 
 let freeze_rule c = { r_matches = c.c_matches; r_bytes = c.c_bytes }
 

@@ -68,3 +68,16 @@ val inst_stats : id:int -> inst_stats
 
 val inst_snapshot : unit -> (int * inst_stats) list
 (** All counted instances, sorted by id. *)
+
+(** {2 Blackhole counters}
+
+    Packets lost to a failed network element (dead link, crashed switch,
+    dead VNF instance) during a fault window — the chaos engine and the
+    packet simulator credit these so [apple trace]/[apple top] can
+    explain healing-window loss, distinct from drop-tail drops. *)
+
+val blackhole : sw:int -> packets:int -> unit
+(** Credit [packets] blackholed at switch [sw]. *)
+
+val blackhole_snapshot : unit -> (int * int) list
+(** Per-switch blackholed packets, sorted by switch. *)

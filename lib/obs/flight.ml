@@ -14,6 +14,7 @@ type kind =
   | Rules
   | Violation
   | Note
+  | Blackhole
 
 let kind_code = function
   | Walk_start -> 0
@@ -29,6 +30,7 @@ let kind_code = function
   | Rules -> 10
   | Violation -> 11
   | Note -> 12
+  | Blackhole -> 13
 
 (* Unknown codes (a newer dump read by older code) decode as [Note]
    rather than failing the whole load. *)
@@ -45,6 +47,7 @@ let kind_of_code = function
   | 9 -> Epoch
   | 10 -> Rules
   | 11 -> Violation
+  | 13 -> Blackhole
   | _ -> Note
 
 let kind_name = function
@@ -61,6 +64,7 @@ let kind_name = function
   | Rules -> "rules"
   | Violation -> "violation"
   | Note -> "note"
+  | Blackhole -> "blackhole"
 
 type event = {
   seq : int;

@@ -30,6 +30,9 @@
     - [Rules]: a=TCAM entries, b=vSwitch rules, c=global tags
     - [Violation]: a=verifier code ordinal, b=class, c=sub-class,
       d=switch
+    - [Blackhole]: a=flow, b=switch, c=detail (peer switch for a dead
+      link, instance id for a dead instance, -1 otherwise), d=reason
+      (0 link down, 1 switch down, 2 instance dead)
     - [Note]: free-form (also the decode fallback for unknown codes) *)
 
 type kind =
@@ -46,6 +49,7 @@ type kind =
   | Rules
   | Violation
   | Note
+  | Blackhole
 
 val kind_name : kind -> string
 

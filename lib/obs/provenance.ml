@@ -4,6 +4,7 @@ type step =
   | Tagged of { subclass : int; host : int }
   | Entered of { switch : int; instance : int }
   | Dropped of { instance : int }
+  | Blackholed of { switch : int; detail : int; reason : int }
   | Finished of { error : int; switch : int }
 
 type chain = {
@@ -35,7 +36,16 @@ let error_name = function
   | 2 -> "vSwitch lookup miss"
   | 3 -> "vSwitch rule loop"
   | 4 -> "delivery to non-local host"
+  | 5 -> "link down"
+  | 6 -> "switch down"
+  | 7 -> "VNF instance dead"
   | n -> Printf.sprintf "error?%d" n
+
+let blackhole_reason = function
+  | 0 -> "link down"
+  | 1 -> "switch down"
+  | 2 -> "VNF instance dead"
+  | n -> Printf.sprintf "reason?%d" n
 
 let step_of (e : Flight.event) =
   match e.Flight.kind with
@@ -47,6 +57,9 @@ let step_of (e : Flight.event) =
   | Flight.Inst_enter ->
       Some (Entered { switch = e.Flight.b; instance = e.Flight.c })
   | Flight.Pkt_drop -> Some (Dropped { instance = e.Flight.b })
+  | Flight.Blackhole ->
+      Some
+        (Blackholed { switch = e.Flight.b; detail = e.Flight.c; reason = e.Flight.d })
   | Flight.Walk_end -> Some (Finished { error = e.Flight.b; switch = e.Flight.c })
   | Flight.Poll | Flight.Overload | Flight.Recover | Flight.Epoch
   | Flight.Rules | Flight.Violation | Flight.Note ->
@@ -81,7 +94,10 @@ let of_events events ~flow =
       None steps
   in
   let drops =
-    List.length (List.filter (function _, Dropped _ -> true | _ -> false) steps)
+    List.length
+      (List.filter
+         (function _, Dropped _ | _, Blackholed _ -> true | _ -> false)
+         steps)
   in
   let outcome =
     List.fold_left
@@ -119,6 +135,13 @@ let render_step = function
       Printf.sprintf "host at switch %d: entered VNF instance %d" switch instance
   | Dropped { instance } ->
       Printf.sprintf "packet dropped at instance %d (buffer full)" instance
+  | Blackholed { switch; detail; reason } ->
+      Printf.sprintf "BLACKHOLE at switch %d (%s%s)" switch
+        (blackhole_reason reason)
+        (match reason with
+        | 0 when detail >= 0 -> Printf.sprintf ", peer switch %d" detail
+        | 2 when detail >= 0 -> Printf.sprintf ", instance %d" detail
+        | _ -> "")
   | Finished { error = 0; _ } -> "walk end: delivered"
   | Finished { error; switch } ->
       Printf.sprintf "walk end: FAILED at switch %d (%s)" switch

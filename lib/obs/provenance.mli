@@ -14,6 +14,10 @@ type step =
   | Tagged of { subclass : int; host : int }  (** [host] is a host code *)
   | Entered of { switch : int; instance : int }
   | Dropped of { instance : int }
+  | Blackholed of { switch : int; detail : int; reason : int }
+      (** a fault-window loss: [reason] 0 = link down (detail = peer
+          switch), 1 = switch down, 2 = VNF instance dead (detail =
+          instance id) *)
   | Finished of { error : int; switch : int }  (** [error] 0 = clean *)
 
 type chain = {
@@ -22,7 +26,7 @@ type chain = {
   rules : (int * int) list;  (** (switch, rule uid) matched, in order *)
   instances : int list;  (** instances entered, in order *)
   subclass : int option;  (** last sub-class tag applied *)
-  drops : int;
+  drops : int;  (** buffer drops plus blackholed packets *)
   outcome : [ `Ok | `Failed of string | `Unknown ];
 }
 
@@ -42,6 +46,9 @@ val host_name : int -> string
 
 val error_name : int -> string
 (** Human name of a walk error code ("ok" for 0). *)
+
+val blackhole_reason : int -> string
+(** Human name of a {!Flight.Blackhole} reason code. *)
 
 val render : chain -> string
 (** Multi-line report: one line per step plus a summary header. *)

@@ -6,6 +6,7 @@ module Rng = Apple_prelude.Rng
 module Stats = Apple_prelude.Stats
 module Obs = Apple_obs.Counters
 module Flight = Apple_obs.Flight
+module Failmask = Apple_dataplane.Failmask
 
 type config = {
   link_latency : float;
@@ -108,10 +109,43 @@ let itinerary config ~network ~servers ~flow (spec : flow_spec) =
       ignore config;
       (* servers first (processing happens along the way), links spread
          around them; ordering only shifts constant latency *)
-      (serves @ links, trace.Walk.rule_path)
+      (serves @ links, trace.Walk.rule_path, trace.Walk.instances)
 
-let run ?(config = default_config) ?(seed = 1) ?poll ~network ~instances ~flows
-    ~duration () =
+(* First dead element on a flow's route, in traversal order: the links
+   and switches of the path, then the instances its walk applies.
+   Checked at emit time, so faults injected mid-run blackhole packets
+   without re-routing the flow (routes only change when the controller
+   reinstalls rules). *)
+let route_blocked mask ~path ~insts ~host_of =
+  match mask with
+  | None -> fun () -> None
+  | Some m ->
+      fun () ->
+        if Failmask.is_clear m then None
+        else begin
+          let rec scan prev = function
+            | [] -> None
+            | sw :: rest ->
+                if
+                  match prev with
+                  | Some p -> Failmask.link_down m p sw
+                  | None -> false
+                then Some (Option.get prev, sw, 0)
+                else if Failmask.switch_down m sw then Some (sw, -1, 1)
+                else scan (Some sw) rest
+          in
+          match scan None path with
+          | Some hit -> Some hit
+          | None ->
+              List.find_map
+                (fun i ->
+                  if Failmask.instance_down m i then Some (host_of i, i, 2)
+                  else None)
+                insts
+        end
+
+let run ?(config = default_config) ?(seed = 1) ?poll ?mask ~network ~instances
+    ~flows ~duration () =
   let world = Engine.create () in
   let rng = Rng.create seed in
   let servers = Hashtbl.create 64 in
@@ -135,8 +169,22 @@ let run ?(config = default_config) ?(seed = 1) ?poll ~network ~instances ~flows
   let routed =
     Array.mapi (fun idx spec -> itinerary config ~network ~servers ~flow:idx spec) specs
   in
-  let itineraries = Array.map fst routed in
-  let rule_paths = Array.map snd routed in
+  let itineraries = Array.map (fun (steps, _, _) -> steps) routed in
+  let rule_paths = Array.map (fun (_, rules, _) -> rules) routed in
+  let host_of =
+    let hosts = Hashtbl.create 64 in
+    List.iter
+      (fun inst -> Hashtbl.replace hosts (Instance.id inst) (Instance.host inst))
+      instances;
+    fun id -> Option.value ~default:(-1) (Hashtbl.find_opt hosts id)
+  in
+  let blocked =
+    Array.mapi
+      (fun idx spec ->
+        let _, _, insts = routed.(idx) in
+        route_blocked mask ~path:spec.path ~insts ~host_of)
+      specs
+  in
   let obs = Obs.enabled () in
   let rec advance pkt w =
     match pkt.todo with
@@ -186,15 +234,28 @@ let run ?(config = default_config) ?(seed = 1) ?poll ~network ~instances ~flows
     (fun idx spec ->
       let emit w =
         sent.(idx) <- sent.(idx) + 1;
-        if obs then
-          (* Per-rule match/byte counters: every packet of the flow takes
-             the same TCAM matches its routing walk recorded. *)
-          List.iter
-            (fun (sw, uid) ->
-              Obs.rule_hit ~sw ~uid ~bytes:config.packet_bytes)
-            rule_paths.(idx);
-        let pkt = { flow_idx = idx; born = Engine.now w; todo = itineraries.(idx) } in
-        advance pkt w
+        match blocked.(idx) () with
+        | Some (sw, detail, reason) ->
+            (* The flow's route crosses a failed element right now: the
+               packet falls into the blackhole at that point. *)
+            dropped.(idx) <- dropped.(idx) + 1;
+            if obs then begin
+              Obs.blackhole ~sw ~packets:1;
+              Flight.record Flight.Blackhole ~a:idx ~b:sw ~c:detail ~d:reason
+                ()
+            end
+        | None ->
+            if obs then
+              (* Per-rule match/byte counters: every packet of the flow
+                 takes the same TCAM matches its routing walk recorded. *)
+              List.iter
+                (fun (sw, uid) ->
+                  Obs.rule_hit ~sw ~uid ~bytes:config.packet_bytes)
+                rule_paths.(idx);
+            let pkt =
+              { flow_idx = idx; born = Engine.now w; todo = itineraries.(idx) }
+            in
+            advance pkt w
       in
       let rec cbr_tick period w =
         if Engine.now w < spec.stop_at && Engine.now w < duration then begin
@@ -263,7 +324,13 @@ let run ?(config = default_config) ?(seed = 1) ?poll ~network ~instances ~flows
 let find_flow report name =
   match List.find_opt (fun f -> f.spec.flow_name = name) report.flows with
   | Some f -> f
-  | None -> raise Not_found
+  | None ->
+      (* A bare Not_found here cost real debugging time: name the flow
+         and the report's actual contents instead. *)
+      invalid_arg
+        (Printf.sprintf "Packet_sim: no flow named %S (report has: %s)" name
+           (String.concat ", "
+              (List.map (fun f -> f.spec.flow_name) report.flows)))
 
 let loss_of report name =
   let f = find_flow report name in

@@ -65,6 +65,7 @@ val run :
   ?config:config ->
   ?seed:int ->
   ?poll:float * (float -> unit) ->
+  ?mask:Apple_dataplane.Failmask.t ->
   network:Apple_dataplane.Tcam.network ->
   instances:Apple_vnf.Instance.t list ->
   flows:flow_spec list ->
@@ -79,13 +80,25 @@ val run :
     (e.g. [Apple_obs.Poller.poll]), modelling the controller's counter
     polling loop on the same clock as the packets.
 
+    [mask] injects a live failure mask (the chaos engine's): each packet
+    checks its flow's route against the mask at emission time, and if
+    the route crosses a dead link, switch or instance the packet counts
+    as dropped at the first failed element — credited to
+    {!Apple_obs.Counters.blackhole} and recorded as a
+    {!Apple_obs.Flight.Blackhole} event — instead of traversing the
+    itinerary.  Flips of the mask mid-run take effect on the next
+    emitted packet; routes themselves only change when the controller
+    reinstalls rules.
+
     When {!Apple_obs.Counters.enabled}, every packet credits the
     match/byte counters of the TCAM rules on its flow's walk, and every
     instance's packet/drop/queue counters track its server — that is
     the measurement plane [apple top] renders. *)
 
 val loss_of : report -> string -> float
-(** Loss rate of the named flow.  Raises [Not_found] for unknown names. *)
+(** Loss rate of the named flow.  Raises [Invalid_argument] naming the
+    flow and the report's flows for unknown names (a bare [Not_found]
+    here proved undebuggable). *)
 
 val latency_percentile : report -> string -> float -> float
 (** Latency percentile of a named flow's delivered packets. *)

@@ -30,5 +30,7 @@ let () =
       ("verify", Test_verify.suite);
       ("obs", Test_obs.suite);
       ("policy-file", Test_policy_file.suite);
+      ("chaos", Test_chaos.suite);
+      ("goldens", Test_goldens.suite);
       ("fuzz", Test_fuzz.suite);
     ]

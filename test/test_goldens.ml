@@ -1,0 +1,41 @@
+(* Differential regression: every golden artifact re-renders
+   byte-identically.  On drift the failure message carries a unified
+   diff; refresh intentionally with [make goldens] and review the diff
+   like any other code change (see README). *)
+
+module Goldens = Apple_chaos.Goldens
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_entry (name, render) () =
+  let path = Filename.concat "goldens" (name ^ ".txt") in
+  if not (Sys.file_exists path) then
+    Alcotest.fail
+      (Printf.sprintf "missing golden %s — record it with `make goldens`" path);
+  let expected = read_file path in
+  let actual = render () in
+  let d = Goldens.diff ~expected ~actual in
+  if d <> "" then
+    Alcotest.fail
+      (Printf.sprintf
+         "golden %s drifted (- recorded / + current); if intentional, \
+          refresh with `make goldens` and commit the diff:\n%s"
+         name d)
+
+let test_diff_format () =
+  Alcotest.(check string)
+    "equal texts diff to empty" ""
+    (Goldens.diff ~expected:"a\nb\n" ~actual:"a\nb\n");
+  let d = Goldens.diff ~expected:"a\nb\nc\n" ~actual:"a\nx\nc\n" in
+  Alcotest.(check string) "readable unified diff" "  a\n- b\n+ x\n  c\n" d
+
+let suite =
+  Alcotest.test_case "diff format" `Quick test_diff_format
+  :: List.map
+       (fun entry ->
+         Alcotest.test_case ("golden " ^ fst entry) `Quick (check_entry entry))
+       Goldens.entries
