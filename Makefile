@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint check clean goldens
+.PHONY: all build test bench lint check clean goldens soak bench-snapshots
 
 all: build
 
@@ -17,6 +17,25 @@ bench:
 goldens:
 	dune exec tools/make_goldens.exe -- test/goldens
 
+# The acceptance-scale endurance run: 2000 epochs on Internet2 with the
+# full fault drill, checkpointing into _soak/ (kill it and re-run with
+# --resume to continue byte-identically).
+soak:
+	dune exec bin/apple_cli.exe -- soak -t internet2 --seed 42 --epochs 2000 \
+	  --schedule examples/soak_internet2.soak --state-dir _soak
+
+# Refresh the committed bench snapshots (BENCH_core.json at a reduced
+# deterministic scale, BENCH_soak.json from the acceptance soak run);
+# review the diff before committing, and keep EXPERIMENTS.md's schema
+# docs in step (tools/check_bench_schema.sh gates that).
+bench-snapshots:
+	APPLE_BENCH_SCALE=0.2 dune exec bench/main.exe -- table5 fig10 fig11 fig12 \
+	  --json BENCH_core.json
+	dune exec bin/apple_cli.exe -- soak -t internet2 --seed 42 --epochs 2000 \
+	  --schedule examples/soak_internet2.soak --bench-json BENCH_soak.json \
+	  > /dev/null
+	sh tools/check_bench_schema.sh
+
 # Style gate: no polymorphic compare in lib/, no Hashtbl in
 # lib/parallel, no stdout printing from libraries.
 lint:
@@ -24,9 +43,11 @@ lint:
 
 # One-stop gate: lint, compile everything, run the full test suite, then
 # a scaled-down smoke of the jobs study so the parallel path is exercised
-# with jobs>1 even on single-core CI boxes.
+# with jobs>1 even on single-core CI boxes, plus the bench-snapshot
+# schema guard.
 check: lint build test
 	APPLE_BENCH_SCALE=0.02 APPLE_JOBS=2 APPLE_BENCH_ONLY=jobs dune exec bench/main.exe
+	sh tools/check_bench_schema.sh
 
 clean:
 	dune clean

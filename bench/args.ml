@@ -1,0 +1,76 @@
+(* Argument parsing for the benchmark harness, split out as a library so
+   the unit tests can exercise it without spawning the executable.
+
+   Selection comes from two places, positional arguments winning:
+
+   - positional names: a section or an individual artifact;
+   - the APPLE_BENCH_ONLY environment variable: comma-separated section
+     names.
+
+   Both are validated against the caller's name lists.  An unknown name
+   is an [Error] naming the offender and the valid vocabulary — never a
+   silent no-op: a typo like APPLE_BENCH_ONLY=mirco must fail loudly
+   instead of quietly running nothing. *)
+
+type t = {
+  json : string option;  (** [--json FILE]: write a BENCH_core.json snapshot *)
+  filter : string list option;
+      (** [None] = run everything; [Some names] = run just these *)
+}
+
+let valid_vocabulary ~section_names ~experiment_names =
+  Printf.sprintf "valid sections:    %s\nvalid experiments: %s"
+    (String.concat " " section_names)
+    (String.concat " " experiment_names)
+
+(* [argv] excludes the executable name.  [only] is the raw value of
+   APPLE_BENCH_ONLY (ignored when positional names are present). *)
+let parse ~section_names ~experiment_names ~argv ~only =
+  let vocab () = valid_vocabulary ~section_names ~experiment_names in
+  let known name =
+    List.exists (String.equal name) section_names
+    || List.exists (String.equal name) experiment_names
+  in
+  let rec loop json names = function
+    | [] -> Ok (json, List.rev names)
+    | "--json" :: path :: rest -> (
+        match json with
+        | Some _ -> Error "bench: --json given twice"
+        | None -> loop (Some path) names rest)
+    | [ "--json" ] -> Error "bench: --json requires a file argument"
+    | name :: rest ->
+        if known name then loop json (name :: names) rest
+        else
+          Error
+            (Printf.sprintf "bench: unknown argument %S\n%s" name (vocab ()))
+  in
+  match loop None [] argv with
+  | Error _ as e -> e
+  | Ok (json, requested) -> (
+      match requested with
+      | _ :: _ -> Ok { json; filter = Some requested }
+      | [] -> (
+          match only with
+          | None | Some "" -> Ok { json; filter = None }
+          | Some s -> (
+              let names =
+                String.split_on_char ',' (String.lowercase_ascii s)
+                |> List.map String.trim
+                |> List.filter (fun n -> String.length n > 0)
+              in
+              match
+                List.find_opt
+                  (fun n -> not (List.exists (String.equal n) section_names))
+                  names
+              with
+              | Some bad ->
+                  Error
+                    (Printf.sprintf
+                       "bench: unknown section %S in APPLE_BENCH_ONLY\n%s" bad
+                       (vocab ()))
+              | None -> Ok { json; filter = Some names })))
+
+let wants t name =
+  match t.filter with
+  | None -> true
+  | Some l -> List.exists (String.equal name) l

@@ -1,0 +1,21 @@
+(** Benchmark-harness argument parsing (library, for unit tests). *)
+
+type t = {
+  json : string option;  (** [--json FILE]: write a BENCH_core.json snapshot *)
+  filter : string list option;
+      (** [None] = run everything; [Some names] = run just these *)
+}
+
+val parse :
+  section_names:string list ->
+  experiment_names:string list ->
+  argv:string list ->
+  only:string option ->
+  (t, string) result
+(** Validate positional names ([argv], executable name excluded) and the
+    APPLE_BENCH_ONLY value ([only], used only when no positional names
+    were given).  Unknown names are an [Error] listing the valid
+    vocabulary — never silently ignored. *)
+
+val wants : t -> string -> bool
+(** [wants t name] — should the section/artifact [name] run? *)

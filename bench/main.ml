@@ -8,9 +8,10 @@
      dune exec bench/main.exe -- table5 --json bench.json
 
    Positional arguments select what runs: a section (paper | ablations |
-   jobs | failover | micro) or an individual artifact (table1 | table3 |
-   table4 | table5 | fig6 ... fig12).  Without arguments, APPLE_BENCH_ONLY filters
-   sections (comma-separated), else everything runs.  --json FILE
+   jobs | failover | soak | micro) or an individual artifact (table1 |
+   table3 | table4 | table5 | fig6 ... fig12).  Without arguments,
+   APPLE_BENCH_ONLY filters sections (comma-separated); unknown names in
+   either place abort with the valid vocabulary.  --json FILE
    additionally writes a BENCH_core.json snapshot of the scalar metrics
    (schema documented in EXPERIMENTS.md).  One experiment driver per
    artifact lives in Apple_core.Experiments; this harness prints them all
@@ -34,53 +35,28 @@ let seed =
 
 (* --- command line --------------------------------------------------- *)
 
-let section_names = [ "paper"; "ablations"; "jobs"; "micro"; "failover" ]
+let section_names = [ "paper"; "ablations"; "jobs"; "micro"; "failover"; "soak" ]
 
 let experiment_names =
   [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
     "fig10"; "fig11"; "fig12" ]
 
-let json_path = ref None
+(* Positional arguments win; otherwise APPLE_BENCH_ONLY="paper,jobs"
+   filters sections.  Unknown names — in either place — abort instead of
+   silently running nothing (Apple_bench_args validates both). *)
+let args =
+  match
+    Apple_bench_args.Args.parse ~section_names ~experiment_names
+      ~argv:(List.tl (Array.to_list Sys.argv))
+      ~only:(Sys.getenv_opt "APPLE_BENCH_ONLY")
+  with
+  | Ok t -> t
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
 
-let requested =
-  let names = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--json" :: path :: rest ->
-        json_path := Some path;
-        parse rest
-    | [ "--json" ] ->
-        prerr_endline "bench: --json requires a file argument";
-        exit 2
-    | name :: rest ->
-        if List.mem name section_names || List.mem name experiment_names then
-          names := name :: !names
-        else begin
-          Printf.eprintf
-            "bench: unknown argument %S\nvalid sections:    %s\nvalid \
-             experiments: %s\n"
-            name
-            (String.concat " " section_names)
-            (String.concat " " experiment_names);
-          exit 2
-        end;
-        parse rest
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  List.rev !names
-
-(* Section filter: positional arguments win; otherwise
-   APPLE_BENCH_ONLY="paper,jobs" runs just those sections. *)
-let sections =
-  match requested with
-  | _ :: _ -> Some requested
-  | [] -> (
-      match Sys.getenv_opt "APPLE_BENCH_ONLY" with
-      | None | Some "" -> None
-      | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s)))
-
-let wants name =
-  match sections with None -> true | Some l -> List.mem name l
+let json_path = args.Apple_bench_args.Args.json
+let wants = Apple_bench_args.Args.wants args
 
 (* --- BENCH_core.json snapshot --------------------------------------- *)
 
@@ -88,7 +64,7 @@ let wants name =
 let snapshot : (string * (string * float) list) list ref = ref []
 
 let record id metrics =
-  if !json_path <> None then snapshot := (id, metrics) :: !snapshot
+  if json_path <> None then snapshot := (id, metrics) :: !snapshot
 
 let json_escape s =
   String.concat ""
@@ -358,6 +334,53 @@ let run_failover opts =
   print_endline "---- failover under injected faults (chaos engine) ----\n";
   C.Experiments.print (Apple_chaos.Experiments.fig_failover opts)
 
+(* Endurance smoke: a short soak run (same drill as the CI job) recording
+   throughput, memory flatness and the invariant verdict.  The committed
+   trajectory snapshot (BENCH_soak.json) comes from `apple soak
+   --bench-json` at full scale — see the Makefile's `bench-snapshots`. *)
+let run_soak () =
+  print_endline "---- soak smoke (endurance harness) ----\n";
+  let module Soak = Apple_soak.Soak in
+  let epochs = max 48 (int_of_float (200.0 *. scale)) in
+  let schedule =
+    match
+      Apple_chaos.Fault.parse
+        "at 50 kill-instance hottest\n\
+         at 75 link-down busiest\n\
+         at 90 link-up busiest"
+    with
+    | Ok s -> s
+    | Error e -> invalid_arg ("soak bench schedule: " ^ e)
+  in
+  let cfg =
+    {
+      (Soak.default_config (B.internet2 ())) with
+      Soak.seed;
+      epochs;
+      schedule = (if epochs > 90 then schedule else []);
+    }
+  in
+  match Soak.create cfg with
+  | Error e -> invalid_arg ("soak bench: " ^ e)
+  | Ok session ->
+      let o = Soak.run session in
+      Printf.printf
+        "%d epoch(s): %d violation(s), %.0f epochs/sec, peak %d live words \
+         (%s)\n\
+         %!"
+        o.Soak.epochs_run
+        (List.length o.Soak.violations)
+        o.Soak.epochs_per_sec o.Soak.peak_live_words
+        (if o.Soak.mem_flat then "flat" else "NOT FLAT");
+      record "soak"
+        [
+          ("epochs", float_of_int o.Soak.epochs_run);
+          ("violations", float_of_int (List.length o.Soak.violations));
+          ("mem_flat", if o.Soak.mem_flat then 1.0 else 0.0);
+          ("peak_live_words", float_of_int o.Soak.peak_live_words);
+          ("epochs_per_sec", o.Soak.epochs_per_sec);
+        ]
+
 let run_micro () =
   print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
   let tests =
@@ -404,7 +427,7 @@ let () =
     "APPLE reproduction benchmarks (seed=%d scale=%.2f)\n\
      =================================================\n\n%!"
     seed scale;
-  if !json_path <> None then T.set_enabled true;
+  if json_path <> None then T.set_enabled true;
   let opts = { C.Experiments.seed; scale } in
   if wants "paper" then reproduce_paper opts
   else
@@ -415,6 +438,7 @@ let () =
   if wants "ablations" then run_ablations opts;
   if wants "jobs" then run_jobs opts;
   if wants "failover" then run_failover opts;
+  if wants "soak" then run_soak ();
   if wants "micro" then run_micro ();
-  Option.iter write_snapshot !json_path;
+  Option.iter write_snapshot json_path;
   print_endline "\nbench: done"

@@ -16,6 +16,7 @@ module Walk = Apple_dataplane.Walk
 module PS = Apple_packetsim.Packet_sim
 module I = Apple_vnf.Instance
 module Ch = Apple_chaos
+module Sk = Apple_soak.Soak
 
 open Cmdliner
 
@@ -841,6 +842,232 @@ let failover_cmd =
       ret (const failover_action $ seed_arg $ scale_arg $ metrics_arg
          $ metrics_out_arg))
 
+(* --- soak command --------------------------------------------------- *)
+
+let soak_action topo seed epochs reopt checkpoint cycle total classes heal
+    loss_band window_band mem_slack engine jobs load_source schedule_file
+    state_dir resume halt_at stream_path summary_out bench_json_out flight_out
+    metrics out =
+  with_metrics metrics out @@ fun () ->
+  let schedule =
+    match schedule_file with
+    | Some path -> Ch.Fault.parse (read_file path)
+    | None -> Ok Ch.Fault.empty
+  in
+  match schedule with
+  | Error m -> `Error (false, "bad schedule: " ^ m)
+  | Ok schedule -> (
+      let cfg =
+        {
+          (Sk.default_config topo) with
+          Sk.seed;
+          epochs;
+          reopt_every = reopt;
+          checkpoint_every = checkpoint;
+          cycle;
+          total_rate = total;
+          max_classes = classes;
+          heal_after = heal;
+          loss_band;
+          window_band;
+          mem_slack;
+          engine;
+          jobs;
+          load_source;
+          schedule;
+        }
+      in
+      (match flight_out with Some _ -> Obs.set_enabled true | None -> ());
+      (match state_dir with
+      | Some d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755
+      | None -> ());
+      let stream_path =
+        match (stream_path, state_dir) with
+        | Some p, _ -> Some p
+        | None, Some d -> Some (Filename.concat d "stream.log")
+        | None, None -> None
+      in
+      let sess =
+        if resume then
+          match state_dir with
+          | None -> Error "soak: --resume needs --state-dir"
+          | Some d -> Sk.resume_dir ?stream_path cfg ~dir:d
+        else Sk.create ?stream_path cfg
+      in
+      match sess with
+      | Error m -> `Error (false, m)
+      | Ok sess ->
+          let o = Sk.run ?halt_at ?state_dir sess in
+          print_string o.Sk.summary;
+          print_string o.Sk.perf;
+          (match summary_out with
+          | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc o.Sk.summary)
+          | None -> ());
+          (match bench_json_out with
+          | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc (Sk.bench_json sess o));
+              Format.printf "bench trajectory written to %s@." path
+          | None -> ());
+          (match flight_out with
+          | Some path when Flight.length () > 0 ->
+              Flight.dump ~path;
+              Format.printf "flight recorder dumped to %s (see apple trace)@."
+                path
+          | _ -> ());
+          (match o.Sk.violations with
+          | _ :: _ as vs ->
+              `Error
+                ( false,
+                  Printf.sprintf "soak: %d invariant violation(s)"
+                    (List.length vs) )
+          | [] ->
+              if o.Sk.completed && not o.Sk.mem_flat then
+                `Error (false, "soak: live words grew past the allowed slack")
+              else `Ok ()))
+
+let soak_cmd =
+  let topo_arg =
+    let doc = "Topology: internet2, geant, univ1 or as3679." in
+    Arg.(
+      value
+      & opt topology_conv (B.internet2 ())
+      & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let epochs_arg =
+    let doc = "Total epochs (traffic snapshots) to run." in
+    Arg.(value & opt int 2000 & info [ "epochs" ] ~docv:"N" ~doc)
+  in
+  let reopt_arg =
+    let doc = "Epochs between global re-optimizations (96 = one diurnal day)." in
+    Arg.(value & opt int 96 & info [ "reopt-every" ] ~docv:"N" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Epochs between checkpoints (deferred past epochs holding transient \
+       failover state)."
+    in
+    Arg.(value & opt int 48 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let cycle_arg =
+    let doc = "Traffic snapshots before the diurnal sequence repeats." in
+    Arg.(value & opt int 672 & info [ "cycle" ] ~docv:"N" ~doc)
+  in
+  let total_arg =
+    let doc = "Network-wide offered load in Mbps (diurnal mean)." in
+    Arg.(value & opt float 3000.0 & info [ "total" ] ~docv:"MBPS" ~doc)
+  in
+  let classes_arg =
+    let doc = "Maximum number of flow classes." in
+    Arg.(value & opt int 40 & info [ "max-classes" ] ~docv:"N" ~doc)
+  in
+  let heal_arg =
+    let doc = "Epochs between a kill fault and its respawn heal." in
+    Arg.(value & opt int 2 & info [ "heal-after" ] ~docv:"N" ~doc)
+  in
+  let loss_band_arg =
+    let doc = "Per-epoch fault-free loss bound (invariant)." in
+    Arg.(value & opt float 0.15 & info [ "loss-band" ] ~docv:"FRACTION" ~doc)
+  in
+  let window_band_arg =
+    let doc = "Per-window fault-free mean loss bound (invariant)." in
+    Arg.(value & opt float 0.02 & info [ "window-band" ] ~docv:"FRACTION" ~doc)
+  in
+  let mem_slack_arg =
+    let doc =
+      "Allowed live-words growth factor over the first window boundary's \
+       sample (perf verdict)."
+    in
+    Arg.(value & opt float 1.5 & info [ "mem-slack" ] ~docv:"FACTOR" ~doc)
+  in
+  let engine_arg =
+    let doc = "Placement engine: $(b,best), $(b,lp), $(b,per-class) or $(b,greedy)." in
+    Arg.(value & opt engine_conv `Best & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the parallel engines; artifacts are byte-identical \
+       for every value."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let load_source_arg =
+    let doc =
+      "Where the Dynamic Handler reads instance loads: $(b,oracle) (simulator \
+       ground truth) or $(b,polled) (counter-derived estimates; checkpoints \
+       then only land on window boundaries)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("oracle", Sk.Oracle); ("polled", Sk.Polled) ]) Sk.Oracle
+      & info [ "load-source" ] ~docv:"SOURCE" ~doc)
+  in
+  let schedule_arg =
+    let doc =
+      "Fault schedule file (lines $(b,at EPOCH KIND ARGS); see \
+       examples/soak_internet2.soak).  Times are epochs, not seconds."
+    in
+    Arg.(value & opt (some file) None & info [ "schedule" ] ~docv:"FILE" ~doc)
+  in
+  let state_dir_arg =
+    let doc =
+      "Directory for checkpoint.apple and stream.log; enables kill/resume."
+    in
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let resume_arg =
+    let doc = "Resume from $(b,--state-dir)'s last checkpoint." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let halt_arg =
+    let doc = "Stop after $(docv) epochs (for kill/resume drills)." in
+    Arg.(value & opt (some int) None & info [ "halt-at" ] ~docv:"EPOCH" ~doc)
+  in
+  let stream_arg =
+    let doc =
+      "Write the deterministic per-epoch stream to $(docv) (default: \
+       $(b,--state-dir)/stream.log when a state dir is given)."
+    in
+    Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"FILE" ~doc)
+  in
+  let summary_out_arg =
+    let doc = "Also write the deterministic summary to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "summary-out" ] ~docv:"FILE" ~doc)
+  in
+  let bench_json_arg =
+    let doc =
+      "Write the BENCH_soak.json trajectory snapshot (schema \
+       apple-bench-soak/1) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+  in
+  let soak_flight_arg =
+    let doc = "Dump the flight recorder to $(docv) after the run." in
+    Arg.(
+      value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Thousands-of-epochs endurance run: diurnal traffic, periodic \
+          re-optimization, scheduled faults, per-epoch invariant checks, \
+          and checkpoint/restore with byte-identical continuation")
+    Term.(
+      ret
+        (const soak_action $ topo_arg $ seed_arg $ epochs_arg $ reopt_arg
+       $ checkpoint_arg $ cycle_arg $ total_arg $ classes_arg $ heal_arg
+       $ loss_band_arg $ window_band_arg $ mem_slack_arg $ engine_arg
+       $ jobs_arg $ load_source_arg $ schedule_arg $ state_dir_arg
+       $ resume_arg $ halt_arg $ stream_arg $ summary_out_arg
+       $ bench_json_arg $ soak_flight_arg $ metrics_arg $ metrics_out_arg))
+
 (* --- topologies command -------------------------------------------- *)
 
 let topologies_action () =
@@ -871,6 +1098,7 @@ let main =
       trace_cmd;
       chaos_cmd;
       failover_cmd;
+      soak_cmd;
       topologies_cmd;
     ]
 

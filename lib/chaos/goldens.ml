@@ -52,6 +52,12 @@ let diff ~expected ~actual =
   if String.equal expected actual then ""
   else begin
     let a = split_lines expected and b = split_lines actual in
+    if Array.length a = Array.length b && Array.for_all2 String.equal a b then
+      (* Same lines, different bytes: the only way split_lines loses
+         information is the final newline.  A -/+ dump would show two
+         identical-looking texts; say what actually differs. *)
+      "(no line differs: the texts disagree only on the trailing newline)\n"
+    else begin
     let n = Array.length a and m = Array.length b in
     let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
     for i = n - 1 downto 0 do
@@ -80,4 +86,29 @@ let diff ~expected ~actual =
     in
     walk 0 0;
     Buffer.contents buf
+    end
+  end
+
+(* Shared check used by the test suite: [Error] messages carry the
+   refresh instruction (`make goldens`) so a stale or missing golden
+   tells the reader how to fix it. *)
+let check ~path ~actual =
+  if not (Sys.file_exists path) then
+    Error
+      (Printf.sprintf "missing golden %s — record it with `make goldens`" path)
+  else begin
+    let ic = open_in_bin path in
+    let expected =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let d = diff ~expected ~actual in
+    if String.equal d "" then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "golden %s drifted (- recorded / + current); if intentional, \
+            refresh with `make goldens` and commit the diff:\n%s"
+           path d)
   end

@@ -17,3 +17,8 @@ val drill_schedule : Fault.schedule
 val diff : expected:string -> actual:string -> string
 (** [""] when equal; otherwise a line-by-line unified diff
     ([- expected] / [+ actual], common lines indented). *)
+
+val check : path:string -> actual:string -> (unit, string) result
+(** Compare [actual] against the golden recorded at [path].  [Error]
+    carries either a missing-golden message or the drift diff; both
+    name [make goldens] as the refresh path. *)

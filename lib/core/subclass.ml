@@ -130,21 +130,25 @@ let assign (s : Types.scenario) (placement : Optimization_engine.placement) =
   let next_instance = ref 0 in
   let by_site : (int * int, Instance.t list ref) Hashtbl.t = Hashtbl.create 64 in
   let all_instances = ref [] in
+  let used_cores = Array.make (Array.length s.Types.host_cores) 0 in
+  let provision v k =
+    let spec = Nf.spec (Nf.kind_of_index k) in
+    let inst = Instance.create ~id:!next_instance ~spec ~host:v in
+    incr next_instance;
+    used_cores.(v) <- used_cores.(v) + spec.Nf.cores;
+    all_instances := inst :: !all_instances;
+    (match Hashtbl.find_opt by_site (v, k) with
+    | Some bucket -> bucket := inst :: !bucket
+    | None -> Hashtbl.replace by_site (v, k) (ref [ inst ]));
+    inst
+  in
   Array.iteri
     (fun v row ->
       Array.iteri
         (fun k count ->
-          if count > 0 then begin
-            let spec = Nf.spec (Nf.kind_of_index k) in
-            let bucket = ref [] in
-            for _ = 1 to count do
-              let inst = Instance.create ~id:!next_instance ~spec ~host:v in
-              incr next_instance;
-              bucket := inst :: !bucket;
-              all_instances := inst :: !all_instances
-            done;
-            Hashtbl.replace by_site (v, k) bucket
-          end)
+          for _ = 1 to count do
+            ignore (provision v k)
+          done)
         row)
     placement.Optimization_engine.counts;
   let site_of (c : Types.flow_class) sub stage =
@@ -189,8 +193,52 @@ let assign (s : Types.scenario) (placement : Optimization_engine.placement) =
       let sub = Queue.pop queue in
       let rate = c.Types.rate *. sub.weight in
       let n_stages = Array.length sub.hops in
-      if n_stages = 0 || rate <= 1e-9 then
+      if n_stages = 0 then final_subclasses := sub :: !final_subclasses
+      else if rate <= 1e-9 then begin
+        (* A zero-rate sub-class (the class's demand vanished in this
+           snapshot) still needs pinned instances: rule generation emits
+           a vSwitch chain for every sub-class with stages.  The
+           placement may have provisioned nothing for it (counts scale
+           with load), so pin to an existing instance when one is there,
+           lazily provision one when the host has spare cores, and fall
+           back to any instance of the right kind — zero demand charges
+           no load wherever it lands. *)
+        let idle_instance ((v, k) as site) =
+          match Hashtbl.find_opt by_site site with
+          | Some { contents = _ :: _ } -> best_instance site
+          | _ ->
+              let cores = (Nf.spec (Nf.kind_of_index k)).Nf.cores in
+              if s.Types.host_cores.(v) - used_cores.(v) >= cores then
+                provision v k
+              else begin
+                match
+                  List.find_opt
+                    (fun i -> Nf.kind_index (Instance.kind i) = k)
+                    !all_instances
+                with
+                | Some inst -> inst
+                | None -> (
+                    let rec free v' =
+                      if v' >= Array.length s.Types.host_cores then None
+                      else if s.Types.host_cores.(v') - used_cores.(v') >= cores
+                      then Some v'
+                      else free (v' + 1)
+                    in
+                    match free 0 with
+                    | Some v' -> provision v' k
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf
+                             "Subclass.assign: no instance provisioned at \
+                              switch %d for kind %d"
+                             v k))
+              end
+        in
+        Array.iteri
+          (fun j site -> Hashtbl.replace instance_of (key sub, j) (idle_instance site))
+          (Array.init n_stages (site_of c sub));
         final_subclasses := sub :: !final_subclasses
+      end
       else begin
         (* The placeable amount is limited by the emptiest instance at the
            tightest stage. *)

@@ -1,0 +1,59 @@
+(** Serialized soak-harness state: everything a resumed run needs to
+    continue byte-identically from an epoch boundary.
+
+    The format is a versioned, digest-protected text file
+    ([apple-soak-ckpt/1]).  Two flavors exist, told apart by
+    {!t.reconstruct}:
+
+    + {b reconstructing} checkpoints (written at quiescent mid-window
+      epochs under the oracle load source) carry the heal ledger, the
+      Dynamic Handler's event counters and a canonical dump of the
+      assignment plus a digest of the rule tables.  Restore re-runs the
+      window's re-optimization, replays the ledger through the
+      production heal path and then {e proves} the reconstruction by
+      comparing the dumps.
+    + {b boundary} checkpoints (written when the next epoch is a
+      re-optimization, the only flavor under the polled load source)
+      carry no controller state at all: the upcoming [run_epoch]
+      rebuilds everything from the scenario, which is itself derived
+      from the seed. *)
+
+type open_fault =
+  | Link of { u : int; v : int; since : int; sym : bool }
+      (** a failed link; [sym] marks a symbolic [busiest] injection so a
+          symbolic link-up can pair with it *)
+  | Switch of { sw : int; since : int; sym : bool }
+
+type t = {
+  fingerprint : string;  (** config digest; restore refuses a mismatch *)
+  epoch : int;  (** next epoch to execute *)
+  window_start : int;  (** epoch of the window's re-optimization *)
+  reconstruct : bool;  (** see above *)
+  stream_bytes : int;
+      (** bytes of the deterministic stream emitted so far; resume
+          truncates the stream file here *)
+  blind_until : int;  (** poller-blackout horizon (epoch) *)
+  mem_baseline : int;  (** live-words baseline (0 = unset; perf only) *)
+  mem_peak : int;  (** live-words peak so far (perf only) *)
+  ledger : (int * int) list;  (** heal ledger, oldest first *)
+  open_faults : open_fault list;
+  counters : (string * int) list;
+      (** Dynamic Handler event counters at checkpoint time *)
+  totals : (string * float) list;  (** soak aggregate counters *)
+  violations : string list;  (** invariant violations so far *)
+  windows : string list;  (** completed window rows, serialized *)
+  rates : (int * float) list;  (** class rates at [epoch - 1] *)
+  tables_digest : string;  (** digest of the canonical TCAM dump *)
+  assignment : string;  (** canonical assignment dump *)
+}
+
+val to_string : t -> string
+(** Render, ending in a [digest] line protecting everything above it. *)
+
+val of_string : string -> (t, string) result
+(** Parse and verify the digest; errors name what was wrong. *)
+
+val save : path:string -> t -> unit
+(** Atomic write: a temporary file in the same directory, then rename. *)
+
+val load : path:string -> (t, string) result

@@ -32,5 +32,7 @@ let () =
       ("policy-file", Test_policy_file.suite);
       ("chaos", Test_chaos.suite);
       ("goldens", Test_goldens.suite);
+      ("soak", Test_soak.suite);
+      ("bench-args", Test_bench_args.suite);
       ("fuzz", Test_fuzz.suite);
     ]

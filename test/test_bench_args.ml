@@ -1,0 +1,96 @@
+(* The bench harness's argument parser: unknown names — positional or in
+   APPLE_BENCH_ONLY — must error loudly (a typo that silently runs
+   nothing, or everything, is how benchmark regressions slip by). *)
+
+module Args = Apple_bench_args.Args
+
+let sections = [ "paper"; "jobs"; "micro"; "soak" ]
+let experiments = [ "table1"; "fig6" ]
+let parse = Args.parse ~section_names:sections ~experiment_names:experiments
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  go 0
+
+let ok = function
+  | Ok t -> t
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m
+
+let err = function
+  | Ok _ -> Alcotest.fail "parse accepted invalid input"
+  | Error m -> m
+
+let test_defaults () =
+  let t = ok (parse ~argv:[] ~only:None) in
+  Alcotest.(check bool) "no json" true (t.Args.json = None);
+  Alcotest.(check bool) "no filter" true (t.Args.filter = None);
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Args.wants t n))
+    (sections @ experiments);
+  (* An empty APPLE_BENCH_ONLY means "no filter", not "run nothing". *)
+  let t' = ok (parse ~argv:[] ~only:(Some "")) in
+  Alcotest.(check bool) "empty only = no filter" true (t'.Args.filter = None)
+
+let test_positional_selection () =
+  let t = ok (parse ~argv:[ "jobs"; "table1" ] ~only:None) in
+  Alcotest.(check bool) "wants jobs" true (Args.wants t "jobs");
+  Alcotest.(check bool) "wants table1" true (Args.wants t "table1");
+  Alcotest.(check bool) "not micro" false (Args.wants t "micro")
+
+let test_positional_wins_over_env () =
+  let t = ok (parse ~argv:[ "micro" ] ~only:(Some "paper")) in
+  Alcotest.(check bool) "positional wins" true (Args.wants t "micro");
+  Alcotest.(check bool) "env ignored" false (Args.wants t "paper");
+  (* ... and then the env value is not even validated: positional names
+     are the selection. *)
+  let t' = ok (parse ~argv:[ "micro" ] ~only:(Some "bogus")) in
+  Alcotest.(check bool) "env unvalidated when unused" true (Args.wants t' "micro")
+
+let test_unknown_positional () =
+  let m = err (parse ~argv:[ "tabel1" ] ~only:None) in
+  Alcotest.(check bool) "names the offender" true (contains ~needle:"tabel1" m);
+  Alcotest.(check bool)
+    "lists the vocabulary" true
+    (contains ~needle:"valid sections" m && contains ~needle:"paper" m)
+
+let test_unknown_env_section () =
+  (* The regression this parser exists for: a typo in APPLE_BENCH_ONLY
+     used to be silently ignored, running nothing at all. *)
+  let m = err (parse ~argv:[] ~only:(Some "paper,mirco")) in
+  Alcotest.(check bool) "names the offender" true (contains ~needle:"mirco" m);
+  Alcotest.(check bool)
+    "names the env var" true
+    (contains ~needle:"APPLE_BENCH_ONLY" m);
+  (* Experiments are not sections: the env var selects sections only. *)
+  let m' = err (parse ~argv:[] ~only:(Some "table1")) in
+  Alcotest.(check bool) "experiment rejected" true (contains ~needle:"table1" m')
+
+let test_env_normalization () =
+  let t = ok (parse ~argv:[] ~only:(Some " Paper , JOBS ")) in
+  Alcotest.(check bool) "case-folded" true (Args.wants t "paper");
+  Alcotest.(check bool) "trimmed" true (Args.wants t "jobs");
+  Alcotest.(check bool) "unlisted off" false (Args.wants t "micro")
+
+let test_json_flag () =
+  let t = ok (parse ~argv:[ "--json"; "out.json"; "paper" ] ~only:None) in
+  Alcotest.(check bool) "path recorded" true
+    (match t.Args.json with Some p -> String.equal p "out.json" | None -> false);
+  Alcotest.(check bool) "selection kept" true (Args.wants t "paper");
+  let m = err (parse ~argv:[ "--json" ] ~only:None) in
+  Alcotest.(check bool) "missing operand" true (contains ~needle:"--json" m);
+  let m' = err (parse ~argv:[ "--json"; "a"; "--json"; "b" ] ~only:None) in
+  Alcotest.(check bool) "doubled flag" true (contains ~needle:"twice" m')
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "positional selection" `Quick test_positional_selection;
+    Alcotest.test_case "positional wins over env" `Quick
+      test_positional_wins_over_env;
+    Alcotest.test_case "unknown positional errors" `Quick test_unknown_positional;
+    Alcotest.test_case "unknown APPLE_BENCH_ONLY errors" `Quick
+      test_unknown_env_section;
+    Alcotest.test_case "env normalization" `Quick test_env_normalization;
+    Alcotest.test_case "--json" `Quick test_json_flag;
+  ]

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Guard: every committed BENCH_*.json snapshot must carry a "schema"
+# identifier that EXPERIMENTS.md documents.  A snapshot whose format
+# drifted without a matching doc (and schema bump) fails CI here.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+found=0
+for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    found=1
+    schema=$(sed -n 's/.*"schema": *"\([^"]*\)".*/\1/p' "$f" | head -n 1)
+    if [ -z "$schema" ]; then
+        echo "check_bench_schema: $f carries no \"schema\" field" >&2
+        fail=1
+        continue
+    fi
+    if ! grep -q "\"$schema\"" EXPERIMENTS.md; then
+        echo "check_bench_schema: schema \"$schema\" ($f) is not documented in EXPERIMENTS.md — document the format there (and bump the schema on incompatible changes)" >&2
+        fail=1
+    fi
+done
+
+if [ "$found" = 0 ]; then
+    echo "check_bench_schema: no BENCH_*.json snapshots at the repo root" >&2
+    fail=1
+fi
+
+[ "$fail" = 0 ] && echo "check_bench_schema: OK"
+exit $fail
