@@ -44,10 +44,13 @@ lint:
 # One-stop gate: lint, compile everything, run the full test suite, then
 # a scaled-down smoke of the jobs study so the parallel path is exercised
 # with jobs>1 even on single-core CI boxes, plus the bench-snapshot
-# schema guard.
+# schema guard and the deterministic soak-totals regression check
+# (re-runs the acceptance soak and diffs BENCH_soak.json's totals and
+# trajectory; only the machine-dependent perf line is exempt).
 check: lint build test
 	APPLE_BENCH_SCALE=0.02 APPLE_JOBS=2 APPLE_BENCH_ONLY=jobs dune exec bench/main.exe
 	sh tools/check_bench_schema.sh
+	sh tools/check_soak_totals.sh
 
 clean:
 	dune clean

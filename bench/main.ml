@@ -35,7 +35,8 @@ let seed =
 
 (* --- command line --------------------------------------------------- *)
 
-let section_names = [ "paper"; "ablations"; "jobs"; "micro"; "failover"; "soak" ]
+let section_names =
+  [ "paper"; "ablations"; "jobs"; "micro"; "failover"; "soak"; "slice" ]
 
 let experiment_names =
   [ "table1"; "table3"; "table4"; "table5"; "fig6"; "fig7"; "fig8"; "fig9";
@@ -381,6 +382,61 @@ let run_soak () =
           ("epochs_per_sec", o.Soak.epochs_per_sec);
         ]
 
+(* Multi-tenant slicing: replay a seeded arrival/departure stream at
+   several substrate scales and record how many slices each admits
+   (deterministic), plus the mean wall-clock admission decision latency
+   (machine-dependent, kept as a separate metric like lp_seconds). *)
+let run_slice () =
+  print_endline "---- slice admission (multi-tenant lifecycle) ----\n";
+  let module Sl = Apple_slice in
+  let events = max 8 (int_of_float (24.0 *. scale)) in
+  let tr = Sl.Trace.synth ~seed ~events in
+  let arrivals =
+    List.length
+      (List.filter
+         (fun (e : Sl.Trace.entry) ->
+           match e.Sl.Trace.event with
+           | Sl.Trace.Arrive _ -> true
+           | Sl.Trace.Depart _ -> false)
+         tr.Sl.Trace.entries)
+  in
+  Printf.printf "%d event(s) (%d arrivals), internet2, gate on\n\n%!"
+    (List.length tr.Sl.Trace.entries)
+    arrivals;
+  Printf.printf "%-12s %-9s %-9s %-9s %-10s %s\n%!" "cores/host" "admitted"
+    "rejected" "residents" "verified" "ms/decision";
+  let metrics = ref [] in
+  List.iter
+    (fun cores ->
+      let t0 = Unix.gettimeofday () in
+      let _mgr, o = Sl.Trace.run ~host_cores:cores (B.internet2 ()) tr in
+      let dt = Unix.gettimeofday () -. t0 in
+      let decisions = o.Sl.Trace.events - o.Sl.Trace.ignored in
+      let ms_per =
+        if decisions = 0 then 0.0
+        else dt *. 1000.0 /. float_of_int decisions
+      in
+      let rejected =
+        o.Sl.Trace.rejected_capacity + o.Sl.Trace.rejected_tag_space
+        + o.Sl.Trace.rejected_verifier
+      in
+      Printf.printf "%-12d %-9d %-9d %-9d %-10d %.1f\n%!" cores
+        o.Sl.Trace.admitted rejected o.Sl.Trace.residents
+        o.Sl.Trace.verifier_passes ms_per;
+      metrics :=
+        (Printf.sprintf "cores%d.decision_ms" cores, ms_per)
+        :: (Printf.sprintf "cores%d.verifier_passes" cores,
+            float_of_int o.Sl.Trace.verifier_passes)
+        :: (Printf.sprintf "cores%d.residents" cores,
+            float_of_int o.Sl.Trace.residents)
+        :: (Printf.sprintf "cores%d.rejected" cores, float_of_int rejected)
+        :: (Printf.sprintf "cores%d.admitted" cores,
+            float_of_int o.Sl.Trace.admitted)
+        :: !metrics)
+    [ 16; 32; 64 ];
+  record "slice" (("events", float_of_int (List.length tr.Sl.Trace.entries))
+                  :: List.rev !metrics)
+
 let run_micro () =
   print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
   let tests =
@@ -439,6 +495,7 @@ let () =
   if wants "jobs" then run_jobs opts;
   if wants "failover" then run_failover opts;
   if wants "soak" then run_soak ();
+  if wants "slice" then run_slice ();
   if wants "micro" then run_micro ();
   Option.iter write_snapshot json_path;
   print_endline "\nbench: done"

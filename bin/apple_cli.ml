@@ -17,6 +17,7 @@ module PS = Apple_packetsim.Packet_sim
 module I = Apple_vnf.Instance
 module Ch = Apple_chaos
 module Sk = Apple_soak.Soak
+module Sl = Apple_slice
 
 open Cmdliner
 
@@ -1068,6 +1069,191 @@ let soak_cmd =
        $ resume_arg $ halt_arg $ stream_arg $ summary_out_arg
        $ bench_json_arg $ soak_flight_arg $ metrics_arg $ metrics_out_arg))
 
+(* --- slice command -------------------------------------------------- *)
+
+let slice_action mode topo seed trace_file synth_events tenant name rate demand
+    classes weight isolated nat slice_seed host_cores no_gate engine jobs
+    metrics out =
+  with_metrics metrics out @@ fun () ->
+  let gate = not no_gate in
+  let load_trace () =
+    match (trace_file, synth_events) with
+    | Some path, _ -> Sl.Trace.load path
+    | None, Some n -> Ok (Sl.Trace.synth ~seed ~events:n)
+    | None, None -> Ok { Sl.Trace.cores = None; entries = [] }
+  in
+  match load_trace () with
+  | Error e -> `Error (false, "slice trace: " ^ e)
+  | Ok tr -> (
+      let mgr, outcome =
+        Sl.Trace.run ?engine ?jobs ~gate ?host_cores topo tr
+      in
+      match mode with
+      | `Run ->
+          if trace_file = None && synth_events = None then
+            `Error
+              (false, "run-trace needs --trace FILE or --synth N (event stream)")
+          else begin
+            print_string (Sl.Trace.render outcome);
+            `Ok ()
+          end
+      | `Admit -> (
+          if outcome.Sl.Trace.events > 0 then
+            Printf.printf
+              "(replayed %d event(s): admitted=%d rejected=%d departed=%d)\n"
+              outcome.Sl.Trace.events outcome.Sl.Trace.admitted
+              (outcome.Sl.Trace.rejected_capacity
+              + outcome.Sl.Trace.rejected_tag_space
+              + outcome.Sl.Trace.rejected_verifier)
+              outcome.Sl.Trace.departed;
+          let spec =
+            Sl.Slice.synth_spec topo ~seed:slice_seed ~tenant ~name ~isolated
+              ~weight ?demand ~nat ~rate ~classes ()
+          in
+          match Sl.Slice.admit mgr spec with
+          | Ok adm ->
+              Printf.printf
+                "ADMIT %s/%s: slice=%d residents=%d inst=%d cores=%d tcam=%d \
+                 tags=%d (%d left) verified-subclasses=%d\n"
+                tenant name adm.Sl.Slice.slice_id adm.Sl.Slice.residents
+                adm.Sl.Slice.instances adm.Sl.Slice.cores
+                adm.Sl.Slice.tcam_rules adm.Sl.Slice.global_tags
+                adm.Sl.Slice.tags_left adm.Sl.Slice.verified_subclasses;
+              List.iter
+                (fun (k, f) -> Printf.printf "  throttled %s to %.2f\n" k f)
+                adm.Sl.Slice.throttled;
+              print_string (Sl.Slice.top mgr);
+              `Ok ()
+          | Error reason ->
+              Printf.printf "REJECT %s/%s: %s\n" tenant name
+                (Format.asprintf "%a" Sl.Slice.pp_reason reason);
+              print_string (Sl.Slice.top mgr);
+              `Ok ()
+          | exception Invalid_argument msg -> `Error (false, msg))
+      | `Depart -> (
+          match Sl.Slice.depart mgr ~tenant ~name with
+          | Ok d ->
+              Printf.printf
+                "DEPART %s/%s: residents=%d freed-cores=%d freed-tcam=%d \
+                 freed-tags=%d\n"
+                tenant name d.Sl.Slice.residents d.Sl.Slice.freed_cores
+                d.Sl.Slice.freed_tcam d.Sl.Slice.freed_tags;
+              print_string (Sl.Slice.top mgr);
+              `Ok ()
+          | Error e -> `Error (false, e)))
+
+let slice_cmd =
+  let mode_arg =
+    let doc =
+      "What to do: $(b,run-trace) replays an event stream ($(b,--trace) or \
+       $(b,--synth)); $(b,admit) replays first (when a stream was given) \
+       then admits one slice from the $(b,--tenant)/$(b,--name)/$(b,--rate) \
+       flags; $(b,depart) removes a resident slice."
+    in
+    Arg.(
+      value
+      & pos 0 (enum [ ("run-trace", `Run); ("admit", `Admit); ("depart", `Depart) ]) `Run
+      & info [] ~docv:"MODE" ~doc)
+  in
+  let topo_arg =
+    let doc = "Topology: internet2, geant, univ1 or as3679." in
+    Arg.(
+      value
+      & opt topology_conv (B.internet2 ())
+      & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Slice arrival/departure trace file (see \
+       examples/slices_internet2.trace)."
+    in
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let synth_arg =
+    let doc =
+      "Instead of $(b,--trace), synthesize a deterministic $(docv)-event \
+       stream from $(b,--seed)."
+    in
+    Arg.(value & opt (some int) None & info [ "synth" ] ~docv:"EVENTS" ~doc)
+  in
+  let tenant_arg =
+    let doc = "Tenant owning the slice (admit/depart modes)." in
+    Arg.(value & opt string "tenant0" & info [ "tenant" ] ~docv:"NAME" ~doc)
+  in
+  let name_arg =
+    let doc = "Slice name, unique per tenant (admit/depart modes)." in
+    Arg.(value & opt string "slice0" & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let rate_arg =
+    let doc = "Guaranteed aggregate rate in Mbps (admit mode)." in
+    Arg.(value & opt float 500.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+  in
+  let demand_arg =
+    let doc = "Offered demand in Mbps (default: the guaranteed rate)." in
+    Arg.(value & opt (some float) None & info [ "demand" ] ~docv:"MBPS" ~doc)
+  in
+  let classes_arg =
+    let doc = "Traffic classes synthesized for the slice." in
+    Arg.(value & opt int 3 & info [ "classes" ] ~docv:"N" ~doc)
+  in
+  let weight_arg =
+    let doc = "Fair-share weight under contention." in
+    Arg.(value & opt float 1.0 & info [ "weight" ] ~docv:"W" ~doc)
+  in
+  let isolated_arg =
+    let doc = "Demand tenant isolation (dedicated VNF instances)." in
+    Arg.(value & flag & info [ "isolated" ] ~doc)
+  in
+  let nat_arg =
+    let doc =
+      "Force a header-rewriting (NAT) chain, pushing the joint tables into \
+       global-tag mode."
+    in
+    Arg.(value & flag & info [ "nat" ] ~doc)
+  in
+  let slice_seed_arg =
+    let doc = "Seed for the admitted slice's synthesized spec (admit mode)." in
+    Arg.(value & opt int 7 & info [ "slice-seed" ] ~docv:"SEED" ~doc)
+  in
+  let host_cores_arg =
+    let doc =
+      "Per-host core budget (default 64, or the trace's $(b,cores) \
+       directive)."
+    in
+    Arg.(value & opt (some int) None & info [ "host-cores" ] ~docv:"N" ~doc)
+  in
+  let no_gate_arg =
+    let doc =
+      "Skip the static-verifier admission gate (tag-space and isolation \
+       checks still run)."
+    in
+    Arg.(value & flag & info [ "no-gate" ] ~doc)
+  in
+  let engine_arg =
+    let doc = "Placement engine: $(b,best), $(b,lp), $(b,per-class) or $(b,greedy)." in
+    Arg.(value & opt (some engine_conv) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the parallel engines; admission decisions and the \
+       rendered report are byte-identical for every value."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "Multi-tenant slice lifecycle: admit/depart slices online against \
+          substrate headroom with the static verifier as the admission gate, \
+          weighted cross-slice fairness and per-tenant accounting")
+    Term.(
+      ret
+        (const slice_action $ mode_arg $ topo_arg $ seed_arg $ trace_arg
+       $ synth_arg $ tenant_arg $ name_arg $ rate_arg $ demand_arg
+       $ classes_arg $ weight_arg $ isolated_arg $ nat_arg $ slice_seed_arg
+       $ host_cores_arg $ no_gate_arg $ engine_arg $ jobs_arg $ metrics_arg
+       $ metrics_out_arg))
+
 (* --- topologies command -------------------------------------------- *)
 
 let topologies_action () =
@@ -1099,6 +1285,7 @@ let main =
       chaos_cmd;
       failover_cmd;
       soak_cmd;
+      slice_cmd;
       topologies_cmd;
     ]
 

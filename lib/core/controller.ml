@@ -28,6 +28,8 @@ type gate =
   Rule_generator.built ->
   (unit, string) result
 
+type shape = Types.scenario -> Subclass.assignment -> Subclass.assignment
+
 exception Rejected of string
 
 type t = {
@@ -38,6 +40,7 @@ type t = {
   failover : Dynamic_handler.config;
   mutable load_source : Dynamic_handler.load_source;
   gate : gate option;
+  shape : shape option;
   mutable report : epoch_report option;
   mutable state : Netstate.t option;
   mutable handler : Dynamic_handler.t option;
@@ -49,7 +52,7 @@ type t = {
 
 let create ?(objective = Optimization_engine.Min_instances) ?(engine = `Best)
     ?jobs ?(failover = Dynamic_handler.default_config)
-    ?(load_source = Dynamic_handler.Oracle) ?gate s =
+    ?(load_source = Dynamic_handler.Oracle) ?gate ?shape s =
   {
     s;
     objective;
@@ -58,6 +61,7 @@ let create ?(objective = Optimization_engine.Min_instances) ?(engine = `Best)
     failover;
     load_source;
     gate;
+    shape;
     report = None;
     state = None;
     handler = None;
@@ -81,6 +85,9 @@ let run_epoch t =
     | `Greedy -> Heuristic_engine.solve ~objective:t.objective ?jobs:t.jobs t.s
   in
   let assignment = Subclass.assign t.s placement in
+  let assignment =
+    match t.shape with None -> assignment | Some f -> f t.s assignment
+  in
   let rules = Rule_generator.build t.s assignment in
   (* Static admission gate: a rejected configuration never reaches the
      data plane (no netstate, no handler — the previous epoch stays

@@ -40,6 +40,12 @@ type gate =
     dependency points the other way, so the verifier is injected rather
     than imported). *)
 
+type shape = Types.scenario -> Subclass.assignment -> Subclass.assignment
+(** Post-placement assignment rewrite applied between {!Subclass.assign}
+    and rule generation — the slicing layer's tenant-isolation pass
+    re-homes isolated slices onto dedicated instance clones here, so the
+    generated tables (and the gate's proofs) see the final pinning. *)
+
 exception Rejected of string
 (** Raised by {!run_epoch} when the gate refuses the configuration; the
     previously installed epoch (if any) stays live. *)
@@ -51,6 +57,7 @@ val create :
   ?failover:Dynamic_handler.config ->
   ?load_source:Dynamic_handler.load_source ->
   ?gate:gate ->
+  ?shape:shape ->
   Types.scenario ->
   t
 (** [jobs] bounds the domains used by the [`Per_class] and [`Greedy]
@@ -58,7 +65,8 @@ val create :
     {!Apple_parallel.Pool.default_jobs}); placements are identical for
     every value.  [load_source] (default [Oracle]) is forwarded to the
     Dynamic Handler built on each epoch.  [gate] (none by default) vets
-    each epoch's rule tables before installation. *)
+    each epoch's rule tables before installation; [shape] (none by
+    default) rewrites the assignment before rules are generated. *)
 
 val run_epoch : t -> epoch_report
 (** Global optimization for the scenario's current rates: solve, pin

@@ -286,3 +286,10 @@ let build ?(split_depth = 6) ?(tag_mode = `Auto) (s : Types.scenario)
 let reduction_ratio built =
   if built.tcam_with_tagging = 0 then 0.0
   else float_of_int built.tcam_without_tagging /. float_of_int built.tcam_with_tagging
+
+let tags_left built =
+  match built.tag_mode with
+  | `Global -> Tag.max_subclasses - built.global_tags_used
+  | `Local ->
+      let max_tag = Hashtbl.fold (fun _ v acc -> max acc v) built.tag_of (-1) in
+      Tag.max_subclasses - (max_tag + 1)

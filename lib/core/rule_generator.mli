@@ -58,6 +58,14 @@ val build :
 val reduction_ratio : built -> float
 (** tcam_without_tagging / tcam_with_tagging — the Fig. 10 metric. *)
 
+val tags_left : built -> int
+(** Remaining sub-class tag values in the 12-bit VLAN field: the
+    unallocated dense ids for [`Global] tables, the headroom above the
+    largest class-local sub id for [`Local] ones.  Negative when the
+    tables already overflow the field — the verifier reports that as a
+    tag collision; the slice admission gate rejects it as tag-space
+    exhaustion before the slice ever commits. *)
+
 val subclass_prefixes :
   Types.flow_class -> Subclass.subclass list -> depth:int ->
   Apple_classifier.Prefix_split.prefix list array

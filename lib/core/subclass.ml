@@ -302,6 +302,16 @@ let pinned t sub =
   Array.init (Array.length sub.hops) (fun j ->
       Hashtbl.find_opt t.instance_of (key sub, j))
 
+let repin t sub ~stage ~rate inst =
+  (match Hashtbl.find_opt t.instance_of (key sub, stage) with
+  | Some old -> Instance.add_offered old (-.rate)
+  | None -> ());
+  Instance.add_offered inst rate;
+  Hashtbl.replace t.instance_of (key sub, stage) inst
+
+let max_instance_id t =
+  List.fold_left (fun acc i -> max acc (Instance.id i)) (-1) t.instances
+
 let instance_load_ok t ~slack =
   List.for_all
     (fun inst ->

@@ -49,6 +49,23 @@ val assign :
     to one, balancing load first-fit-decreasing.  Instance offered loads
     are initialized to the pinned sub-class rates. *)
 
+val repin :
+  assignment ->
+  subclass ->
+  stage:int ->
+  rate:float ->
+  Apple_vnf.Instance.t ->
+  unit
+(** Move the pinned instance of [sub]'s chain [stage] to the given
+    instance, transferring [rate] Mbps of offered load away from the old
+    pinnee (when one exists).  The slicing layer's tenant-isolation pass
+    uses this to re-home an isolated slice's stages onto dedicated
+    clones before rule generation. *)
+
+val max_instance_id : assignment -> int
+(** Largest provisioned instance id ([-1] when none) — clones minted by
+    shaping passes must allocate ids above it. *)
+
 val pinned : assignment -> subclass -> Apple_vnf.Instance.t option array
 (** Per-stage pinned instance of a sub-class ([None] marks a stage the
     assignment failed to pin — a verifier-reportable fault). *)

@@ -1,0 +1,190 @@
+(** Multi-tenant network slicing: dynamic slice lifecycle with verified
+    online admission.
+
+    A {e slice} is a tenant-owned bundle of policy chains and traffic
+    classes with an SLA (guaranteed rate, loss band, isolation).  Slices
+    arrive and depart online against one shared substrate; the manager
+    decides admission against substrate headroom with the static
+    verifier as the admission gate: the candidate slice's generated
+    tables must re-pass the chain-order / interference / isolation
+    proofs {e jointly with every resident slice} before the commit, and
+    a refused admission leaves the resident configuration untouched —
+    byte-identical tables, pinnings and counters ({!fingerprint}).
+
+    Rejections carry a structured {!reason}: substrate capacity
+    (pre-admission headroom, optimizer infeasibility or isolation-clone
+    budget), sub-class tag-space exhaustion (the 12-bit VLAN field), or
+    a verifier violation witness.
+
+    Under contention — aggregate demand above the substrate's core
+    budget — admission does not simply fail: every slice is throttled to
+    a {b weighted max-min fair} share between its SLA floor and its
+    demand (water-filling on estimated cores), so guaranteed rates are
+    always honored and slack is split by slice weight.
+
+    A slice whose SLA demands {e isolation} never shares a VNF instance
+    with another tenant: a shaping pass ({!Apple_core.Controller.shape})
+    re-homes its sub-class stages onto dedicated instance clones before
+    rule generation, and the admission gate re-proves exclusivity on the
+    final pinning. *)
+
+module Types = Apple_core.Types
+module Subclass = Apple_core.Subclass
+module Rule_generator = Apple_core.Rule_generator
+module Controller = Apple_core.Controller
+module Nf = Apple_vnf.Nf
+
+(** {2 Slice specifications} *)
+
+type sla = {
+  rate_mbps : float;  (** guaranteed aggregate floor, Mbps *)
+  demand_mbps : float;  (** offered demand, [>= rate_mbps] *)
+  loss_band : float;  (** tolerated loss fraction, (0, 1] *)
+  isolated : bool;  (** no VNF instance shared with other tenants *)
+  weight : float;  (** fair-share weight under contention, > 0 *)
+}
+
+type class_spec = {
+  src : int;  (** ingress switch *)
+  dst : int;  (** egress switch *)
+  chain : Nf.kind array;  (** policy chain, non-empty *)
+  share : float;  (** fraction of the slice's rate, > 0 *)
+}
+
+type spec = {
+  tenant : string;
+  name : string;  (** unique per tenant among residents *)
+  sla : sla;
+  classes : class_spec list;
+}
+
+val validate_spec :
+  Apple_topology.Builders.named -> spec -> (unit, string) result
+(** Structural checks: non-empty classes with routable src/dst pairs and
+    non-empty chains, positive rates/weights/shares (shares summing to 1
+    within 1e-6), demand at least the floor, loss band in (0, 1]. *)
+
+val synth_spec :
+  Apple_topology.Builders.named ->
+  seed:int ->
+  tenant:string ->
+  name:string ->
+  ?isolated:bool ->
+  ?weight:float ->
+  ?demand:float ->
+  ?nat:bool ->
+  rate:float ->
+  classes:int ->
+  unit ->
+  spec
+(** Deterministic slice synthesis from a seed: routable src/dst pairs
+    drawn over the topology, chains from {!Apple_core.Policy.default_mix}
+    (with a NAT forced into the first chain when [nat], pushing the
+    joint tables into global-tag mode), equal class shares.  [demand]
+    defaults to [rate] (inelastic); [weight] to 1. *)
+
+(** {2 Admission decisions} *)
+
+type reason =
+  | Capacity of string
+      (** headroom precheck, optimizer infeasibility, or the
+          isolation-clone pass exceeding a host's core budget *)
+  | Tag_space of string
+      (** the joint tables exhaust the 12-bit sub-class tag field *)
+  | Verifier of string
+      (** the static verifier refused the joint configuration; the
+          message carries the violation summary and first witness *)
+
+val reason_name : reason -> string
+(** ["capacity"] / ["tag-space"] / ["verifier"]. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+type admitted = {
+  slice_id : int;
+  residents : int;  (** resident slices after the commit *)
+  instances : int;
+  cores : int;
+  tcam_rules : int;
+  global_tags : int;  (** dense global tag ids consumed (0 = local mode) *)
+  tags_left : int;  (** remaining 12-bit tag headroom *)
+  verified_subclasses : int;  (** sub-classes certified by the gate *)
+  throttled : (string * float) list;
+      (** ["tenant/name"], effective/demand — slices throttled below
+          demand by weighted fairness in this commit *)
+}
+
+type departed = {
+  residents : int;
+  freed_instances : int;
+  freed_cores : int;
+  freed_tcam : int;
+  freed_tags : int;  (** global tag ids released *)
+}
+
+type stats = {
+  admitted_total : int;
+  rejected_capacity : int;
+  rejected_tag_space : int;
+  rejected_verifier : int;
+  departed_total : int;
+  verifier_passes : int;  (** gate certifications over committed states *)
+}
+
+(** {2 The slice manager} *)
+
+type t
+
+val create :
+  ?engine:Controller.engine ->
+  ?jobs:int ->
+  ?gate:bool ->
+  ?host_cores:int ->
+  ?seed:int ->
+  Apple_topology.Builders.named ->
+  t
+(** A manager over an empty substrate.  [gate] (default [true]) runs the
+    full static verifier on every commit; tag-space and tenant-isolation
+    checks run regardless.  [host_cores] (default
+    {!Types.default_host_cores}) is the per-switch core budget. *)
+
+val admit : t -> spec -> (admitted, reason) result
+(** Online admission: re-throttle all resident slices plus the candidate
+    to weighted-fair rates, jointly re-solve placement, re-pin, isolate,
+    regenerate tables and re-pass the admission gate.  [Error] commits
+    nothing — the resident configuration (tables, pinnings, counters) is
+    byte-identical before and after, cf. {!fingerprint}.  Raises
+    [Invalid_argument] on a spec that fails {!validate_spec} or names an
+    already-resident tenant/name pair. *)
+
+val depart : t -> tenant:string -> name:string -> (departed, string) result
+(** Remove a resident slice and recommit the remainder, freeing its VM
+    cores, TCAM rules and tag space.  [Error] when no such slice is
+    resident. *)
+
+val residents : t -> (int * spec) list
+(** Resident slices in admission order, with their slice ids. *)
+
+val stats : t -> stats
+
+val fingerprint : t -> string
+(** Digest of the installed substrate state: resident tenants and
+    effective rates, every sub-class pinning with offered instance
+    loads, and the full physical + vSwitch tables.  Slice ids are
+    excluded on purpose: admit/depart/re-admit of an identical spec
+    restores the identical substrate (and proves freed tag space is
+    reused).  A rejected admission must not change this digest. *)
+
+val top : t -> string
+(** Per-tenant table: slices, classes, guaranteed vs effective Mbps,
+    substrate share, sub-classes, instances touched and dedicated. *)
+
+val set_chaos_hook :
+  t ->
+  (Types.scenario -> Subclass.assignment -> Rule_generator.built -> unit)
+  option ->
+  unit
+(** Test hook: corrupt the candidate configuration after rule generation
+    but before the gate inspects it, forcing verifier rejections on
+    demand (mirrors the PR-3 mutation-test idiom).  Never used in
+    production paths. *)

@@ -1,0 +1,368 @@
+module Rng = Apple_prelude.Rng
+module Builders = Apple_topology.Builders
+
+type arrive = {
+  tenant : string;
+  name : string;
+  rate : float;
+  demand : float option;
+  classes : int;
+  weight : float;
+  isolated : bool;
+  nat : bool;
+  seed : int;
+}
+
+type event = Arrive of arrive | Depart of { tenant : string; name : string }
+type entry = { at : int; event : event }
+type t = { cores : int option; entries : entry list }
+
+(* ---- text format ---------------------------------------------------- *)
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> String.length tok > 0)
+
+let parse text =
+  let err line fmt = Format.kasprintf (fun m -> Error (Printf.sprintf "line %d: %s" line m)) fmt in
+  let cores = ref None in
+  let entries = ref [] in
+  let last_at = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok { cores = !cores; entries = List.rev !entries }
+    | raw :: rest -> (
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        match split_ws line with
+        | [] -> go (lineno + 1) rest
+        | [ "cores"; n ] -> (
+            match int_of_string_opt n with
+            | Some c when c > 0 ->
+                cores := Some c;
+                go (lineno + 1) rest
+            | _ -> err lineno "cores wants a positive integer, got %S" n)
+        | "at" :: at :: verb :: args -> (
+            match int_of_string_opt at with
+            | None -> err lineno "bad event time %S" at
+            | Some at when at < 0 -> err lineno "negative event time %d" at
+            | Some at when at < !last_at ->
+                err lineno "time goes backwards (%d after %d)" at !last_at
+            | Some at -> (
+                last_at := at;
+                match (verb, args) with
+                | "depart", [ tenant; name ] ->
+                    entries := { at; event = Depart { tenant; name } } :: !entries;
+                    go (lineno + 1) rest
+                | "depart", _ -> err lineno "depart wants: depart TENANT NAME"
+                | "arrive", tenant :: name :: opts -> (
+                    let rate = ref None
+                    and demand = ref None
+                    and classes = ref None
+                    and weight = ref 1.0
+                    and isolated = ref false
+                    and nat = ref false
+                    and seed = ref None
+                    and bad = ref None in
+                    List.iter
+                      (fun opt ->
+                        if Option.is_some !bad then ()
+                        else
+                          match String.index_opt opt '=' with
+                          | None -> (
+                              match opt with
+                              | "isolated" -> isolated := true
+                              | "nat" -> nat := true
+                              | o -> bad := Some (Printf.sprintf "unknown flag %S" o))
+                          | Some i -> (
+                              let k = String.sub opt 0 i in
+                              let v =
+                                String.sub opt (i + 1)
+                                  (String.length opt - i - 1)
+                              in
+                              match (k, float_of_string_opt v) with
+                              | "rate", Some f -> rate := Some f
+                              | "demand", Some f -> demand := Some f
+                              | "weight", Some f -> weight := f
+                              | "classes", Some _ ->
+                                  classes := int_of_string_opt v
+                              | "seed", Some _ -> seed := int_of_string_opt v
+                              | k, _ ->
+                                  bad :=
+                                    Some
+                                      (Printf.sprintf "bad option %s=%s" k v)))
+                      opts;
+                    match (!bad, !rate, !classes) with
+                    | Some m, _, _ -> err lineno "%s" m
+                    | None, None, _ -> err lineno "arrive needs rate=MBPS"
+                    | None, _, None -> err lineno "arrive needs classes=N"
+                    | None, Some rate, Some classes ->
+                        let seed =
+                          match !seed with
+                          | Some s -> s
+                          | None -> 1 + List.length !entries
+                        in
+                        entries :=
+                          {
+                            at;
+                            event =
+                              Arrive
+                                {
+                                  tenant;
+                                  name;
+                                  rate;
+                                  demand = !demand;
+                                  classes;
+                                  weight = !weight;
+                                  isolated = !isolated;
+                                  nat = !nat;
+                                  seed;
+                                };
+                          }
+                          :: !entries;
+                        go (lineno + 1) rest)
+                | "arrive", _ ->
+                    err lineno "arrive wants: arrive TENANT NAME rate=.. classes=.."
+                | v, _ -> err lineno "unknown event %S" v))
+        | tok :: _ -> err lineno "unknown directive %S" tok)
+  in
+  go 1 lines
+
+let to_string t =
+  let b = Buffer.create 256 in
+  (match t.cores with
+  | Some c -> Printf.bprintf b "cores %d\n" c
+  | None -> ());
+  List.iter
+    (fun e ->
+      match e.event with
+      | Depart { tenant; name } ->
+          Printf.bprintf b "at %d depart %s %s\n" e.at tenant name
+      | Arrive a ->
+          Printf.bprintf b "at %d arrive %s %s rate=%g classes=%d" e.at a.tenant
+            a.name a.rate a.classes;
+          (match a.demand with
+          | Some d -> Printf.bprintf b " demand=%g" d
+          | None -> ());
+          if a.weight <> 1.0 then Printf.bprintf b " weight=%g" a.weight;
+          if a.isolated then Buffer.add_string b " isolated";
+          if a.nat then Buffer.add_string b " nat";
+          Printf.bprintf b " seed=%d\n" a.seed)
+    t.entries;
+  Buffer.contents b
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+(* ---- synthetic streams ---------------------------------------------- *)
+
+let synth ~seed ~events =
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  let resident = ref [] in
+  let now = ref 0 in
+  let counter = ref 0 in
+  for _ = 1 to events do
+    now := !now + Rng.int rng 3;
+    let n_res = List.length !resident in
+    if n_res > 0 && Rng.uniform rng < 0.3 then begin
+      let idx = Rng.int rng n_res in
+      let tenant, name = List.nth !resident idx in
+      resident := List.filteri (fun i _ -> i <> idx) !resident;
+      entries := { at = !now; event = Depart { tenant; name } } :: !entries
+    end
+    else begin
+      let id = !counter in
+      incr counter;
+      let tenant = Printf.sprintf "t%d" (Rng.int rng 6) in
+      let name = Printf.sprintf "s%d" id in
+      let rate = 100.0 +. (float_of_int (Rng.int rng 12) *. 100.0) in
+      let demand =
+        if Rng.bool rng then Some (rate *. (1.2 +. Rng.uniform rng)) else None
+      in
+      resident := !resident @ [ (tenant, name) ];
+      entries :=
+        {
+          at = !now;
+          event =
+            Arrive
+              {
+                tenant;
+                name;
+                rate;
+                demand;
+                classes = 1 + Rng.int rng 3;
+                weight = float_of_int (1 + Rng.int rng 4);
+                isolated = Rng.uniform rng < 0.2;
+                nat = Rng.uniform rng < 0.25;
+                seed = seed + id + 1;
+              };
+        }
+        :: !entries
+    end
+  done;
+  { cores = None; entries = List.rev !entries }
+
+(* ---- replay ---------------------------------------------------------- *)
+
+type outcome = {
+  header : string;
+  events : int;
+  admitted : int;
+  rejected_capacity : int;
+  rejected_tag_space : int;
+  rejected_verifier : int;
+  departed : int;
+  ignored : int;
+  verifier_passes : int;
+  residents : int;
+  lines : string list;
+  final_top : string;
+  final_fingerprint : string;
+}
+
+let run ?engine ?jobs ?(gate = true) ?host_cores (topo : Builders.named) tr =
+  let cores =
+    match (host_cores, tr.cores) with
+    | Some c, _ -> c
+    | None, Some c -> c
+    | None, None -> Slice.Types.default_host_cores
+  in
+  let mgr = Slice.create ?engine ?jobs ~gate ~host_cores:cores topo in
+  let lines = ref [] in
+  let admitted = ref 0
+  and rej_cap = ref 0
+  and rej_tag = ref 0
+  and rej_ver = ref 0
+  and departed = ref 0
+  and ignored = ref 0 in
+  let line fmt = Format.kasprintf (fun m -> lines := m :: !lines) fmt in
+  List.iter
+    (fun e ->
+      match e.event with
+      | Arrive a -> (
+          let key = a.tenant ^ "/" ^ a.name in
+          let dup =
+            List.exists
+              (fun (_, (s : Slice.spec)) ->
+                String.equal (s.Slice.tenant ^ "/" ^ s.Slice.name) key)
+              (Slice.residents mgr)
+          in
+          if dup then begin
+            incr ignored;
+            line "[%4d] arrive %s -> IGNORE already resident" e.at key
+          end
+          else
+            let spec =
+              Slice.synth_spec topo ~seed:a.seed ~tenant:a.tenant ~name:a.name
+                ~isolated:a.isolated ~weight:a.weight ?demand:a.demand
+                ~nat:a.nat ~rate:a.rate ~classes:a.classes ()
+            in
+            let flags =
+              (if a.isolated then " isolated" else "")
+              ^ if a.nat then " nat" else ""
+            in
+            match Slice.admit mgr spec with
+            | Ok adm ->
+                incr admitted;
+                let throttle =
+                  match adm.Slice.throttled with
+                  | [] -> ""
+                  | l ->
+                      " throttle["
+                      ^ String.concat ","
+                          (List.map
+                             (fun (k, f) -> Printf.sprintf "%s=%.2f" k f)
+                             l)
+                      ^ "]"
+                in
+                line
+                  "[%4d] arrive %s rate=%.0f classes=%d%s -> ADMIT slice=%d \
+                   residents=%d inst=%d cores=%d tcam=%d tags=%d subs=%d%s"
+                  e.at key a.rate a.classes flags adm.Slice.slice_id
+                  adm.Slice.residents adm.Slice.instances adm.Slice.cores
+                  adm.Slice.tcam_rules adm.Slice.global_tags
+                  adm.Slice.verified_subclasses throttle
+            | Error reason ->
+                (match reason with
+                | Slice.Capacity _ -> incr rej_cap
+                | Slice.Tag_space _ -> incr rej_tag
+                | Slice.Verifier _ -> incr rej_ver);
+                line "[%4d] arrive %s rate=%.0f classes=%d%s -> REJECT %s" e.at
+                  key a.rate a.classes flags
+                  (Format.asprintf "%a" Slice.pp_reason reason))
+      | Depart { tenant; name } -> (
+          match Slice.depart mgr ~tenant ~name with
+          | Ok d ->
+              incr departed;
+              line
+                "[%4d] depart %s/%s -> DEPART residents=%d freed-cores=%d \
+                 freed-tcam=%d freed-tags=%d"
+                e.at tenant name d.Slice.residents d.Slice.freed_cores
+                d.Slice.freed_tcam d.Slice.freed_tags
+          | Error msg ->
+              incr ignored;
+              let resident =
+                List.exists
+                  (fun (_, (s : Slice.spec)) ->
+                    String.equal s.Slice.tenant tenant
+                    && String.equal s.Slice.name name)
+                  (Slice.residents mgr)
+              in
+              if resident then
+                line "[%4d] depart %s/%s -> ERROR %s" e.at tenant name msg
+              else
+                line "[%4d] depart %s/%s -> IGNORE not resident" e.at tenant
+                  name))
+    tr.entries;
+  let stats = Slice.stats mgr in
+  let header =
+    Printf.sprintf
+      "APPLE slice trace: %d event(s) on %s (cores=%d/host, gate=%s)"
+      (List.length tr.entries)
+      topo.Builders.label cores
+      (if gate then "on" else "off")
+  in
+  let outcome =
+    {
+      header;
+      events = List.length tr.entries;
+      admitted = !admitted;
+      rejected_capacity = !rej_cap;
+      rejected_tag_space = !rej_tag;
+      rejected_verifier = !rej_ver;
+      departed = !departed;
+      ignored = !ignored;
+      verifier_passes = stats.Slice.verifier_passes;
+      residents = List.length (Slice.residents mgr);
+      lines = List.rev !lines;
+      final_top = Slice.top mgr;
+      final_fingerprint = Slice.fingerprint mgr;
+    }
+  in
+  (mgr, outcome)
+
+let render o =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b o.header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    o.lines;
+  Printf.bprintf b
+    "--\nadmitted=%d rejected=%d (capacity=%d tag-space=%d verifier=%d) \
+     departed=%d ignored=%d\nverifier-passes=%d residents=%d\nfingerprint=%s\n"
+    o.admitted
+    (o.rejected_capacity + o.rejected_tag_space + o.rejected_verifier)
+    o.rejected_capacity o.rejected_tag_space o.rejected_verifier o.departed
+    o.ignored o.verifier_passes o.residents o.final_fingerprint;
+  Buffer.add_string b o.final_top;
+  Buffer.contents b

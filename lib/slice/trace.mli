@@ -1,0 +1,87 @@
+(** Slice arrival/departure event streams.
+
+    A trace is a deterministic sequence of tenant events played against
+    one {!Slice.t} manager:
+
+    {v
+    # comments and blank lines are skipped
+    cores 24                      # optional per-host core budget
+    at 0 arrive alpha web rate=600 classes=3 seed=11
+    at 0 arrive beta cdn rate=900 demand=1500 classes=4 weight=2 seed=22
+    at 1 arrive gamma pay rate=400 classes=2 isolated nat seed=33
+    at 5 depart beta cdn
+    v}
+
+    Times are abstract event epochs (integral, non-decreasing); [arrive]
+    synthesizes the slice spec from its [seed] via {!Slice.synth_spec},
+    so one trace line pins the whole slice deterministically.  [demand]
+    defaults to [rate] (inelastic), [weight] to 1.  The [isolated] flag
+    demands tenant isolation, [nat] forces a header-rewriting chain
+    (global-tag mode). *)
+
+type arrive = {
+  tenant : string;
+  name : string;
+  rate : float;
+  demand : float option;
+  classes : int;
+  weight : float;
+  isolated : bool;
+  nat : bool;
+  seed : int;
+}
+
+type event = Arrive of arrive | Depart of { tenant : string; name : string }
+type entry = { at : int; event : event }
+
+type t = { cores : int option; entries : entry list }
+
+val parse : string -> (t, string) result
+(** Parse the text format; errors carry 1-based line numbers.  Entry
+    times must be non-negative and non-decreasing. *)
+
+val to_string : t -> string
+(** Render back to the text format ([parse] round-trips). *)
+
+val load : string -> (t, string) result
+(** {!parse} a file. *)
+
+val synth : seed:int -> events:int -> t
+(** A deterministic synthetic stream: arrivals with seeded specs
+    (varying rates, elasticity, weights, isolation and NAT) mixed with
+    departures of currently-resident slices. *)
+
+(** {2 Replay} *)
+
+type outcome = {
+  header : string;  (** one-line run banner *)
+  events : int;
+  admitted : int;
+  rejected_capacity : int;
+  rejected_tag_space : int;
+  rejected_verifier : int;
+  departed : int;
+  ignored : int;  (** duplicate arrivals / departures of non-residents *)
+  verifier_passes : int;  (** gate certifications over committed states *)
+  residents : int;  (** slices resident after the last event *)
+  lines : string list;  (** one deterministic decision line per event *)
+  final_top : string;
+  final_fingerprint : string;
+}
+
+val run :
+  ?engine:Slice.Controller.engine ->
+  ?jobs:int ->
+  ?gate:bool ->
+  ?host_cores:int ->
+  Apple_topology.Builders.named ->
+  t ->
+  Slice.t * outcome
+(** Play every event through a fresh manager and return it with the
+    deterministic outcome.  [host_cores] overrides the trace's [cores]
+    directive when given.  Everything in the outcome is byte-identical
+    across [jobs] values and repeat runs. *)
+
+val render : outcome -> string
+(** Full report: banner, per-event lines, decision tally, substrate
+    fingerprint and the final per-tenant top table. *)

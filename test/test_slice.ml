@@ -1,0 +1,313 @@
+(* Multi-tenant slicing: spec validation, trace language, lifecycle
+   edges (depart/re-admit reusing freed tag space), rejection purity
+   (a refused admission leaves the substrate byte-identical — QCheck),
+   forced verifier rejections via the chaos hook, and determinism
+   across jobs values. *)
+
+module Sl = Apple_slice.Slice
+module Tr = Apple_slice.Trace
+module B = Apple_topology.Builders
+module Subclass = Apple_core.Subclass
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let topo () = B.internet2 ()
+
+let synth ?(seed = 7) ?(tenant = "acme") ?(name = "web") ?isolated ?demand ?nat
+    ?(rate = 400.0) ?(classes = 2) () =
+  Sl.synth_spec (topo ()) ~seed ~tenant ~name ?isolated ?demand ?nat ~rate
+    ~classes ()
+
+(* ---- spec validation ----------------------------------------------- *)
+
+let test_validate () =
+  let t = topo () in
+  (match Sl.validate_spec t (synth ()) with
+  | Ok () -> ()
+  | Error m -> fail ("synthetic spec invalid: " ^ m));
+  let bad_rate = synth () in
+  let bad_rate = { bad_rate with Sl.sla = { bad_rate.Sl.sla with Sl.rate_mbps = -1.0 } } in
+  (match Sl.validate_spec t bad_rate with
+  | Error _ -> ()
+  | Ok () -> fail "negative rate accepted");
+  let s = synth () in
+  let low_demand = { s with Sl.sla = { s.Sl.sla with Sl.demand_mbps = 1.0 } } in
+  (match Sl.validate_spec t low_demand with
+  | Error m ->
+      check Alcotest.bool "mentions demand" true
+        (String.length m > 0)
+  | Ok () -> fail "demand below floor accepted");
+  let bad_tenant = { s with Sl.tenant = "no spaces!" } in
+  (match Sl.validate_spec t bad_tenant with
+  | Error _ -> ()
+  | Ok () -> fail "bad tenant ident accepted");
+  let bad_shares =
+    {
+      s with
+      Sl.classes =
+        List.map (fun c -> { c with Sl.share = 0.9 }) s.Sl.classes;
+    }
+  in
+  match Sl.validate_spec t bad_shares with
+  | Error _ -> ()
+  | Ok () -> fail "shares not summing to 1 accepted"
+
+let test_synth_deterministic () =
+  let a = synth ~seed:42 () and b = synth ~seed:42 () in
+  check Alcotest.bool "same seed, same spec" true (a = b);
+  let c = synth ~seed:43 () in
+  check Alcotest.bool "different seed, different classes" true
+    (a.Sl.classes <> c.Sl.classes || a = c)
+
+(* ---- trace language ------------------------------------------------ *)
+
+let drill_text =
+  "# demo\n\
+   cores 24\n\
+   at 0 arrive acme web rate=500 classes=3 seed=11\n\
+   at 1 arrive bob db rate=300 demand=900 classes=2 weight=2 isolated nat \
+   seed=12\n\
+   at 2 depart acme web\n"
+
+let test_trace_roundtrip () =
+  match Tr.parse drill_text with
+  | Error m -> fail ("parse failed: " ^ m)
+  | Ok t -> (
+      check Alcotest.int "entries" 3 (List.length t.Tr.entries);
+      check (Alcotest.option Alcotest.int) "cores" (Some 24) t.Tr.cores;
+      let printed = Tr.to_string t in
+      match Tr.parse printed with
+      | Error m -> fail ("reparse failed: " ^ m)
+      | Ok t2 ->
+          check Alcotest.string "roundtrip" printed (Tr.to_string t2))
+
+let test_trace_rejects () =
+  (match Tr.parse "at -1 arrive a b rate=1 classes=1" with
+  | Error m ->
+      check Alcotest.bool "line numbered" true
+        (String.length m >= 6 && String.sub m 0 6 = "line 1")
+  | Ok _ -> fail "negative time accepted");
+  (match Tr.parse "at 5 arrive a b rate=1 classes=1\nat 3 depart a b" with
+  | Error m ->
+      check Alcotest.bool "line 2 flagged" true
+        (String.length m >= 6 && String.sub m 0 6 = "line 2")
+  | Ok _ -> fail "backwards time accepted");
+  (match Tr.parse "at 1 arrive a b classes=1" with
+  | Error _ -> ()
+  | Ok _ -> fail "arrive without rate accepted");
+  match Tr.parse "at 1 frobnicate a b" with
+  | Error _ -> ()
+  | Ok _ -> fail "unknown verb accepted"
+
+let test_trace_example_file () =
+  (* The committed drill must keep producing the documented decision
+     mix.  dune runtest runs from the test dir; dune exec from root. *)
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/slices_internet2.trace"; "examples/slices_internet2.trace" ]
+  in
+  let tr = match Tr.load path with Ok t -> t | Error m -> fail m in
+  let _mgr, o = Tr.run (topo ()) tr in
+  check Alcotest.int "admitted" 5 o.Tr.admitted;
+  check Alcotest.int "capacity rejections" 1 o.Tr.rejected_capacity;
+  check Alcotest.int "tag-space rejections" 0 o.Tr.rejected_tag_space;
+  check Alcotest.int "verifier rejections" 0 o.Tr.rejected_verifier;
+  check Alcotest.int "departed" 1 o.Tr.departed;
+  check Alcotest.int "residents" 4 o.Tr.residents;
+  (* every committed state passed the admission gate *)
+  check Alcotest.int "verifier passes" (o.Tr.admitted + o.Tr.departed)
+    o.Tr.verifier_passes
+
+let test_trace_jobs_invariant () =
+  let tr = Tr.synth ~seed:5 ~events:10 in
+  let _m1, o1 = Tr.run ~host_cores:32 (topo ()) tr in
+  let _m2, o2 = Tr.run ~host_cores:32 ~jobs:2 (topo ()) tr in
+  check Alcotest.string "render identical across jobs" (Tr.render o1)
+    (Tr.render o2)
+
+(* ---- lifecycle edges ----------------------------------------------- *)
+
+let admit_ok mgr spec =
+  match Sl.admit mgr spec with
+  | Ok a -> a
+  | Error r ->
+      fail
+        (Format.asprintf "admission of %s/%s refused: %a" spec.Sl.tenant
+           spec.Sl.name Sl.pp_reason r)
+
+let depart_ok mgr ~tenant ~name =
+  match Sl.depart mgr ~tenant ~name with
+  | Ok d -> d
+  | Error m -> fail ("depart failed: " ^ m)
+
+let test_depart_readmit_reuses_tags () =
+  let mgr = Sl.create ~host_cores:32 (topo ()) in
+  let a = synth ~seed:11 ~tenant:"alpha" ~name:"web" () in
+  let b = synth ~seed:22 ~tenant:"beta" ~name:"cdn" ~nat:true ~classes:3 () in
+  let _ = admit_ok mgr a in
+  let adm_b = admit_ok mgr b in
+  let fp_both = Sl.fingerprint mgr in
+  let d = depart_ok mgr ~tenant:"beta" ~name:"cdn" in
+  check Alcotest.int "one resident left" 1 d.Sl.residents;
+  let adm_b2 = admit_ok mgr b in
+  (* the freed tag ids are re-used: identical tag footprint and an
+     identical substrate digest, even though the slice id moved on *)
+  check Alcotest.int "same global tags" adm_b.Sl.global_tags
+    adm_b2.Sl.global_tags;
+  check Alcotest.int "same tag headroom" adm_b.Sl.tags_left adm_b2.Sl.tags_left;
+  check Alcotest.bool "fresh slice id" true
+    (adm_b2.Sl.slice_id > adm_b.Sl.slice_id);
+  check Alcotest.string "substrate digest restored" fp_both
+    (Sl.fingerprint mgr)
+
+let test_depart_to_empty () =
+  let mgr = Sl.create ~host_cores:32 (topo ()) in
+  let empty_fp = Sl.fingerprint mgr in
+  let a = synth ~seed:3 () in
+  let _ = admit_ok mgr a in
+  let d = depart_ok mgr ~tenant:"acme" ~name:"web" in
+  check Alcotest.int "no residents" 0 d.Sl.residents;
+  check Alcotest.bool "freed instances" true (d.Sl.freed_instances > 0);
+  check Alcotest.bool "freed cores" true (d.Sl.freed_cores > 0);
+  check Alcotest.string "back to empty digest" empty_fp (Sl.fingerprint mgr);
+  (* and the substrate is immediately reusable *)
+  let _ = admit_ok mgr a in
+  check Alcotest.int "readmitted" 1 (List.length (Sl.residents mgr))
+
+let test_duplicate_admit_raises () =
+  let mgr = Sl.create ~host_cores:32 (topo ()) in
+  let a = synth () in
+  let _ = admit_ok mgr a in
+  match Sl.admit mgr a with
+  | exception Invalid_argument _ -> ()
+  | Ok _ -> fail "duplicate admission accepted"
+  | Error _ -> fail "duplicate admission rejected instead of raising"
+
+let test_depart_missing () =
+  let mgr = Sl.create ~host_cores:32 (topo ()) in
+  (match Sl.depart mgr ~tenant:"ghost" ~name:"x" with
+  | Error _ -> ()
+  | Ok _ -> fail "departing from empty substrate succeeded");
+  let _ = admit_ok mgr (synth ()) in
+  match Sl.depart mgr ~tenant:"ghost" ~name:"x" with
+  | Error _ -> ()
+  | Ok _ -> fail "departing a non-resident succeeded"
+
+let test_isolated_admission () =
+  let mgr = Sl.create ~host_cores:64 (topo ()) in
+  let shared = synth ~seed:4 ~tenant:"pub" ~name:"cdn" ~classes:3 () in
+  let iso = synth ~seed:9 ~tenant:"bank" ~name:"pay" ~isolated:true () in
+  let _ = admit_ok mgr shared in
+  let adm = admit_ok mgr iso in
+  check Alcotest.bool "gate certified the joint state" true
+    (adm.Sl.verified_subclasses > 0);
+  let st = Sl.stats mgr in
+  check Alcotest.int "two gate passes" 2 st.Sl.verifier_passes;
+  check Alcotest.int "no rejections" 0
+    (st.Sl.rejected_capacity + st.Sl.rejected_tag_space
+   + st.Sl.rejected_verifier)
+
+(* ---- rejection purity ---------------------------------------------- *)
+
+let test_capacity_rejection_pure () =
+  let mgr = Sl.create ~host_cores:16 (topo ()) in
+  let _ = admit_ok mgr (synth ~seed:5 ~rate:300.0 ()) in
+  let fp = Sl.fingerprint mgr in
+  let stats_before = Sl.stats mgr in
+  let big = synth ~seed:6 ~tenant:"hog" ~name:"bulk" ~rate:50000.0 ~classes:4 () in
+  (match Sl.admit mgr big with
+  | Error (Sl.Capacity _) -> ()
+  | Error r -> fail (Format.asprintf "wrong reason: %a" Sl.pp_reason r)
+  | Ok _ -> fail "50 Gbps admitted on a 16-core/host substrate");
+  check Alcotest.string "substrate untouched" fp (Sl.fingerprint mgr);
+  check Alcotest.int "residents unchanged" 1 (List.length (Sl.residents mgr));
+  let st = Sl.stats mgr in
+  check Alcotest.int "capacity rejection counted"
+    (stats_before.Sl.rejected_capacity + 1)
+    st.Sl.rejected_capacity;
+  check Alcotest.int "no extra gate pass" stats_before.Sl.verifier_passes
+    st.Sl.verifier_passes
+
+let test_verifier_rejection_pure () =
+  let mgr = Sl.create ~host_cores:32 (topo ()) in
+  let _ = admit_ok mgr (synth ~seed:5 ()) in
+  let fp = Sl.fingerprint mgr in
+  (* corrupt the candidate pinning after rule generation: the gate must
+     catch it, refuse, and leave the installed state alone *)
+  Sl.set_chaos_hook mgr
+    (Some
+       (fun _s asg _built ->
+         match asg.Subclass.subclasses with
+         | sub :: _ ->
+             Hashtbl.remove asg.Subclass.instance_of (Subclass.key sub, 0)
+         | [] -> ()));
+  (match Sl.admit mgr (synth ~seed:8 ~tenant:"evil" ~name:"x" ()) with
+  | Error (Sl.Verifier m) ->
+      check Alcotest.bool "carries a witness" true (String.length m > 0)
+  | Error r -> fail (Format.asprintf "wrong reason: %a" Sl.pp_reason r)
+  | Ok _ -> fail "corrupted candidate admitted");
+  Sl.set_chaos_hook mgr None;
+  check Alcotest.string "substrate untouched" fp (Sl.fingerprint mgr);
+  let st = Sl.stats mgr in
+  check Alcotest.int "verifier rejection counted" 1 st.Sl.rejected_verifier;
+  (* the hook is gone: the same spec is admissible now *)
+  let _ = admit_ok mgr (synth ~seed:8 ~tenant:"evil" ~name:"x" ()) in
+  ()
+
+let prop_rejection_pure =
+  QCheck.Test.make ~count:25
+    ~name:"rejected admissions leave the substrate byte-identical"
+    QCheck.(triple (int_bound 1000) (int_bound 3) bool)
+    (fun (seed, extra_classes, nat) ->
+      let mgr = Sl.create ~host_cores:16 (topo ()) in
+      let _ =
+        match Sl.admit mgr (synth ~seed:1 ~rate:200.0 ()) with
+        | Ok a -> a
+        | Error _ -> QCheck.assume_fail ()
+      in
+      let fp = Sl.fingerprint mgr in
+      (* rates far above a 16-core/host substrate: always refused *)
+      let spec =
+        synth ~seed ~tenant:"t" ~name:"cand" ~nat
+          ~rate:(40000.0 +. float_of_int (seed mod 7) *. 1000.0)
+          ~classes:(1 + extra_classes) ()
+      in
+      match Sl.admit mgr spec with
+      | Ok _ -> QCheck.Test.fail_report "absurd rate admitted"
+      | Error _ -> String.equal fp (Sl.fingerprint mgr))
+
+(* ---- tag accounting ------------------------------------------------ *)
+
+let test_tag_accounting () =
+  let mgr = Sl.create ~host_cores:64 (topo ()) in
+  (* NAT chain => header rewriting => dense global tags *)
+  let adm = admit_ok mgr (synth ~seed:2 ~nat:true ~classes:3 ()) in
+  check Alcotest.bool "global mode consumed tags" true (adm.Sl.global_tags > 0);
+  check Alcotest.int "headroom is complement"
+    (Apple_dataplane.Tag.max_subclasses - adm.Sl.global_tags)
+    adm.Sl.tags_left
+
+let suite =
+  [
+    Alcotest.test_case "spec validation" `Quick test_validate;
+    Alcotest.test_case "synth determinism" `Quick test_synth_deterministic;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace rejects" `Quick test_trace_rejects;
+    Alcotest.test_case "example trace decisions" `Slow test_trace_example_file;
+    Alcotest.test_case "trace identical across jobs" `Slow
+      test_trace_jobs_invariant;
+    Alcotest.test_case "depart/re-admit reuses tag space" `Slow
+      test_depart_readmit_reuses_tags;
+    Alcotest.test_case "depart to empty substrate" `Quick test_depart_to_empty;
+    Alcotest.test_case "duplicate admit raises" `Quick
+      test_duplicate_admit_raises;
+    Alcotest.test_case "depart of non-resident" `Quick test_depart_missing;
+    Alcotest.test_case "isolated admission certified" `Slow
+      test_isolated_admission;
+    Alcotest.test_case "capacity rejection is pure" `Quick
+      test_capacity_rejection_pure;
+    Alcotest.test_case "verifier rejection is pure" `Quick
+      test_verifier_rejection_pure;
+    Alcotest.test_case "tag accounting" `Quick test_tag_accounting;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_rejection_pure ]

@@ -157,6 +157,38 @@ let test_jobs_variation_identical () =
   Alcotest.(check string) "stream identical" a.Soak.stream b.Soak.stream;
   Alcotest.(check string) "summary identical" a.Soak.summary b.Soak.summary
 
+(* Faults landing exactly on a re-optimization boundary (epoch mod
+   reopt_every = 0) hit the trickiest ordering in the epoch step:
+   start_window re-solves first, then heals are processed, then the
+   fault injects into the freshly installed window.  The run must stay
+   clean and byte-identical across repeats and jobs values. *)
+let boundary_drill =
+  match
+    Fault.parse
+      "at 12 kill-instance hottest\n\
+       at 24 link-down busiest\n\
+       at 30 link-up busiest"
+  with
+  | Ok s -> s
+  | Error e -> invalid_arg ("boundary drill: " ^ e)
+
+let test_chaos_at_boundary_deterministic () =
+  let run jobs =
+    Soak.run (session (mini ~engine:`Per_class ?jobs ~schedule:boundary_drill ()))
+  in
+  let a = run None in
+  Alcotest.(check (list string)) "no violations" [] a.Soak.violations;
+  Alcotest.(check int) "all epochs ran" 36 a.Soak.epochs_run;
+  (* both faults actually fired *)
+  Alcotest.(check bool) "kill fired at the boundary" true
+    (contains ~needle:"F 12 kill-instance" a.Soak.stream);
+  Alcotest.(check bool) "link-down fired at the boundary" true
+    (contains ~needle:"F 24 link-down" a.Soak.stream);
+  let b = run None and c = run (Some 3) in
+  Alcotest.(check string) "repeat identical" a.Soak.stream b.Soak.stream;
+  Alcotest.(check string) "jobs identical" a.Soak.stream c.Soak.stream;
+  Alcotest.(check string) "summary identical" a.Soak.summary c.Soak.summary
+
 let test_bench_json_shape () =
   let sess = session (mini ()) in
   let o = Soak.run sess in
@@ -261,6 +293,8 @@ let suite =
       test_polled_checkpoints_on_boundaries_only;
     Alcotest.test_case "jobs variation is byte-identical" `Quick
       test_jobs_variation_identical;
+    Alcotest.test_case "chaos at a re-opt boundary is deterministic" `Quick
+      test_chaos_at_boundary_deterministic;
     Alcotest.test_case "bench_json shape" `Quick test_bench_json_shape;
     QCheck_alcotest.to_alcotest prop_checkpoint_roundtrip;
     QCheck_alcotest.to_alcotest prop_resume_equals_uninterrupted;

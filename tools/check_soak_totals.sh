@@ -1,0 +1,42 @@
+#!/bin/sh
+# Deterministic-regression guard for BENCH_soak.json.
+#
+# Re-runs the exact acceptance soak configuration (the one `make
+# bench-snapshots` records) and diffs every deterministic field of the
+# fresh snapshot — totals, trajectory, fingerprint, violation count —
+# against the committed one.  Only the trailing "perf" object is
+# machine-dependent, so it is stripped from both sides.
+#
+# A mismatch means the pipeline's observable behavior changed: either
+# fix the regression, or — if the change is intentional — refresh with
+# `make bench-snapshots` and review the diff before committing.
+#
+# Usage: sh tools/check_soak_totals.sh [snapshot.json]
+set -e
+
+snapshot=${1:-BENCH_soak.json}
+if [ ! -f "$snapshot" ]; then
+  echo "check_soak_totals: $snapshot not found (run make bench-snapshots)" >&2
+  exit 1
+fi
+
+fresh=$(mktemp /tmp/apple_soak_fresh.XXXXXX)
+want=$(mktemp /tmp/apple_soak_want.XXXXXX)
+got=$(mktemp /tmp/apple_soak_got.XXXXXX)
+trap 'rm -f "$fresh" "$want" "$got"' EXIT INT TERM
+
+dune exec bin/apple_cli.exe -- soak -t internet2 --seed 42 --epochs 2000 \
+  --schedule examples/soak_internet2.soak --bench-json "$fresh" > /dev/null
+
+# The "perf" object (epochs/sec, live words) is the only
+# machine-dependent line; everything else must match bit for bit.
+sed '/^  "perf": /d' "$snapshot" > "$want"
+sed '/^  "perf": /d' "$fresh" > "$got"
+
+if ! diff -u "$want" "$got"; then
+  echo "" >&2
+  echo "check_soak_totals: BENCH_soak.json drifted from the current build." >&2
+  echo "If the change is intentional, refresh with: make bench-snapshots" >&2
+  exit 1
+fi
+echo "check_soak_totals: deterministic totals and trajectory match $snapshot"
