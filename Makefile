@@ -36,10 +36,14 @@ bench-snapshots:
 	  > /dev/null
 	sh tools/check_bench_schema.sh
 
-# Style gate: no polymorphic compare in lib/, no Hashtbl in
-# lib/parallel, no stdout printing from libraries.
+# Determinism & purity gate: the AST analyzer (lib/lint) parses every
+# .ml/.mli under lib/ bin/ bench/ tools/ and enforces the rule catalog
+# (L1..L13: polymorphic compare/hash, Hashtbl order, nondeterminism
+# sources, stdout in libraries, catch-alls, Obj.magic, Marshal, ...).
+# `--list-rules` prints the catalog; `--format json` emits the
+# apple-lint/1 report.
 lint:
-	sh tools/lint.sh
+	dune exec tools/apple_lint.exe
 
 # One-stop gate: lint, compile everything, run the full test suite, then
 # a scaled-down smoke of the jobs study so the parallel path is exercised
@@ -50,6 +54,7 @@ lint:
 check: lint build test
 	APPLE_BENCH_SCALE=0.02 APPLE_JOBS=2 APPLE_BENCH_ONLY=jobs dune exec bench/main.exe
 	sh tools/check_bench_schema.sh
+	sh tools/check_lint_schema.sh
 	sh tools/check_soak_totals.sh
 
 clean:

@@ -187,6 +187,7 @@ let run ?(config = default_config) ~seed ~schedule (s : Types.scenario) =
                 (c.Types.rate
                 +. Option.value ~default:0.0 (Hashtbl.find_opt weights key))))
       s.Types.classes;
+    (* lint: L3 — order erased: consumers sort by (rate, key) *)
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) weights []
   in
   let busiest_link () =

@@ -178,6 +178,7 @@ let heal_instance t ~dead ~replacement =
       (* Point the assignment's pinning records at the replacement so
          regenerated rules (and [verify]'s walks) name the live id. *)
       let stale =
+        (* lint: L3 — independent per-key re-pins; order cannot leak *)
         Hashtbl.fold
           (fun k inst acc ->
             if Instance.id inst = Instance.id dead then k :: acc else acc)

@@ -52,6 +52,7 @@ let aggregate ?(host_cores = Types.default_host_cores) ~env
     flows;
   (* Deterministic class order: by smallest member index. *)
   let grouped =
+    (* lint: L3 — order erased: sorted by least member index below *)
     Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) groups []
     |> List.sort (fun (_, a) (_, b) ->
            Int.compare (fst (List.hd a)) (fst (List.hd b)))

@@ -159,6 +159,7 @@ let instances_in_use t =
               p.stage_instances)
         subs)
     t.per_class;
+  (* lint: L3 — consumers take explicit maxes, sort, or credit per-instance *)
   Hashtbl.fold (fun _ inst acc -> inst :: acc) seen []
 
 let extra_cores t =

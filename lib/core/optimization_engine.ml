@@ -602,7 +602,7 @@ let solve_class_lp ~objective ~prices (c : Types.flow_class) =
 
 let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
     ?(consolidate = true) ?jobs ?(rounds = 3) (s : Types.scenario) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Unix.gettimeofday () in (* lint: L5 — wall-clock solve timing, reported as perf metadata only *)
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
@@ -631,7 +631,7 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         distribution = dist;
         objective_value = objective_of_counts ~objective counts;
         lp_objective = sol.Model.objective;
-        solve_seconds = Unix.gettimeofday () -. t0;
+        solve_seconds = Unix.gettimeofday () -. t0; (* lint: L5 — wall-clock solve timing, reported as perf metadata only *)
         model_size;
       }
   | Lp_round ->
@@ -673,7 +673,7 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         distribution = dist;
         objective_value = objective_of_counts ~objective counts;
         lp_objective = sol1.Model.objective;
-        solve_seconds = Unix.gettimeofday () -. t0;
+        solve_seconds = Unix.gettimeofday () -. t0; (* lint: L5 — wall-clock solve timing, reported as perf metadata only *)
         model_size;
       }
   | Per_class ->
@@ -744,7 +744,7 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         distribution = dist;
         objective_value = objective_of_counts ~objective counts;
         lp_objective;
-        solve_seconds = Unix.gettimeofday () -. t0;
+        solve_seconds = Unix.gettimeofday () -. t0; (* lint: L5 — wall-clock solve timing, reported as perf metadata only *)
         model_size =
           Printf.sprintf "per-class decomposition: %d classes x %d rounds (jobs=%d)"
             nclasses rounds jobs;

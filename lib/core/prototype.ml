@@ -70,6 +70,14 @@ let variant_name = function
   | Wait_five_seconds -> "failover (wait 5 s)"
   | Reconfigure_existing -> "failover (reconfigure)"
 
+(* Per-variant seed salt.  Hashtbl.hash of a constructor is
+   representation-dependent (unstable across compiler versions); an
+   explicit tag keeps every run's RNG seed identical everywhere. *)
+let variant_salt = function
+  | No_failover -> 1
+  | Wait_five_seconds -> 2
+  | Reconfigure_existing -> 3
+
 let udp_loss_during_failover = function
   | No_failover | Wait_five_seconds | Reconfigure_existing -> 0.0
 
@@ -89,7 +97,7 @@ let file_transfer_experiment ~seed ~runs =
     (fun variant ->
       let durations =
         Array.init runs (fun r ->
-            let rng = Rng.create (seed + (17 * r) + Hashtbl.hash variant) in
+            let rng = Rng.create (seed + (17 * r) + variant_salt variant) in
             let params = tcp_params_for rng in
             (* In all three strategies the forwarding rules only change
                once the replacement VNF is live (wait-5s) or reconfigured

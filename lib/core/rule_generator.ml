@@ -291,5 +291,6 @@ let tags_left built =
   match built.tag_mode with
   | `Global -> Tag.max_subclasses - built.global_tags_used
   | `Local ->
+      (* lint: L3 — commutative max over tag ids *)
       let max_tag = Hashtbl.fold (fun _ v acc -> max acc v) built.tag_of (-1) in
       Tag.max_subclasses - (max_tag + 1)

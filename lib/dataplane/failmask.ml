@@ -48,14 +48,17 @@ let restore_instance t id = remove t.instances t id
 let instance_down t id = t.failures > 0 && Hashtbl.mem t.instances id
 
 let failed_instances t =
+  (* lint: L3 — order erased by the sort below *)
   Hashtbl.fold (fun id () acc -> id :: acc) t.instances []
   |> List.sort Int.compare
 
 let failed_switches t =
+  (* lint: L3 — order erased by the sort below *)
   Hashtbl.fold (fun sw () acc -> sw :: acc) t.switches []
   |> List.sort Int.compare
 
 let failed_links t =
+  (* lint: L3 — order erased by the sort below *)
   Hashtbl.fold (fun l () acc -> l :: acc) t.links []
   |> List.sort (fun (a, b) (c, d) ->
          match Int.compare a c with 0 -> Int.compare b d | n -> n)

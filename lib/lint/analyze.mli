@@ -1,0 +1,30 @@
+(** The AST-driven analysis pass: parse each compilation unit with
+    compiler-libs ([Parse] + [Lexer] for the comment stream) and walk
+    the parsetree with [Ast_iterator], firing the [Rule] catalog and
+    honoring [Waiver] annotations.
+
+    Path scoping (paths are analysis-root-relative, '/'-separated):
+    the stdout rules (L6/L7) apply only under [lib/]; L5 skips
+    [lib/telemetry/]; L10 skips the documented checkpoint modules;
+    L11 applies only under [lib/parallel/].  Everything else applies
+    everywhere the driver points the walker ([lib/], [bin/],
+    [bench/], [tools/]). *)
+
+type result = {
+  files : int;  (** compilation units analyzed *)
+  diagnostics : Diagnostic.t list;  (** sorted; waived ones included *)
+}
+
+val source : path:string -> string -> Diagnostic.t list
+(** Analyze one unit given as a string.  [path] is the virtual
+    root-relative path (it selects the scoped rules and is stamped
+    into diagnostics); [.mli] paths parse as interfaces.  Sorted,
+    waived diagnostics included. *)
+
+val sources : (string * string) list -> result
+(** Analyze a list of [(path, contents)] units — the fixture entry
+    point used by the tests and the JSON golden. *)
+
+val tree : root:string -> dirs:string list -> result
+(** Walk [dirs] (relative to [root]) recursively, in sorted order,
+    analyzing every [.ml]/[.mli]; dot-directories are skipped. *)

@@ -1,0 +1,123 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Rule.t;
+  message : string;
+  waived : string option;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule.Rule.id b.rule.Rule.id
+
+let active ds = List.filter (fun d -> Option.is_none d.waived) ds
+
+let to_text d =
+  Printf.sprintf "%s:%d:%d: [%s %s] %s" d.file d.line d.col d.rule.Rule.id
+    d.rule.Rule.name d.message
+
+let schema = "apple-lint/1"
+
+let count_if p l = List.length (List.filter p l)
+
+let summary ds =
+  let act = active ds in
+  let errors =
+    count_if (fun d -> d.rule.Rule.severity = Rule.Error) act
+  and warnings =
+    count_if (fun d -> d.rule.Rule.severity = Rule.Warning) act
+  in
+  (List.length act, List.length ds - List.length act, errors, warnings)
+
+let report_text ~files ds =
+  let ds = List.sort compare ds in (* lint: L1 — this module's typed compare, shadowing the polymorphic one *)
+  let act_n, waived_n, errors, warnings = summary ds in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      if Option.is_none d.waived then (
+        Buffer.add_string buf (to_text d);
+        Buffer.add_char buf '\n'))
+    ds;
+  if act_n = 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "lint: clean (%d file(s), %d waived)\n" files waived_n)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf
+         "lint: %d active diagnostic(s) (%d error(s), %d warning(s)) in %d \
+          file(s), %d waived\n"
+         act_n errors warnings files waived_n);
+  Buffer.contents buf
+
+(* Hand-rolled JSON, like the bench/telemetry exporters: no dependency,
+   deterministic key order. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_json ~files ds =
+  let ds = List.sort compare ds in (* lint: L1 — this module's typed compare, shadowing the polymorphic one *)
+  let act_n, waived_n, errors, warnings = summary ds in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add (Printf.sprintf "{\n  \"schema\": \"%s\",\n" schema);
+  add (Printf.sprintf "  \"files\": %d,\n" files);
+  add "  \"rules\": [\n";
+  List.iteri
+    (fun i (r : Rule.t) ->
+      add
+        (Printf.sprintf
+           "    {\"id\": \"%s\", \"name\": \"%s\", \"severity\": \"%s\", \
+            \"waivable\": %b, \"summary\": \"%s\"}%s\n"
+           r.id r.name
+           (Rule.severity_to_string r.severity)
+           (Rule.waivable r) (json_escape r.summary)
+           (if i = List.length Rule.catalog - 1 then "" else ",")))
+    Rule.catalog;
+  add "  ],\n";
+  add "  \"diagnostics\": [\n";
+  List.iteri
+    (fun i d ->
+      let reason =
+        match d.waived with
+        | None -> "null"
+        | Some r -> Printf.sprintf "\"%s\"" (json_escape r)
+      in
+      add
+        (Printf.sprintf
+           "    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \
+            \"%s\", \"name\": \"%s\", \"severity\": \"%s\", \"waived\": %b, \
+            \"reason\": %s, \"message\": \"%s\"}%s\n"
+           (json_escape d.file) d.line d.col d.rule.Rule.id d.rule.Rule.name
+           (Rule.severity_to_string d.rule.Rule.severity)
+           (Option.is_some d.waived) reason (json_escape d.message)
+           (if i = List.length ds - 1 then "" else ",")))
+    ds;
+  add "  ],\n";
+  add
+    (Printf.sprintf
+       "  \"summary\": {\"active\": %d, \"waived\": %d, \"errors\": %d, \
+        \"warnings\": %d}\n"
+       act_n waived_n errors warnings);
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Structured, location-addressed lint diagnostics and the two report
+    renderers (human text, versioned JSON).  Pure: everything renders
+    to strings; printing is the driver's job. *)
+
+type t = {
+  file : string;  (** path relative to the analysis root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in [file:line:col] compiler output *)
+  rule : Rule.t;
+  message : string;
+  waived : string option;  (** [Some reason] when a reviewed waiver covers it *)
+}
+
+val compare : t -> t -> int
+(** Order by file, line, col, rule id — the deterministic report order. *)
+
+val active : t list -> t list
+(** The diagnostics that gate the build: everything not waived. *)
+
+val to_text : t -> string
+(** ["file:line:col: \[L6 stdout\] message"] (one line, no newline). *)
+
+val schema : string
+(** The versioned JSON schema identifier, ["apple-lint/1"].  Bump on
+    any incompatible change and update EXPERIMENTS.md in step —
+    [tools/check_lint_schema.sh] gates that. *)
+
+val report_text : files:int -> t list -> string
+(** Human report: active diagnostics one per line, then a summary line
+    ([lint: clean ...] or [lint: N active diagnostic(s) ...]). *)
+
+val report_json : files:int -> t list -> string
+(** The [apple-lint/1] report: rule catalog, every diagnostic (waived
+    ones included, with their reasons) and a summary block.  Keys are
+    stable; consumers must key on presence, not position. *)

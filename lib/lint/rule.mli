@@ -1,0 +1,68 @@
+(** The determinism & purity rule catalog.
+
+    Every guarantee the system sells — byte-identical results across
+    [--jobs], digest-protected soak checkpoints, golden diffs,
+    depart/re-admit fingerprint equality — rests on the code being
+    deterministic and pure.  These rules are the machine-checked form
+    of that contract; [Analyze] enforces them over the parsetree of
+    every [.ml]/[.mli] under [lib/], [bin/], [bench/] and [tools/].
+
+    A diagnostic can be waived at the offending site with a reviewed
+    annotation carrying the rule id (or mnemonic name) and a reason:
+
+    {v (* lint: L3 — commutative sum, order cannot leak *) v}
+
+    except for the rules where [waivable] is [false]. *)
+
+type severity = Error | Warning
+
+type t = {
+  id : string;  (** stable short id, ["L1"].. — the waiver token *)
+  name : string;  (** mnemonic, also accepted in waivers, e.g. ["stdout"] *)
+  severity : severity;
+      (** [Error]: a determinism/purity breach.  [Warning]: a
+          conservative heuristic (the site may be benign, but must be
+          reviewed and waived).  Both gate [make lint]: the analyzer
+          exits non-zero on any unwaivered diagnostic. *)
+  summary : string;  (** one line for [--list-rules] and the docs *)
+}
+
+val poly_compare : t  (** L1 *)
+
+val poly_hash : t  (** L2 *)
+
+val hashtbl_order : t  (** L3 *)
+
+val random : t  (** L4 *)
+
+val wallclock : t  (** L5 *)
+
+val stdout : t  (** L6 *)
+
+val obs_stdout : t  (** L7 — never waivable *)
+
+val catch_all : t  (** L8 *)
+
+val obj_magic : t  (** L9 *)
+
+val marshal : t  (** L10 *)
+
+val parallel_hashtbl : t  (** L11 *)
+
+val parse_error : t  (** L12 — unparseable source; never waivable *)
+
+val bad_waiver : t  (** L13 — malformed/unknown/unused waiver; never waivable *)
+
+val catalog : t list
+(** All rules, in id order. *)
+
+val find : string -> t option
+(** Look a rule up by [id], by [name], or by a legacy grep-gate alias
+    (["hashtbl"] for L11, kept so pre-AST annotations keep meaning the
+    same thing). *)
+
+val waivable : t -> bool
+(** [false] for L7 (lib/obs prints are rejected annotation or not),
+    L12 and L13. *)
+
+val severity_to_string : severity -> string

@@ -1,0 +1,17 @@
+(** The demo corpus: one tiny fixture per rule (plus waiver-behavior
+    fixtures), each declaring the active diagnostics it must produce.
+    [test/test_lint.ml] asserts every expectation and the JSON golden
+    ([test/goldens/lint_fixtures.json], refreshed by [make goldens])
+    freezes the full [apple-lint/1] report over this corpus. *)
+
+type fixture = {
+  fname : string;  (** virtual root-relative path — selects scoped rules *)
+  source : string;
+  expect : (string * int) list;
+      (** active diagnostics as (rule id, 1-based line), in report order *)
+}
+
+val fixtures : fixture list
+
+val report_json : unit -> string
+(** The [apple-lint/1] report over the whole corpus. *)

@@ -1,0 +1,141 @@
+type t = {
+  rule : Rule.t;
+  reason : string;
+  governs : int;
+  at_line : int;
+  at_col : int;
+  mutable used : bool;
+}
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let trim = String.trim
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let drop n s = String.sub s n (String.length s - n)
+
+(* Strip one reason separator: em dash, en dash, "--", "-" or ":". *)
+let strip_separator s =
+  if has_prefix ~prefix:"\xe2\x80\x94" s || has_prefix ~prefix:"\xe2\x80\x93" s
+  then drop 3 s
+  else if has_prefix ~prefix:"--" s then drop 2 s
+  else if has_prefix ~prefix:"-" s || has_prefix ~prefix:":" s then drop 1 s
+  else s
+
+let line_at lines n =
+  if n >= 1 && n <= Array.length lines then lines.(n - 1) else ""
+
+let non_ws_in s lo hi =
+  let hi = min hi (String.length s) in
+  let rec scan i =
+    if i >= hi then false else if is_ws s.[i] then scan (i + 1) else true
+  in
+  scan (max 0 lo)
+
+(* Which line does a comment govern?  Code before it on its own line →
+   that line; otherwise the line after the comment ends (code trailing
+   the close on the same line counts as that line). *)
+let governed_line ~lines (loc : Location.t) =
+  let sl = loc.loc_start.pos_lnum and el = loc.loc_end.pos_lnum in
+  let scol = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
+  let ecol = loc.loc_end.pos_cnum - loc.loc_end.pos_bol in
+  if non_ws_in (line_at lines sl) 0 scol then sl
+  else if non_ws_in (line_at lines el) ecol max_int then el
+  else el + 1
+
+let bad ~file (loc : Location.t) fmt =
+  Printf.ksprintf
+    (fun message ->
+      {
+        Diagnostic.file;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        rule = Rule.bad_waiver;
+        message;
+        waived = None;
+      })
+    fmt
+
+let collect ~file ~lines comments =
+  let waivers = ref [] and diags = ref [] in
+  List.iter
+    (fun (text, loc) ->
+      let text = trim text in
+      if has_prefix ~prefix:"lint:" text then begin
+        let rest = trim (drop 5 text) in
+        let token, tail =
+          match String.index_opt rest ' ' with
+          | None -> (rest, "")
+          | Some i -> (String.sub rest 0 i, drop i rest)
+        in
+        let reason = trim (strip_separator (trim tail)) in
+        match Rule.find token with
+        | None ->
+            diags :=
+              bad ~file loc
+                "unknown rule %S in waiver — valid tokens are rule ids \
+                 (L1..L13) and mnemonic names"
+                token
+              :: !diags
+        | Some rule when not (Rule.waivable rule) ->
+            diags :=
+              bad ~file loc "rule %s (%s) cannot be waived" rule.Rule.id
+                rule.Rule.name
+              :: !diags
+        | Some rule when String.equal reason "" ->
+            diags :=
+              bad ~file loc
+                "waiver needs a reason: (* lint: %s — why this site is safe *)"
+                rule.Rule.id
+              :: !diags
+        | Some rule ->
+            waivers :=
+              {
+                rule;
+                reason;
+                governs = governed_line ~lines loc;
+                at_line = loc.loc_start.pos_lnum;
+                at_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+                used = false;
+              }
+              :: !waivers
+      end)
+    comments;
+  (List.rev !waivers, List.rev !diags)
+
+let apply waivers (d : Diagnostic.t) =
+  if not (Rule.waivable d.rule) then d
+  else
+    match
+      List.find_opt
+        (fun w ->
+          w.governs = d.line && String.equal w.rule.Rule.id d.rule.Rule.id)
+        waivers
+    with
+    | None -> d
+    | Some w ->
+        w.used <- true;
+        { d with waived = Some w.reason }
+
+let unused ~file waivers =
+  List.filter_map
+    (fun w ->
+      if w.used then None
+      else
+        Some
+          {
+            Diagnostic.file;
+            line = w.at_line;
+            col = w.at_col;
+            rule = Rule.bad_waiver;
+            message =
+              Printf.sprintf
+                "waiver for %s (%s) matches no diagnostic on line %d — \
+                 delete the stale annotation"
+                w.rule.Rule.id w.rule.Rule.name w.governs;
+            waived = None;
+          })
+    waivers

@@ -1,0 +1,40 @@
+(** Reviewed-waiver annotations, parsed from the lexer's comment
+    stream (so they survive reformatting and multi-line comments —
+    unlike the retired grep gate's one-line sed hack).
+
+    Form: {v (* lint: <rule> — reason *) v} where [<rule>] is a rule
+    id ([L3]) or mnemonic name ([hashtbl-order]); the reason is
+    mandatory — a waiver is a reviewed exception and the review goes
+    in the comment.  The separator may be an em/en dash, ["--"], ["-"]
+    or [":"].
+
+    Placement: at the end of the offending line, or alone on the line
+    directly above it.  A waiver that is malformed, names an unknown
+    rule, lacks a reason, targets a non-waivable rule, or matches no
+    diagnostic is itself reported under rule L13. *)
+
+type t = {
+  rule : Rule.t;
+  reason : string;
+  governs : int;  (** the source line whose diagnostics it suppresses *)
+  at_line : int;  (** where the annotation itself sits (L13 anchor) *)
+  at_col : int;
+  mutable used : bool;
+}
+
+val collect :
+  file:string ->
+  lines:string array ->
+  (string * Location.t) list ->
+  t list * Diagnostic.t list
+(** Partition the comment stream: well-formed waivers, plus an L13
+    diagnostic for each malformed [lint:] annotation.  Comments that
+    don't start with [lint:] are ignored. *)
+
+val apply : t list -> Diagnostic.t -> Diagnostic.t
+(** Mark the diagnostic waived if an applicable waiver governs its
+    line (and the rule is waivable); records the waiver as used. *)
+
+val unused : file:string -> t list -> Diagnostic.t list
+(** L13 diagnostics for waivers that matched nothing — stale
+    annotations must be deleted, not accumulated. *)

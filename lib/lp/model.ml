@@ -67,7 +67,9 @@ let merge_terms terms =
       let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
       Hashtbl.replace tbl v (prev +. coef))
     terms;
+  (* lint: L3 — order erased: terms sorted by variable id below *)
   Hashtbl.fold (fun v coef acc -> if coef = 0.0 then acc else (coef, v) :: acc) tbl []
+  |> List.sort (fun (_, v) (_, v') -> Int.compare v v')
 
 let add_constraint t ?name terms sense rhs =
   let c_name =

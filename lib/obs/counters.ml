@@ -103,6 +103,7 @@ let blackhole ~sw ~packets =
 
 let blackhole_snapshot () =
   Mutex.lock lock;
+  (* lint: L3 — order erased by the sort below *)
   let all = Hashtbl.fold (fun sw r acc -> (sw, !r) :: acc) blackholes [] in
   Mutex.unlock lock;
   List.sort (fun (a, _) (b, _) -> Int.compare a b) all
@@ -144,12 +145,14 @@ let compare_rule_key (sw, uid) (sw', uid') =
 
 let rule_snapshot () =
   Mutex.lock lock;
+  (* lint: L3 — order erased by the sort below *)
   let all = Hashtbl.fold (fun k c acc -> (k, freeze_rule c) :: acc) rules [] in
   Mutex.unlock lock;
   List.sort (fun (k, _) (k', _) -> compare_rule_key k k') all
 
 let inst_snapshot () =
   Mutex.lock lock;
+  (* lint: L3 — order erased by the sort below *)
   let all = Hashtbl.fold (fun k c acc -> (k, freeze_inst c) :: acc) insts [] in
   Mutex.unlock lock;
   List.sort (fun (k, _) (k', _) -> Int.compare k k') all
@@ -163,5 +166,6 @@ let switch_totals () =
       in
       Hashtbl.replace sums sw (m + st.r_matches, b + st.r_bytes))
     (rule_snapshot ());
+  (* lint: L3 — order erased by the sort below *)
   Hashtbl.fold (fun sw (m, b) acc -> (sw, { r_matches = m; r_bytes = b }) :: acc) sums []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

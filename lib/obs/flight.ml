@@ -102,6 +102,7 @@ let clear () =
   Mutex.unlock lock
 
 let now () =
+  (* lint: L5 — wall fallback when no sim clock; timestamps are diagnostic metadata *)
   match T.sim_now () with Some t -> t | None -> Unix.gettimeofday ()
 
 let write_slot bytes ~off ~seq ~time ~kcode ~a ~b ~c ~d =

@@ -117,6 +117,7 @@ let offered_mbps t id = inst_rate_bps t id /. 1e6
 let switch_match_pps t sw = rate_of t.switches sw (fun s -> s.pps)
 
 let sorted_keys table =
+  (* lint: L3 — order erased by the sort *)
   Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort Int.compare
 
 let known_instances t = sorted_keys t.insts

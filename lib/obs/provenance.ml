@@ -119,6 +119,7 @@ let flows events =
             (1 + Option.value ~default:0 (Hashtbl.find_opt counts f))
       | None -> ())
     events;
+  (* lint: L3 — order erased by the sort below *)
   Hashtbl.fold (fun f n acc -> (f, n) :: acc) counts []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 

@@ -37,5 +37,5 @@ let render t =
 let print t =
   (* The one sanctioned console sink: experiment tables are the CLI's
      product. *)
-  print_string (render t); (* lint: stdout *)
-  print_newline () (* lint: stdout *)
+  print_string (render t); (* lint: L6 — the one CLI-facing print helper; render stays pure *)
+  print_newline () (* lint: L6 — the one CLI-facing print helper; render stays pure *)

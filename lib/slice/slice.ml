@@ -916,6 +916,7 @@ let top t =
                   asg.Subclass.subclasses;
                 let inst_count = Hashtbl.length touched in
                 let dedicated =
+                  (* lint: L3 — commutative count of dedicated instances *)
                   Hashtbl.fold
                     (fun id _ acc ->
                       if Hashtbl.mem foreign id then acc else acc + 1)

@@ -92,7 +92,7 @@ let of_string s =
       String.sub l n (String.length l - n)
     else fail "expected %S line, got %S" key l
   in
-  let int_of l = try int_of_string l with _ -> fail "bad integer %S" l in
+  let int_of l = try int_of_string l with Failure _ -> fail "bad integer %S" l in
   let keyed_int key = int_of (keyed key (next ())) in
   let block key parse =
     let n = keyed_int key in
@@ -111,7 +111,7 @@ let of_string s =
         (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
     | None -> fail "expected \"key value\", got %S" l
   in
-  let float_of l = try float_of_string l with _ -> fail "bad float %S" l in
+  let float_of l = try float_of_string l with Failure _ -> fail "bad float %S" l in
   try
     (* Verify the digest first: everything before the final digest line. *)
     (match String.rindex_opt (String.trim s) '\n' with

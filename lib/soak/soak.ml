@@ -437,6 +437,7 @@ let rate_weighted sess fold =
               (c.Types.rate
               +. Option.value ~default:0.0 (Hashtbl.find_opt weights key))))
     sess.scenario.Types.classes;
+  (* lint: L3 — order erased: consumers sort by (rate, key) *)
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) weights []
 
 let busiest_link sess =
@@ -1099,7 +1100,7 @@ let run ?halt_at ?state_dir sess =
       if not (Sys.file_exists d) then Sys.mkdir d 0o755;
       sess.state_dir <- Some d
   | None -> ());
-  let t0 = Unix.gettimeofday () in
+  let t0 = Unix.gettimeofday () in (* lint: L5 — wall runtime for the summary's perf line only *)
   let stop =
     match halt_at with
     | Some h -> min (max h 0) sess.cfg.epochs
@@ -1108,7 +1109,7 @@ let run ?halt_at ?state_dir sess =
   while sess.epoch < stop && not sess.aborted do
     step sess
   done;
-  sess.wall <- sess.wall +. (Unix.gettimeofday () -. t0);
+  sess.wall <- sess.wall +. (Unix.gettimeofday () -. t0); (* lint: L5 — wall runtime for the summary's perf line only *)
   let completed = (not sess.aborted) && sess.epoch >= sess.cfg.epochs in
   if completed && not sess.finished then begin
     sess.finished <- true;

@@ -321,6 +321,7 @@ end
 (* ---- snapshots ---------------------------------------------------- *)
 
 let sorted_metrics () =
+  (* lint: L3 — order erased: sorted by metric name below *)
   let all = with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry []) in
   let name_of = function
     | M_counter c -> c.c_name
@@ -388,6 +389,7 @@ let spans () =
 
 let reset () =
   with_registry (fun () ->
+      (* lint: L3 — independent per-metric resets; order cannot leak *)
       Hashtbl.iter
         (fun _ m ->
           match m with

@@ -63,6 +63,7 @@ let has_edge t u v = check_node t u; check_node t v; Hashtbl.mem t.adj.(u) v
 
 let neighbors t u =
   check_node t u;
+  (* lint: L3 — order erased by the sort below *)
   Hashtbl.fold (fun v e acc -> (v, e.weight) :: acc) t.adj.(u) []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
@@ -85,6 +86,7 @@ let is_connected t =
   let count = ref 1 in
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
+    (* lint: L3 — reachability count; visit order cannot change it *)
     Hashtbl.iter
       (fun v _ ->
         if not seen.(v) then begin
@@ -159,6 +161,8 @@ let dijkstra t src ~blocked_nodes ~blocked_edges =
     | Some (d, u) ->
         if not finished.(u) then begin
           finished.(u) <- true;
+          (* lint: L3 — relaxation has an explicit u < prev tie-break; the
+             final (dist, prev) arrays are iteration-order-independent *)
           Hashtbl.iter
             (fun v e ->
               let edge_key = if u < v then (u, v) else (v, u) in
@@ -300,6 +304,7 @@ let k_shortest_paths t src dst ~k =
 let edges t =
   let acc = ref [] in
   for u = 0 to t.n - 1 do
+    (* lint: L3 — order erased by the sort below *)
     Hashtbl.iter
       (fun v e -> if u < v then acc := (u, v, e.weight) :: !acc)
       t.adj.(u)

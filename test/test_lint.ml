@@ -1,0 +1,252 @@
+(* The AST-driven determinism & purity analyzer (lib/lint).
+
+   Every rule in the catalog must fire on its Selftest fixture with the
+   right id and location, waivers must suppress (except where the rule
+   says they can't), and the real tree must be clean — the same gate
+   `make lint` runs, enforced here so `dune runtest` alone catches a
+   regression.  The JSON report over the fixture corpus is a golden
+   (refresh with [make goldens]). *)
+
+module L = Apple_lint
+module Goldens = Apple_chaos.Goldens
+
+let ids ds =
+  List.map
+    (fun (d : L.Diagnostic.t) -> (d.rule.L.Rule.id, d.line))
+    (L.Diagnostic.active ds)
+
+let check_fixture (f : L.Selftest.fixture) () =
+  let ds = L.Analyze.source ~path:f.fname f.source in
+  Alcotest.(check (list (pair string int)))
+    (f.fname ^ " active (rule, line) pairs")
+    f.expect (ids ds)
+
+(* --- rule catalog sanity ------------------------------------------- *)
+
+let test_catalog () =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : L.Rule.t) ->
+      Alcotest.(check bool)
+        ("unique id " ^ r.id) false (Hashtbl.mem seen r.id);
+      Hashtbl.replace seen r.id ();
+      Alcotest.(check (option string))
+        ("find by id " ^ r.id)
+        (Some r.id)
+        (Option.map (fun (x : L.Rule.t) -> x.id) (L.Rule.find r.id));
+      Alcotest.(check (option string))
+        ("find by name " ^ r.name)
+        (Some r.id)
+        (Option.map (fun (x : L.Rule.t) -> x.id) (L.Rule.find r.name)))
+    L.Rule.catalog;
+  (* every catalog rule appears in at least one fixture expectation,
+     so the corpus stays the living documentation *)
+  let exercised =
+    List.concat_map
+      (fun (f : L.Selftest.fixture) -> List.map fst f.expect)
+      L.Selftest.fixtures
+  in
+  List.iter
+    (fun (r : L.Rule.t) ->
+      if not (List.exists (String.equal r.id) exercised) then
+        Alcotest.failf "rule %s has no fixture" r.id)
+    L.Rule.catalog;
+  (* legacy grep-gate alias still resolves *)
+  Alcotest.(check (option string))
+    "legacy hashtbl alias" (Some "L11")
+    (Option.map (fun (x : L.Rule.t) -> x.id) (L.Rule.find "hashtbl"))
+
+(* --- waiver behavior ----------------------------------------------- *)
+
+let test_waiver_same_line () =
+  let src =
+    "let keys t = Hashtbl.fold (fun k _ a -> k :: a) t [] (* lint: L3 — \
+     commutative demo *)\n"
+  in
+  let ds = L.Analyze.source ~path:"lib/demo/w.ml" src in
+  Alcotest.(check (list (pair string int))) "suppressed" [] (ids ds);
+  match ds with
+  | [ d ] ->
+      Alcotest.(check (option string))
+        "reason retained" (Some "commutative demo") d.waived
+  | _ -> Alcotest.fail "expected exactly one (waived) diagnostic"
+
+let test_waiver_line_above () =
+  let src =
+    "(* lint: hashtbl-order — commutative demo *)\n\
+     let keys t = Hashtbl.fold (fun k _ a -> k :: a) t []\n"
+  in
+  let ds = L.Analyze.source ~path:"lib/demo/w.ml" src in
+  Alcotest.(check (list (pair string int))) "suppressed" [] (ids ds)
+
+let test_waiver_wrong_line () =
+  (* a waiver two lines up governs nothing: the diagnostic stays and
+     the stale waiver is itself flagged *)
+  let src =
+    "(* lint: L3 — too far away *)\n\
+     let pad = 0\n\
+     let keys t = Hashtbl.fold (fun k _ a -> k :: a) t []\n"
+  in
+  let ds = L.Analyze.source ~path:"lib/demo/w.ml" src in
+  Alcotest.(check (list (pair string int)))
+    "both active"
+    [ ("L13", 1); ("L3", 3) ]
+    (ids ds)
+
+let test_waiver_needs_reason () =
+  let src = "let h v = Hashtbl.hash v (* lint: L2 *)\n" in
+  let ds = L.Analyze.source ~path:"lib/demo/w.ml" src in
+  Alcotest.(check (list (pair string int)))
+    "reason-less waiver rejected, diagnostic stays"
+    [ ("L2", 1); ("L13", 1) ]
+    (ids ds)
+
+let test_waiver_unknown_rule () =
+  let src = "let x = 1 (* lint: L99 — no such rule *)\n" in
+  let ds = L.Analyze.source ~path:"lib/demo/w.ml" src in
+  Alcotest.(check (list (pair string int))) "flagged" [ ("L13", 1) ] (ids ds)
+
+let test_waiver_survives_multiline_comment () =
+  (* the grep gate's one-line strip_comments missed exactly this: a
+     multi-line comment closing on the offending line.  The AST pass
+     reads the real comment stream. *)
+  let src =
+    "(* a prose comment\n\
+    \   mentioning print_endline and compare, spanning lines *)\n\
+     let x = 1\n"
+  in
+  let ds = L.Analyze.source ~path:"lib/demo/w.ml" src in
+  Alcotest.(check (list (pair string int))) "prose never fires" [] (ids ds)
+
+(* --- lib/obs unconditional stdout ---------------------------------- *)
+
+let test_obs_unconditional () =
+  (* same print, three homes: CLI code is free, lib/ is waivable,
+     lib/obs is not *)
+  let src = "let f () = print_endline \"x\"\n" in
+  Alcotest.(check (list (pair string int)))
+    "bin/ prints freely" []
+    (ids (L.Analyze.source ~path:"bin/demo.ml" src));
+  Alcotest.(check (list (pair string int)))
+    "lib/ flags L6"
+    [ ("L6", 1) ]
+    (ids (L.Analyze.source ~path:"lib/demo/p.ml" src));
+  Alcotest.(check (list (pair string int)))
+    "lib/obs flags L7"
+    [ ("L7", 1) ]
+    (ids (L.Analyze.source ~path:"lib/obs/p.ml" src));
+  let src' = "let f () = print_endline \"x\" (* lint: L6 — try anyway *)\n" in
+  let ds = L.Analyze.source ~path:"lib/obs/p.ml" src' in
+  (* the L6 waiver matches nothing (the obs rule is L7) and L7 stays *)
+  Alcotest.(check (list (pair string int)))
+    "waiver cannot silence lib/obs"
+    [ ("L7", 1); ("L13", 1) ]
+    (ids ds)
+
+(* --- interfaces and scoping ---------------------------------------- *)
+
+let test_mli_and_scopes () =
+  Alcotest.(check (list (pair string int)))
+    "Hashtbl type in a lib/parallel interface"
+    [ ("L11", 1) ]
+    (ids
+       (L.Analyze.source ~path:"lib/parallel/demo.mli"
+          "val t : (int, int) Hashtbl.t\n"));
+  Alcotest.(check (list (pair string int)))
+    "same interface elsewhere is fine" []
+    (ids
+       (L.Analyze.source ~path:"lib/core/demo.mli"
+          "val t : (int, int) Hashtbl.t\n"));
+  Alcotest.(check (list (pair string int)))
+    "Random.State is the sanctioned form" []
+    (ids
+       (L.Analyze.source ~path:"lib/demo/r.ml"
+          "let f st = Random.State.int st 4\n"));
+  Alcotest.(check (list (pair string int)))
+    "Stdlib qualification does not hide a rule"
+    [ ("L1", 1) ]
+    (ids
+       (L.Analyze.source ~path:"lib/demo/s.ml"
+          "let c a b = Stdlib.compare a b\n"))
+
+(* --- clean tree ----------------------------------------------------- *)
+
+let find_source_root () =
+  (* outermost dune-project above cwd: from _build/default/test this
+     resolves to the real workspace root, skipping _build/default *)
+  let rec up acc dir =
+    let acc =
+      if Sys.file_exists (Filename.concat dir "dune-project") then dir :: acc
+      else acc
+    in
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then acc else up acc parent
+  in
+  match up [] (Sys.getcwd ()) with
+  | root :: _ when Sys.file_exists (Filename.concat root "lib/lint/analyze.ml")
+    ->
+      Some root
+  | _ -> None
+
+let test_clean_tree () =
+  match find_source_root () with
+  | None -> () (* sandboxed run without the source tree; make lint covers it *)
+  | Some root ->
+      let { L.Analyze.files; diagnostics } =
+        L.Analyze.tree ~root ~dirs:[ "lib"; "bin"; "bench"; "tools" ]
+      in
+      Alcotest.(check bool) "analyzed a real tree" true (files > 100);
+      let act = L.Diagnostic.active diagnostics in
+      if act <> [] then
+        Alcotest.failf "tree not lint-clean:\n%s"
+          (String.concat "\n" (List.map L.Diagnostic.to_text act))
+
+(* --- JSON golden ---------------------------------------------------- *)
+
+let test_json_golden () =
+  match
+    Goldens.check
+      ~path:(Filename.concat "goldens" "lint_fixtures.json")
+      ~actual:(L.Selftest.report_json ())
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1))
+  in
+  go 0
+
+let test_json_shape () =
+  let j = L.Selftest.report_json () in
+  List.iter
+    (fun key ->
+      if not (contains ~needle:(Printf.sprintf "\"%s\"" key) j) then
+        Alcotest.failf "JSON report lacks %S" key)
+    [ "schema"; "files"; "rules"; "diagnostics"; "summary" ];
+  Alcotest.(check bool)
+    "schema id embedded" true
+    (contains ~needle:("\"" ^ L.Diagnostic.schema ^ "\"") j)
+
+let suite =
+  List.map
+    (fun (f : L.Selftest.fixture) ->
+      Alcotest.test_case ("fixture " ^ f.fname) `Quick (check_fixture f))
+    L.Selftest.fixtures
+  @ [
+      Alcotest.test_case "rule catalog" `Quick test_catalog;
+      Alcotest.test_case "waiver same line" `Quick test_waiver_same_line;
+      Alcotest.test_case "waiver line above" `Quick test_waiver_line_above;
+      Alcotest.test_case "waiver wrong line" `Quick test_waiver_wrong_line;
+      Alcotest.test_case "waiver needs reason" `Quick test_waiver_needs_reason;
+      Alcotest.test_case "waiver unknown rule" `Quick test_waiver_unknown_rule;
+      Alcotest.test_case "multi-line comment" `Quick
+        test_waiver_survives_multiline_comment;
+      Alcotest.test_case "lib/obs unconditional" `Quick test_obs_unconditional;
+      Alcotest.test_case "mli + scoping" `Quick test_mli_and_scopes;
+      Alcotest.test_case "tree is lint-clean" `Quick test_clean_tree;
+      Alcotest.test_case "JSON golden" `Quick test_json_golden;
+      Alcotest.test_case "JSON shape" `Quick test_json_shape;
+    ]

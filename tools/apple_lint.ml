@@ -1,0 +1,95 @@
+(* apple_lint — the AST-driven determinism & purity gate.
+
+   Parses every .ml/.mli under lib/ bin/ bench/ tools/ with
+   compiler-libs and enforces the Apple_lint.Rule catalog (see
+   DESIGN.md §5.10).  Replaces the retired grep gate (tools/lint.sh is
+   a deprecated shim that execs this).
+
+     dune exec tools/apple_lint.exe -- [options] [dirs...]
+
+   Exit status: 0 clean, 1 unwaivered diagnostics, 2 usage/IO error. *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "tools" ]
+
+let find_root () =
+  (* Prefer the outermost dune-project so the gate lints the real
+     source tree even when invoked from inside _build. *)
+  let rec up acc dir =
+    let acc =
+      if Sys.file_exists (Filename.concat dir "dune-project") then dir :: acc
+      else acc
+    in
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then acc else up acc parent
+  in
+  match up [] (Sys.getcwd ()) with root :: _ -> Some root | [] -> None
+
+let () =
+  let module D = Apple_lint.Diagnostic in
+  let module R = Apple_lint.Rule in
+  let format = ref "text" in
+  let root = ref "" in
+  let out = ref "" in
+  let list_rules = ref false in
+  let dirs = ref [] in
+  let usage =
+    "apple_lint [--format text|json] [--root DIR] [--out FILE] [dirs...]\n\
+     AST-driven determinism & purity analyzer (default dirs: lib bin bench \
+     tools)."
+  in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format on stdout (default text)" );
+      ( "--root",
+        Arg.Set_string root,
+        "DIR analysis root (default: outermost dune-project above cwd)" );
+      ( "--out",
+        Arg.Set_string out,
+        "FILE also write the JSON report here (written even on failure — \
+         the CI artifact)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : R.t) ->
+        Printf.printf "%-4s %-17s %-7s %s%s\n" r.id r.name
+          (R.severity_to_string r.severity)
+          r.summary
+          (if R.waivable r then "" else "  [not waivable]"))
+      R.catalog;
+    exit 0
+  end;
+  let root =
+    if not (String.equal !root "") then !root
+    else
+      match find_root () with
+      | Some r -> r
+      | None ->
+          prerr_endline "apple_lint: no dune-project above cwd; pass --root";
+          exit 2
+  in
+  let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
+  let result =
+    try Apple_lint.Analyze.tree ~root ~dirs
+    with Sys_error msg ->
+      prerr_endline ("apple_lint: " ^ msg);
+      exit 2
+  in
+  let { Apple_lint.Analyze.files; diagnostics } = result in
+  if not (String.equal !out "") then begin
+    let oc = open_out_bin !out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (D.report_json ~files diagnostics))
+  end;
+  let report =
+    match !format with
+    | "json" -> D.report_json ~files diagnostics
+    | _ -> D.report_text ~files diagnostics
+  in
+  print_string report;
+  exit (if D.active diagnostics = [] then 0 else 1)

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Guard: the lint JSON report must carry a "schema" identifier that
+# EXPERIMENTS.md documents — the diagnostic format is versioned like
+# the bench snapshots, and drifting it without a doc (and schema bump)
+# fails here.
+#
+# Usage: check_lint_schema.sh [report.json]
+# With no argument the report is produced by running the analyzer
+# (diagnostic failures don't matter here; only the report shape does).
+set -u
+cd "$(dirname "$0")/.."
+
+report="${1:-}"
+if [ -z "$report" ]; then
+    report=$(mktemp /tmp/apple_lint.XXXXXX.json)
+    trap 'rm -f "$report"' EXIT
+    dune exec tools/apple_lint.exe -- --out "$report" > /dev/null || true
+fi
+
+if [ ! -s "$report" ]; then
+    echo "check_lint_schema: no lint report at $report" >&2
+    exit 1
+fi
+
+schema=$(sed -n 's/.*"schema": *"\([^"]*\)".*/\1/p' "$report" | head -n 1)
+if [ -z "$schema" ]; then
+    echo "check_lint_schema: $report carries no \"schema\" field" >&2
+    exit 1
+fi
+if ! grep -q "\"$schema\"" EXPERIMENTS.md; then
+    echo "check_lint_schema: schema \"$schema\" ($report) is not documented in EXPERIMENTS.md — document the format there (and bump the schema on incompatible changes)" >&2
+    exit 1
+fi
+for key in '"rules"' '"diagnostics"' '"summary"'; do
+    if ! grep -q "$key" "$report"; then
+        echo "check_lint_schema: $report lacks the $key block required by $schema" >&2
+        exit 1
+    fi
+done
+
+echo "check_lint_schema: OK ($schema)"
+exit 0

@@ -1,78 +1,16 @@
 #!/bin/sh
-# Static style gate for lib/ — plain grep/sed, no extra tooling.
+# DEPRECATED SHIM — the grep/sed style gate that used to live here has
+# been replaced by the AST-driven analyzer (lib/lint + tools/apple_lint.ml;
+# DESIGN.md §5.10).  The grep version's one-line comment-stripping hack
+# missed multi-line comments and its regexes could not see types or
+# scopes; the analyzer parses the real parsetree and the comment stream.
 #
-# Enforced rules:
-#   1. No polymorphic compare (`compare` unqualified, or `Stdlib.compare`)
-#      in lib/: it silently mis-orders floats (nan), records and custom
-#      types, and it boxes.  Use Int.compare / Float.compare /
-#      String.compare / a typed comparator.
-#   2. No Hashtbl in lib/parallel outside documented sites: the domain
-#      pool must stay free of shared mutable tables.  Annotate a reviewed
-#      exception with `(* lint: hashtbl *)` on the same line.
-#   3. No direct stdout printing in lib/ (print_string, print_endline,
-#      Printf.printf, Format.printf, ...): libraries must report through
-#      Logs, telemetry, or a caller-supplied formatter.  Annotate a
-#      reviewed exception with `(* lint: stdout *)` on the same line.
-#   4. Rule 3 holds UNCONDITIONALLY for lib/obs: the measurement plane
-#      returns strings (Top.render, Provenance.render) and printing is
-#      the CLI's job, so even `(* lint: stdout *)` is rejected there.
+# This shim keeps `sh tools/lint.sh` callers working by exec'ing the
+# analyzer; call it directly for options (--format json, --list-rules):
 #
-# Exit status: 0 clean, 1 violations found.
-
+#   dune exec tools/apple_lint.exe -- --help
 set -u
 cd "$(dirname "$0")/.."
-
-fail=0
-
-report() {
-  # $1 = rule title, $2 = offending grep -n lines (may be empty)
-  if [ -n "$2" ]; then
-    echo "lint: $1"
-    printf '%s\n' "$2" | sed 's/^/  /'
-    fail=1
-  fi
-}
-
-# Strip OCaml comments well enough for line greps: drop (* ... *) spans
-# that open and close on one line (multi-line comment bodies are rare in
-# this codebase and prose rarely trips the patterns below anyway).
-strip_comments() {
-  sed 's/(\*[^*]*\(\*[^)][^*]*\)*\*)//g'
-}
-
-bare='(?<![A-Za-z0-9_.'\''])'
-after='(?![A-Za-z0-9_'\''])'
-
-# --- rule 1: polymorphic compare ------------------------------------
-hits=$(grep -rn --include='*.ml' -P "${bare}compare${after}|Stdlib\\.compare" lib/ \
-  | strip_comments \
-  | grep -P "${bare}compare${after}|Stdlib\\.compare" || true)
-report "polymorphic compare in lib/ (use a typed comparator)" "$hits"
-
-# --- rule 2: Hashtbl in lib/parallel --------------------------------
-if [ -d lib/parallel ]; then
-  hits=$(grep -rn --include='*.ml' 'Hashtbl' lib/parallel/ \
-    | grep -v 'lint: hashtbl' || true)
-  report "Hashtbl in lib/parallel (annotate reviewed sites with (* lint: hashtbl *))" "$hits"
-fi
-
-# --- rule 3: stdout prints in lib/ ----------------------------------
-hits=$(grep -rn --include='*.ml' -P \
-  "${bare}(print_string|print_endline|print_newline|print_int|print_float|print_char)${after}|Printf\\.printf|Format\\.printf${after}" \
-  lib/ | grep -v 'lint: stdout' || true)
-report "stdout printing in lib/ (use Logs/telemetry, or annotate with (* lint: stdout *))" "$hits"
-
-# --- rule 4: no stdout in lib/obs, annotation or not ----------------
-# lib/obs renders to strings by contract; the (* lint: stdout *) escape
-# hatch does not apply there.
-if [ -d lib/obs ]; then
-  hits=$(grep -rn --include='*.ml' -P \
-    "${bare}(print_string|print_endline|print_newline|print_int|print_float|print_char)${after}|Printf\\.printf|Format\\.printf${after}" \
-    lib/obs/ || true)
-  report "stdout printing in lib/obs (render to strings; no annotation escape)" "$hits"
-fi
-
-if [ "$fail" -eq 0 ]; then
-  echo "lint: clean"
-fi
-exit "$fail"
+echo "lint.sh: deprecated shim — running the AST analyzer instead" \
+     "(dune exec tools/apple_lint.exe --)" >&2
+exec dune exec tools/apple_lint.exe -- "$@"

@@ -2,15 +2,18 @@
    [make goldens] from the repo root; commit the refreshed files after
    reviewing the diff. *)
 
+let write dir filename render =
+  let path = Filename.concat dir filename in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ()));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   let dir = match Sys.argv with [| _; d |] -> d | _ -> "test/goldens" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
-    (fun (name, render) ->
-      let path = Filename.concat dir (name ^ ".txt") in
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (render ()));
-      Printf.printf "wrote %s\n%!" path)
-    Apple_chaos.Goldens.entries
+    (fun (name, render) -> write dir (name ^ ".txt") render)
+    Apple_chaos.Goldens.entries;
+  write dir "lint_fixtures.json" Apple_lint.Selftest.report_json
