@@ -18,6 +18,8 @@ module I = Apple_vnf.Instance
 module Ch = Apple_chaos
 module Sk = Apple_soak.Soak
 module Sl = Apple_slice
+module Trc = Apple_trace.Trace
+module Paths = Apple_prelude.Paths
 
 open Cmdliner
 
@@ -66,6 +68,54 @@ let with_metrics metrics out f =
               (fun () -> output_string oc report)
       in
       Fun.protect ~finally:emit f
+
+(* --- causal tracing options (solve / chaos / soak / slice / profile) - *)
+
+let trace_out_arg =
+  let doc =
+    "Record a causal trace of the run and write it to $(docv) as Chrome \
+     trace-event JSON (schema $(b,apple-trace/1)) — load it in Perfetto \
+     (ui.perfetto.dev), speedscope or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_mode_arg =
+  let doc =
+    "Trace timestamp source: $(b,sim) renders on the deterministic \
+     simulation clock (wall-time, domain and allocation fields zeroed; \
+     byte-identical across $(b,--jobs)), $(b,wall) renders host wall-clock \
+     lanes per domain with allocation counts for profiling."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("sim", Trc.Sim); ("wall", Trc.Wall) ]) Trc.Sim
+    & info [ "trace-mode" ] ~docv:"MODE" ~doc)
+
+(* Run [f] under the causal tracer when [--trace-out] was given, then
+   write the Chrome export — also when [f] fails, so a crashed run still
+   leaves the trace of what it did. *)
+let with_trace trace_out mode f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      Trc.reset ();
+      Trc.set_enabled true;
+      let emit () =
+        Trc.set_enabled false;
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Trc.render_chrome ~mode ()))
+      in
+      Fun.protect ~finally:emit f
+
+(* Validate every [--*-out] path before doing any work: a missing parent
+   directory is a one-line argument error, not a [Sys_error] at the end
+   of the run. *)
+let checked_outputs outputs k =
+  match Paths.check_outputs outputs with
+  | Error m -> `Error (false, m)
+  | Ok () -> k ()
 
 let topology_of_string = function
   | "internet2" -> Ok (B.internet2 ())
@@ -170,8 +220,11 @@ let engine_conv =
     [ ("best", `Best); ("lp", `Lp); ("per-class", `Per_class); ("greedy", `Greedy) ]
 
 let solve_action topo seed total max_classes engine jobs verify tm_file metrics
-    out =
+    out trace_out trace_mode =
+  checked_outputs [ ("metrics report", out); ("trace", trace_out) ]
+  @@ fun () ->
   with_metrics metrics out @@ fun () ->
+  with_trace trace_out trace_mode @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let tm =
     match tm_file with
@@ -268,7 +321,7 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the Optimization Engine once and print the placement summary")
-    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg $ metrics_out_arg))
+    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
 
 (* --- verify command ------------------------------------------------ *)
 
@@ -348,6 +401,8 @@ let flight_out_arg =
 
 let verify_action topo seed total max_classes engine jobs flight_out metrics
     out =
+  checked_outputs [ ("flight dump", Some flight_out); ("metrics report", out) ]
+  @@ fun () ->
   with_metrics metrics out @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let rng = Rng.create seed in
@@ -524,6 +579,8 @@ let policies_cmd =
 
 let top_action topo seed total max_classes duration once flight_out metrics
     out =
+  checked_outputs [ ("flight dump", flight_out); ("metrics report", out) ]
+  @@ fun () ->
   with_metrics metrics out @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
   let rng = Rng.create seed in
@@ -715,8 +772,16 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let chaos_action topo seed schedule_file duration round jobs boot flight_out
-    metrics out =
+    metrics out trace_out trace_mode =
+  checked_outputs
+    [
+      ("flight dump", flight_out);
+      ("metrics report", out);
+      ("trace", trace_out);
+    ]
+  @@ fun () ->
   with_metrics metrics out @@ fun () ->
+  with_trace trace_out trace_mode @@ fun () ->
   let schedule =
     match schedule_file with
     | Some path -> Ch.Fault.parse (read_file path)
@@ -824,7 +889,7 @@ let chaos_cmd =
       ret
         (const chaos_action $ topo_arg $ seed_arg $ schedule_arg
        $ duration_arg $ round_arg $ jobs_arg $ boot_arg $ chaos_flight_arg
-       $ metrics_arg $ metrics_out_arg))
+       $ metrics_arg $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
 
 (* --- failover experiment command ------------------------------------ *)
 
@@ -848,8 +913,18 @@ let failover_cmd =
 let soak_action topo seed epochs reopt checkpoint cycle total classes heal
     loss_band window_band mem_slack engine jobs load_source schedule_file
     state_dir resume halt_at stream_path summary_out bench_json_out flight_out
-    metrics out =
+    metrics out trace_out trace_mode =
+  checked_outputs
+    [
+      ("summary", summary_out);
+      ("bench snapshot", bench_json_out);
+      ("flight dump", flight_out);
+      ("metrics report", out);
+      ("trace", trace_out);
+    ]
+  @@ fun () ->
   with_metrics metrics out @@ fun () ->
+  with_trace trace_out trace_mode @@ fun () ->
   let schedule =
     match schedule_file with
     | Some path -> Ch.Fault.parse (read_file path)
@@ -1067,14 +1142,18 @@ let soak_cmd =
        $ loss_band_arg $ window_band_arg $ mem_slack_arg $ engine_arg
        $ jobs_arg $ load_source_arg $ schedule_arg $ state_dir_arg
        $ resume_arg $ halt_arg $ stream_arg $ summary_out_arg
-       $ bench_json_arg $ soak_flight_arg $ metrics_arg $ metrics_out_arg))
+       $ bench_json_arg $ soak_flight_arg $ metrics_arg $ metrics_out_arg
+       $ trace_out_arg $ trace_mode_arg))
 
 (* --- slice command -------------------------------------------------- *)
 
 let slice_action mode topo seed trace_file synth_events tenant name rate demand
     classes weight isolated nat slice_seed host_cores no_gate engine jobs
-    metrics out =
+    metrics out trace_out trace_mode =
+  checked_outputs [ ("metrics report", out); ("trace", trace_out) ]
+  @@ fun () ->
   with_metrics metrics out @@ fun () ->
+  with_trace trace_out trace_mode @@ fun () ->
   let gate = not no_gate in
   let load_trace () =
     match (trace_file, synth_events) with
@@ -1252,7 +1331,7 @@ let slice_cmd =
        $ synth_arg $ tenant_arg $ name_arg $ rate_arg $ demand_arg
        $ classes_arg $ weight_arg $ isolated_arg $ nat_arg $ slice_seed_arg
        $ host_cores_arg $ no_gate_arg $ engine_arg $ jobs_arg $ metrics_arg
-       $ metrics_out_arg))
+       $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
 
 (* --- topologies command -------------------------------------------- *)
 
@@ -1271,6 +1350,68 @@ let topologies_cmd =
     (Cmd.info "topologies" ~doc:"List the built-in evaluation topologies")
     Term.(ret (const topologies_action $ const ()))
 
+(* --- profile command ------------------------------------------------ *)
+
+let profile_action name seed scale jobs trace_out trace_mode metrics out =
+  checked_outputs [ ("metrics report", out); ("trace", trace_out) ]
+  @@ fun () ->
+  (* The experiment drivers size their pools from APPLE_JOBS; pinning it
+     here makes `apple profile --jobs N` reach every parallel section. *)
+  Option.iter (fun j -> Unix.putenv "APPLE_JOBS" (string_of_int (max 1 j))) jobs;
+  with_metrics metrics out @@ fun () ->
+  Trc.reset ();
+  Trc.set_enabled true;
+  let finish () =
+    Trc.set_enabled false;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Trc.render_chrome ~mode:trace_mode ())));
+    (* The attribution table is a profiler: always wall time. *)
+    print_string (Trc.render_table ~mode:Trc.Wall ())
+  in
+  match
+    Fun.protect ~finally:finish (fun () ->
+        run_experiment name seed scale `Oracle)
+  with
+  | Ok () -> `Ok ()
+  | Error (`Msg m) -> `Error (false, m)
+
+let profile_cmd =
+  let exp_conv = Arg.enum (List.map (fun n -> (n, n)) experiment_names) in
+  let exp_arg =
+    let doc =
+      "Experiment workload to profile: "
+      ^ String.concat ", " experiment_names
+      ^ "."
+    in
+    Arg.(
+      value & opt exp_conv "table3"
+      & info [ "experiment" ] ~docv:"EXPERIMENT" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the parallel engine sections (sets APPLE_JOBS \
+       for the run).  The $(b,sim)-mode trace is byte-identical for every \
+       value."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an experiment under the causal tracer and print the \
+          per-span/per-phase self-time attribution table; optionally \
+          export the Chrome trace (apple-trace/1) for Perfetto")
+    Term.(
+      ret
+        (const profile_action $ exp_arg $ seed_arg $ scale_arg $ jobs_arg
+       $ trace_out_arg $ trace_mode_arg $ metrics_arg $ metrics_out_arg))
+
 let main =
   let doc = "APPLE: interference-free NFV policy enforcement (ICDCS 2016 reproduction)" in
   Cmd.group (Cmd.info "apple" ~doc)
@@ -1286,6 +1427,7 @@ let main =
       failover_cmd;
       soak_cmd;
       slice_cmd;
+      profile_cmd;
       topologies_cmd;
     ]
 

@@ -15,6 +15,9 @@ module Dynamic_handler = Apple_core.Dynamic_handler
 module Resource_orchestrator = Apple_core.Resource_orchestrator
 module Rule_generator = Apple_core.Rule_generator
 module T = Apple_telemetry.Telemetry
+module Tr = Apple_trace.Trace
+
+let tr_fault = Tr.span ~cat:"heal" "chaos.fault"
 
 let log = Logs.Src.create "apple.chaos" ~doc:"Chaos engine"
 
@@ -418,7 +421,9 @@ let run ?(config = default_config) ~seed ~schedule (s : Types.scenario) =
         logf w' "poller back";
         close_fault w' B)
   in
-  let inject w = function
+  let inject w fault =
+    Tr.with_ tr_fault @@ fun () ->
+    match fault with
     | Fault.Kill_instance t -> kill_instance w t
     | Fault.Link_down t -> link_down w t
     | Fault.Link_up t -> link_up w t

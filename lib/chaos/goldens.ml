@@ -26,6 +26,23 @@ let chaos_internet2 () =
   in
   Chaos.render (Chaos.run ~config ~seed:opts.Core_exp.seed ~schedule:drill_schedule s)
 
+(* The same drill under the causal tracer: the sim-mode Chrome render
+   zeroes every host-dependent field (wall stamps, domain ids, GC
+   words), so the export is itself a deterministic artifact worth
+   pinning — it guards event set, causality links and timestamps at
+   once. *)
+let trace_sim () =
+  let module Trace = Apple_trace.Trace in
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      ignore (chaos_internet2 ());
+      Trace.render_chrome ~mode:Trace.Sim ())
+
 let of_rendered (r : Core_exp.rendered) =
   Printf.sprintf "== %s ==\n%s\n" r.Core_exp.title r.Core_exp.body
 
@@ -35,6 +52,7 @@ let entries =
     ("table4", fun () -> of_rendered (Core_exp.table4 Core_exp.default_opts));
     ("fig6", fun () -> of_rendered (Core_exp.fig6 Core_exp.default_opts));
     ("chaos_internet2", chaos_internet2);
+    ("trace_sim", trace_sim);
   ]
 
 (* ------------------------------------------------------------------ *)

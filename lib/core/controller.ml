@@ -6,8 +6,13 @@ let log = Logs.Src.create "apple.controller" ~doc:"APPLE controller"
 module Log = (val Logs.src_log log : Logs.LOG)
 module T = Apple_telemetry.Telemetry
 
+module Tr = Apple_trace.Trace
+
 let sp_epoch = T.Span.create "controller.epoch"
 let sp_gate = T.Span.create "controller.verify_gate"
+let tr_epoch = Tr.span ~cat:"epoch" "controller.epoch"
+let tr_gate = Tr.span ~cat:"verify" "controller.verify_gate"
+let tr_heal = Tr.span ~cat:"heal" "controller.heal"
 let m_epochs = T.Counter.create "apple.controller.epochs"
 let m_rejected = T.Counter.create "apple.controller.rejected_epochs"
 
@@ -75,6 +80,7 @@ let run_epoch t =
   T.Journal.recordf ~kind:"epoch" "epoch started: %d classes"
     (Array.length t.s.Types.classes);
   T.Span.with_ sp_epoch @@ fun () ->
+  Tr.with_ tr_epoch @@ fun () ->
   let placement =
     match t.engine with
     | `Best -> Engine_select.solve_best ~objective:t.objective t.s
@@ -95,7 +101,10 @@ let run_epoch t =
   (match t.gate with
   | None -> ()
   | Some gate -> (
-      match T.Span.with_ sp_gate (fun () -> gate t.s assignment rules) with
+      match
+        Tr.with_ tr_gate (fun () ->
+            T.Span.with_ sp_gate (fun () -> gate t.s assignment rules))
+      with
       | Ok () -> ()
       | Error msg ->
           T.Counter.incr m_rejected;
@@ -168,12 +177,14 @@ let recheck_gate t =
   | Some gate -> (
       match (t.assignment, t.report) with
       | Some assignment, Some report ->
-          T.Span.with_ sp_gate (fun () -> gate t.s assignment report.rules)
+          Tr.with_ tr_gate (fun () ->
+              T.Span.with_ sp_gate (fun () -> gate t.s assignment report.rules))
       | _ -> Error "no epoch has been run")
 
 let heal_instance t ~dead ~replacement =
   match (t.state, t.handler, t.assignment) with
   | Some state, Some handler, Some assignment ->
+      Tr.with_ ~cls:(Instance.id dead) tr_heal @@ fun () ->
       Dynamic_handler.heal handler ~dead ~replacement;
       (* Point the assignment's pinning records at the replacement so
          regenerated rules (and [verify]'s walks) name the live id. *)

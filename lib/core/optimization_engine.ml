@@ -8,12 +8,25 @@ module T = Apple_telemetry.Telemetry
 (* Per-phase spans around the solve pipeline and an "lp" journal entry
    per relaxation solved.  Span bodies are the existing phase code; the
    engine never reads telemetry back, so placements are unaffected. *)
+module Tr = Apple_trace.Trace
+
 let sp_relax = T.Span.create "opt.relax"
 let sp_reweight = T.Span.create "opt.reweight"
 let sp_round = T.Span.create "opt.round"
 let sp_repair = T.Span.create "opt.repair"
 let sp_consolidate = T.Span.create "opt.consolidate"
 let sp_ilp = T.Span.create "opt.ilp"
+let tr_relax = Tr.span ~cat:"solve" "opt.relax"
+let tr_reweight = Tr.span ~cat:"solve" "opt.reweight"
+let tr_round = Tr.span ~cat:"solve" "opt.round"
+let tr_repair = Tr.span ~cat:"solve" "opt.repair"
+let tr_consolidate = Tr.span ~cat:"solve" "opt.consolidate"
+let tr_ilp = Tr.span ~cat:"solve" "opt.ilp"
+let tr_class = Tr.span ~cat:"solve" "opt.class_lp"
+
+(* Telemetry aggregates and the causal trace observe the same region:
+   one combinator keeps every phase's two spans in lockstep. *)
+let timed tr sp f = Tr.with_ tr (fun () -> T.Span.with_ sp f)
 let m_per_class_rounds = T.Counter.create "apple.opt.per_class_rounds"
 let m_class_lps = T.Counter.create "apple.opt.class_lps"
 let m_lp_pivots = T.Counter.create "apple.lp.pivots"
@@ -611,7 +624,7 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
       let model, q, d = build_model s ~objective ~integer:true in
       let model_size = Format.asprintf "%a" Model.pp_stats model in
       let p0 = T.Counter.value m_lp_pivots in
-      let sol = T.Span.with_ sp_ilp (fun () -> Model.solve_ilp ~max_nodes model) in
+      let sol = timed tr_ilp sp_ilp (fun () -> Model.solve_ilp ~max_nodes model) in
       T.Journal.recordf ~kind:"lp" "ilp solved: %s, %d pivots" model_size
         (T.Counter.value m_lp_pivots - p0);
       check_status sol;
@@ -638,7 +651,7 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
       let model1, _, d1 = build_model s ~objective ~integer:false in
       let model_size = Format.asprintf "%a" Model.pp_stats model1 in
       let p0 = T.Counter.value m_lp_pivots in
-      let sol1 = T.Span.with_ sp_relax (fun () -> Model.solve_lp model1) in
+      let sol1 = timed tr_relax sp_relax (fun () -> Model.solve_lp model1) in
       T.Journal.recordf ~kind:"lp" "relaxation solved: %s, %d pivots" model_size
         (T.Counter.value m_lp_pivots - p0);
       check_status sol1;
@@ -659,13 +672,13 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         | Model.Infeasible | Model.Unbounded -> dist
       in
       let dist =
-        if reweight then T.Span.with_ sp_reweight (fun () -> refine dist1)
+        if reweight then timed tr_reweight sp_reweight (fun () -> refine dist1)
         else dist1
       in
-      let counts = T.Span.with_ sp_repair (fun () -> repair_resources s dist) in
+      let counts = timed tr_repair sp_repair (fun () -> repair_resources s dist) in
       let counts =
         if consolidate then
-          T.Span.with_ sp_consolidate (fun () -> consolidate_pass s dist counts)
+          timed tr_consolidate sp_consolidate (fun () -> consolidate_pass s dist counts)
         else counts
       in
       {
@@ -706,10 +719,12 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
       for round = 1 to rounds do
         let p = !prices in
         let p0 = T.Counter.value m_lp_pivots in
-        T.Span.with_ sp_round (fun () ->
+        timed tr_round sp_round (fun () ->
             dist :=
               Pool.run ~jobs
-                (fun c -> solve_class_lp ~objective ~prices:p c)
+                (fun c ->
+                  Tr.with_ ~cls:c.Types.id tr_class (fun () ->
+                      solve_class_lp ~objective ~prices:p c))
                 classes);
         T.Counter.incr m_per_class_rounds;
         T.Counter.add m_class_lps nclasses;
@@ -733,10 +748,10 @@ let solve ?(objective = Min_instances) ?(method_ = Lp_round) ?(reweight = true)
         done;
         !acc
       in
-      let counts = T.Span.with_ sp_repair (fun () -> repair_resources s dist) in
+      let counts = timed tr_repair sp_repair (fun () -> repair_resources s dist) in
       let counts =
         if consolidate then
-          T.Span.with_ sp_consolidate (fun () -> consolidate_pass s dist counts)
+          timed tr_consolidate sp_consolidate (fun () -> consolidate_pass s dist counts)
         else counts
       in
       {

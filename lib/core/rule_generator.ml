@@ -45,8 +45,11 @@ let hop_groups (sub : Subclass.subclass) =
     sub.Subclass.hops;
   List.rev_map (fun (i, stages) -> (i, List.rev stages)) !groups
 
+let tr_build = Apple_trace.Trace.span ~cat:"rulegen" "rulegen.build"
+
 let build ?(split_depth = 6) ?(tag_mode = `Auto) (s : Types.scenario)
     (assignment : Subclass.assignment) =
+  Apple_trace.Trace.with_ tr_build @@ fun () ->
   let mode : tag_mode =
     match tag_mode with
     | `Local -> `Local

@@ -75,8 +75,11 @@ let host_processing net ~sw ~cls ~tags ~entry_port ~record_instance ~rewriters
   in
   step entry_port
 
+let tr_walk = Apple_trace.Trace.span ~cat:"dataplane" "dataplane.walk"
+
 let run net ~path ~cls ~src_ip ?(start_in_host = false)
     ?(rewriters = fun _ -> false) ?(flow = -1) ?mask () =
+  Apple_trace.Trace.with_ ~cls tr_walk @@ fun () ->
   let obs = Counters.enabled () in
   (* Failure-mask predicates; with no mask (or a clear one) every check
      collapses to a constant. *)

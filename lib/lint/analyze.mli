@@ -5,7 +5,8 @@
 
     Path scoping (paths are analysis-root-relative, '/'-separated):
     the stdout rules (L6/L7) apply only under [lib/]; L5 skips
-    [lib/telemetry/]; L10 skips the documented checkpoint modules;
+    [lib/telemetry/] and [lib/trace/]; L10 skips the documented
+    checkpoint modules;
     L11 applies only under [lib/parallel/].  Everything else applies
     everywhere the driver points the walker ([lib/], [bin/],
     [bench/], [tools/]). *)

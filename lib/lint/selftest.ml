@@ -48,6 +48,13 @@ let fixtures =
       expect = [];
     };
     {
+      (* The tracer stamps wall time on spans; lib/trace is the other
+         sanctioned clock consumer. *)
+      fname = "lib/trace/demo_clock.ml";
+      source = "let stamp () = Unix.gettimeofday ()\n";
+      expect = [];
+    };
+    {
       fname = "lib/demo/stdout.ml";
       source = "let banner () = print_endline \"hi\"\n";
       expect = [ ("L6", 1) ];

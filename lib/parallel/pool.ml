@@ -8,6 +8,7 @@
    or where it lands. *)
 
 module T = Apple_telemetry.Telemetry
+module Trace = Apple_trace.Trace
 
 (* Telemetry is observation-only: chunk claiming still goes through the
    single atomic cursor and results land in their slots, so enabling
@@ -145,7 +146,13 @@ let seq_map_range ~n ~f =
 
 let map_range t ~n ~f =
   if n = 0 then [||]
-  else if t.jobs <= 1 || n = 1 || t.stop then begin
+  else
+  (* Tracing: capture the submitter's span context once per map; every
+     item then runs as a [pool.item] child span wherever it is
+     scheduled.  The capture happens on every path (parallel and the
+     sequential fallbacks) so trace-id allocation is --jobs-invariant. *)
+  let f = Trace.wrap_items f in
+  if t.jobs <= 1 || n = 1 || t.stop then begin
     T.Counter.incr m_seq_fallbacks;
     seq_map_range ~n ~f
   end
@@ -242,7 +249,10 @@ let shared_pool ~jobs =
 
 let run_range ?jobs ~n ~f () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  if jobs <= 1 then seq_map_range ~n ~f
+  if jobs <= 1 then
+    (* Mirror [map_range]'s capture exactly (after the n = 0 cutoff) so
+       trace-id allocation does not depend on the jobs count. *)
+    if n = 0 then [||] else seq_map_range ~n ~f:(Trace.wrap_items f)
   else map_range (shared_pool ~jobs) ~n ~f
 
 let run ?jobs f arr =

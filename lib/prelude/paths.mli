@@ -1,0 +1,11 @@
+(** Output-path validation shared by the CLI's [--*-out] options. *)
+
+val check_parent : what:string -> string -> (unit, string) result
+(** [check_parent ~what path] is [Ok ()] when [path]'s parent directory
+    exists and is a directory; otherwise an [Error] with a one-line
+    actionable message naming [what] (e.g. ["metrics report"],
+    ["trace"]) and the missing directory. *)
+
+val check_outputs : (string * string option) list -> (unit, string) result
+(** [check_outputs [(what, path_opt); ...]]: {!check_parent} over every
+    [Some] path, returning the first error. *)

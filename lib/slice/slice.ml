@@ -16,7 +16,10 @@ module Optimization_engine = Apple_core.Optimization_engine
 module Controller = Apple_core.Controller
 module Verify = Apple_verify.Verify
 module T = Apple_telemetry.Telemetry
+module Tr = Apple_trace.Trace
 
+let tr_admit = Tr.span ~cat:"slice" "slice.admit"
+let tr_depart = Tr.span ~cat:"slice" "slice.depart"
 let log = Logs.Src.create "apple.slice" ~doc:"APPLE slice manager"
 
 module Log = (val Logs.src_log log : Logs.LOG)
@@ -666,6 +669,7 @@ let throttled_of (st : installed) =
     st.res
 
 let admit t spec =
+  Tr.with_ tr_admit @@ fun () ->
   (match validate_spec t.topo spec with
   | Ok () -> ()
   | Error e -> invalid_arg ("Slice.admit: " ^ e));
@@ -719,6 +723,7 @@ let admit t spec =
       Ok adm
 
 let depart t ~tenant ~name =
+  Tr.with_ tr_depart @@ fun () ->
   let key = tenant ^ "/" ^ name in
   match t.state with
   | None -> Error (Printf.sprintf "%s is not resident (substrate empty)" key)

@@ -25,6 +25,9 @@ module Rule_generator = Apple_core.Rule_generator
 module Optimization_engine = Apple_core.Optimization_engine
 module Verify = Apple_verify.Verify
 module Fault = Apple_chaos.Fault
+module Tr = Apple_trace.Trace
+
+let tr_step = Tr.span ~cat:"epoch" "soak.epoch"
 
 type load_source = Oracle | Polled
 
@@ -961,6 +964,7 @@ let end_window sess ~boundary =
 let step sess =
   let cfg = sess.cfg in
   let e = sess.epoch in
+  Tr.with_ ~cls:e tr_step @@ fun () ->
   if e mod cfg.reopt_every = 0 then start_window sess e
   else Scenario.update_rates sess.scenario sess.snapshots.(e mod cfg.cycle);
   if not sess.aborted then begin

@@ -12,6 +12,7 @@ module Rule_generator = Apple_core.Rule_generator
 module T = Apple_telemetry.Telemetry
 
 let sp_check = T.Span.create "verify.check"
+let tr_check = Apple_trace.Trace.span ~cat:"verify" "verify.check"
 let m_walks = T.Counter.create "apple.verify.walks"
 let m_violations = T.Counter.create "apple.verify.violations"
 let m_certified = T.Counter.create "apple.verify.certified"
@@ -187,6 +188,7 @@ let walk_branch_budget = 4096
 let check ?(slack = 1.0001) (s : Types.scenario) (asg : Subclass.assignment)
     (built : Rule_generator.built) =
   T.Span.with_ sp_check @@ fun () ->
+  Apple_trace.Trace.with_ tr_check @@ fun () ->
   let env = P.env () in
   let net = built.Rule_generator.network in
   let violations = ref [] in

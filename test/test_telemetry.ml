@@ -217,6 +217,59 @@ let test_span_sim_time () =
   | [ e ] -> Alcotest.(check (option (float 1e-9))) "sim stamp" (Some 13.5) e.T.Journal.sim
   | l -> Alcotest.fail (Printf.sprintf "expected one entry, got %d" (List.length l))
 
+let test_span_sim_clock_mid_span () =
+  with_telemetry @@ fun () ->
+  let now = ref 100.0 in
+  Fun.protect ~finally:(fun () -> T.set_sim_clock None) @@ fun () ->
+  (* Clock installed mid-span: no start stamp, so the region records
+     wall time only — a partial sim delta would be meaningless. *)
+  let s1 = T.Span.create "test.span.midinstall" in
+  T.Span.with_ s1 (fun () ->
+      T.set_sim_clock (Some (fun () -> !now));
+      now := 107.0);
+  Alcotest.(check int) "run counted" 1 (T.Span.count s1);
+  Alcotest.(check (float 1e-9)) "no sim with half a stamp" 0.0
+    (T.Span.sim_seconds s1);
+  (* Clock removed mid-span: same rule from the other side. *)
+  let s2 = T.Span.create "test.span.midremove" in
+  T.Span.with_ s2 (fun () -> T.set_sim_clock None);
+  Alcotest.(check int) "run counted" 1 (T.Span.count s2);
+  Alcotest.(check (float 1e-9)) "no sim when removed mid-span" 0.0
+    (T.Span.sim_seconds s2);
+  (* Clock present at both ends again: deltas resume accumulating. *)
+  T.set_sim_clock (Some (fun () -> !now));
+  T.Span.with_ s2 (fun () -> now := !now +. 2.25);
+  Alcotest.(check (float 1e-9)) "sim resumes" 2.25 (T.Span.sim_seconds s2)
+
+let test_prometheus_span_golden () =
+  with_telemetry @@ fun () ->
+  (* A uniquely-prefixed span: its exposition block (TYPE lines and the
+     deterministic _count sample) must appear verbatim; the
+     _seconds_total sample is host-timed, so only its shape is checked. *)
+  let s = T.Span.create "test.promgold.span" in
+  ignore (T.Span.with_ s (fun () -> Sys.opaque_identity 1));
+  ignore (T.Span.with_ s (fun () -> Sys.opaque_identity 2));
+  let prom = T.render T.Prom in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prom has " ^ needle) true (contains prom needle))
+    [
+      "# TYPE test_promgold_span_seconds_total counter";
+      "# TYPE test_promgold_span_count counter";
+      "test_promgold_span_count 2";
+    ];
+  let has_sample =
+    String.split_on_char '\n' prom
+    |> List.exists (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "test_promgold_span_seconds_total"; v ] ->
+               (match float_of_string_opt v with
+               | Some f -> f >= 0.0
+               | None -> false)
+           | _ -> false)
+  in
+  Alcotest.(check bool) "seconds_total sample well-formed" true has_sample
+
 (* --- exporters ------------------------------------------------------- *)
 
 let test_exporters_render () =
@@ -336,6 +389,10 @@ let suite =
       test_span_aggregates_and_exceptions;
     Alcotest.test_case "span: sim-time durations and stamps" `Quick
       test_span_sim_time;
+    Alcotest.test_case "span: sim clock installed/removed mid-span" `Quick
+      test_span_sim_clock_mid_span;
+    Alcotest.test_case "exporters: prometheus span summary block" `Quick
+      test_prometheus_span_golden;
     Alcotest.test_case "exporters: text/json/prom sanity" `Quick
       test_exporters_render;
     Alcotest.test_case "exporters: prometheus golden block and ordering"

@@ -1,0 +1,195 @@
+(* The causal tracer's contract: disabled-path no-ops, parent/child
+   causality, ring overflow accounting, export schema, self-time
+   attribution, and — the load-bearing property — byte-identical sim
+   renders for any --jobs.  Every test restores the disabled default so
+   the rest of the suite observes an inert tracer. *)
+
+module Trace = Apple_trace.Trace
+module C = Apple_core
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  nn = 0 || scan 0
+
+(* Flip tracing on for the body of a test, restoring the disabled
+   default and an empty ring no matter how the body exits. *)
+let with_trace f =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+let sp_outer = Trace.span ~cat:"test" "test.outer"
+let sp_inner = Trace.span ~cat:"test" "test.inner"
+
+(* --- disabled path -------------------------------------------------- *)
+
+let test_disabled_noop () =
+  Trace.reset ();
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  let v = Trace.with_ sp_outer (fun () -> 42) in
+  Alcotest.(check int) "body runs" 42 v;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()));
+  Alcotest.(check int) "no drops" 0 (Trace.dropped ())
+
+(* --- causality ------------------------------------------------------ *)
+
+let test_parent_child () =
+  with_trace @@ fun () ->
+  Trace.with_ sp_outer (fun () ->
+      Trace.with_ sp_inner (fun () -> ());
+      Trace.with_ ~cls:7 sp_inner (fun () -> ()));
+  let evs = Trace.events () in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let outer =
+    List.find (fun e -> e.Trace.ev_name = "test.outer") evs
+  in
+  let inners =
+    List.filter (fun e -> e.Trace.ev_name = "test.inner") evs
+  in
+  Alcotest.(check int) "two inner" 2 (List.length inners);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "same trace" outer.Trace.ev_trace e.Trace.ev_trace;
+      Alcotest.(check int) "child of outer" outer.Trace.ev_id e.Trace.ev_parent)
+    inners;
+  (match inners with
+  | [ a; b ] ->
+      Alcotest.(check bool) "distinct ids" true (a.Trace.ev_id <> b.Trace.ev_id);
+      Alcotest.(check int) "seq 0 then 1" 0 a.Trace.ev_seq;
+      Alcotest.(check int) "seq 0 then 1" 1 b.Trace.ev_seq;
+      Alcotest.(check int) "cls carried" 7 b.Trace.ev_cls
+  | _ -> Alcotest.fail "expected exactly two inner events");
+  (* Two roots get distinct traces. *)
+  Trace.with_ sp_outer (fun () -> ());
+  let roots =
+    List.filter (fun e -> e.Trace.ev_name = "test.outer") (Trace.events ())
+  in
+  match roots with
+  | [ a; b ] ->
+      Alcotest.(check bool) "distinct traces" true
+        (a.Trace.ev_trace <> b.Trace.ev_trace)
+  | _ -> Alcotest.fail "expected exactly two root events"
+
+(* --- ring overflow -------------------------------------------------- *)
+
+let test_ring_overflow () =
+  let saved = Trace.ring_capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.set_ring_capacity saved)
+    (fun () ->
+      Trace.set_ring_capacity 8;
+      Trace.set_enabled true;
+      for _ = 1 to 20 do
+        Trace.with_ sp_outer (fun () -> ())
+      done;
+      Trace.set_enabled false;
+      Alcotest.(check int) "ring keeps cap" 8 (List.length (Trace.events ()));
+      Alcotest.(check int) "drops counted" 12 (Trace.dropped ());
+      let s = Trace.render_chrome ~mode:Trace.Sim () in
+      Alcotest.(check bool) "drops exported" true
+        (contains s "\"dropped\":12"))
+
+(* --- export --------------------------------------------------------- *)
+
+let test_chrome_schema () =
+  with_trace @@ fun () ->
+  Trace.with_ sp_outer (fun () -> Trace.with_ sp_inner (fun () -> ()));
+  let sim = Trace.render_chrome ~mode:Trace.Sim () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("sim render has " ^ needle) true
+        (contains sim needle))
+    [
+      "\"schema\":\"apple-trace/1\"";
+      "\"mode\":\"sim\"";
+      "\"traceEvents\":[";
+      "\"ph\":\"X\"";
+      "\"cat\":\"test\"";
+      (* Host-dependent fields are zeroed in sim mode. *)
+      "\"tid\":0";
+      "\"wall_us\":0.000";
+      "\"minor_words\":0";
+    ];
+  let wall = Trace.render_chrome ~mode:Trace.Wall () in
+  Alcotest.(check bool) "wall render tagged" true
+    (contains wall "\"mode\":\"wall\"")
+
+let test_rows_and_phases () =
+  with_trace @@ fun () ->
+  Trace.with_ sp_outer (fun () ->
+      for _ = 1 to 3 do
+        Trace.with_ sp_inner (fun () -> Sys.opaque_identity (ignore (Array.make 100 0.0)))
+      done);
+  let rows = Trace.rows ~mode:Trace.Wall () in
+  Alcotest.(check int) "two row names" 2 (List.length rows);
+  let inner = List.find (fun r -> r.Trace.r_name = "test.inner") rows in
+  Alcotest.(check int) "inner count" 3 inner.Trace.r_count;
+  Alcotest.(check bool) "self <= total" true
+    (inner.Trace.r_self <= inner.Trace.r_total +. 1e-12);
+  let phases = Trace.phases ~mode:Trace.Wall () in
+  Alcotest.(check int) "one phase" 1 (List.length phases);
+  let p = List.hd phases in
+  Alcotest.(check string) "phase cat" "test" p.Trace.ph_cat;
+  Alcotest.(check int) "phase count" 4 p.Trace.ph_count;
+  let table = Trace.render_table ~mode:Trace.Wall () in
+  Alcotest.(check bool) "table headed" true (contains table "APPLE profile");
+  Alcotest.(check bool) "table lists span" true (contains table "test.inner")
+
+(* --- jobs invariance ------------------------------------------------ *)
+
+(* One gated per-class epoch over a small scenario, traced; the sim
+   render zeroes every host-dependent field, so it must come out byte
+   for byte the same whatever the worker count. *)
+let traced_epoch_render ~seed ~jobs =
+  let s = Helpers.small_scenario ~seed ~total:3000.0 ~max_classes:12 () in
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled false)
+    (fun () ->
+      let ctrl =
+        C.Controller.create ~engine:`Per_class ~jobs
+          ~gate:Apple_verify.Verify.gate s
+      in
+      ignore (C.Controller.run_epoch ctrl);
+      Trace.render_chrome ~mode:Trace.Sim ())
+
+let test_sim_render_jobs_invariant () =
+  let a = traced_epoch_render ~seed:11 ~jobs:1 in
+  let b = traced_epoch_render ~seed:11 ~jobs:4 in
+  Alcotest.(check bool) "some events traced" true
+    (contains a "pool.item");
+  Alcotest.(check string) "jobs 1 = jobs 4" a b;
+  Trace.reset ()
+
+let prop_sim_render_jobs_invariant =
+  QCheck.Test.make ~count:4 ~name:"sim render invariant under --jobs"
+    QCheck.(make Gen.(int_range 1 1000))
+    (fun seed ->
+      let a = traced_epoch_render ~seed ~jobs:1 in
+      let b = traced_epoch_render ~seed ~jobs:3 in
+      Trace.reset ();
+      String.equal a b)
+
+let suite =
+  [
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "parent/child causality" `Quick test_parent_child;
+    Alcotest.test_case "ring overflow accounting" `Quick test_ring_overflow;
+    Alcotest.test_case "chrome export schema" `Quick test_chrome_schema;
+    Alcotest.test_case "rows, phases and table" `Quick test_rows_and_phases;
+    Alcotest.test_case "sim render --jobs invariant" `Quick
+      test_sim_render_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_sim_render_jobs_invariant;
+  ]

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Phase-budget regression gate for the committed apple-profile/1
+# section of BENCH_core.json.
+#
+# The bench `profile` section runs a fixed-size gated epoch under the
+# causal tracer and records each pipeline phase's share of wall self
+# time.  This guard re-runs that section on the current build and
+# fails when a phase's fresh share exceeds the committed share by more
+# than the slack:
+#
+#     fresh_share > committed_share * REL + ABS
+#
+# Shares are ratios of a single run's total, so they are stable where
+# absolute seconds are not; the slack absorbs host noise.  Override
+# with APPLE_PHASE_REL / APPLE_PHASE_ABS.  On failure either fix the
+# regression or — if the shift is intentional — refresh the snapshot
+# with `make bench-snapshots` and review the diff.
+#
+# Usage: sh tools/check_phase_budgets.sh [snapshot.json]
+set -u
+cd "$(dirname "$0")/.."
+
+snapshot=${1:-BENCH_core.json}
+rel=${APPLE_PHASE_REL:-2.0}
+abs=${APPLE_PHASE_ABS:-0.10}
+
+if [ ! -f "$snapshot" ]; then
+    echo "check_phase_budgets: $snapshot not found (run make bench-snapshots)" >&2
+    exit 1
+fi
+if ! grep -q '"apple-profile/1"' "$snapshot"; then
+    echo "check_phase_budgets: $snapshot has no apple-profile/1 section — refresh with make bench-snapshots" >&2
+    exit 1
+fi
+
+fresh=$(mktemp /tmp/apple_profile.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+dune exec bench/main.exe -- profile --json "$fresh" > /dev/null
+
+if ! grep -q '"apple-profile/1"' "$fresh"; then
+    echo "check_phase_budgets: fresh bench run produced no apple-profile/1 section" >&2
+    exit 1
+fi
+
+# Phase lines look like:
+#   "solve": {"count": 209, "self_seconds": 0.004, "share": 0.241},
+phase_shares() {
+    sed -n 's/^ *"\([a-z_]*\)": {"count": [0-9]*, "self_seconds": [^,]*, "share": \([0-9.eE+-]*\)}.*/\1 \2/p' "$1"
+}
+
+phase_shares "$snapshot" > /tmp/apple_phase_want.$$
+phase_shares "$fresh" > /tmp/apple_phase_got.$$
+trap 'rm -f "$fresh" /tmp/apple_phase_want.$$ /tmp/apple_phase_got.$$' EXIT
+
+if [ ! -s /tmp/apple_phase_want.$$ ]; then
+    echo "check_phase_budgets: could not parse phase shares from $snapshot" >&2
+    exit 1
+fi
+
+fail=0
+while read -r phase want; do
+    got=$(awk -v p="$phase" '$1 == p { print $2 }' /tmp/apple_phase_got.$$)
+    if [ -z "$got" ]; then
+        echo "check_phase_budgets: phase \"$phase\" vanished from the fresh profile" >&2
+        fail=1
+        continue
+    fi
+    over=$(awk -v w="$want" -v g="$got" -v r="$rel" -v a="$abs" \
+        'BEGIN { print (g > w * r + a) ? 1 : 0 }')
+    if [ "$over" = 1 ]; then
+        echo "check_phase_budgets: phase \"$phase\" share regressed: committed $want, fresh $got (budget = $want * $rel + $abs)" >&2
+        fail=1
+    else
+        echo "check_phase_budgets: phase \"$phase\" share $got within budget (committed $want)"
+    fi
+done < /tmp/apple_phase_want.$$
+
+[ "$fail" = 0 ] && echo "check_phase_budgets: OK"
+exit $fail

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Guard: Chrome-trace exports must carry the "apple-trace/1" schema
+# identifier that EXPERIMENTS.md documents, and must parse as JSON.
+# The trace format is versioned like the bench snapshots — drifting it
+# without a doc (and schema bump) fails here.
+#
+# Usage: check_trace_schema.sh [trace.json]
+# With no argument a trace is produced by running the profiler over a
+# small table3 workload.
+set -u
+cd "$(dirname "$0")/.."
+
+trace="${1:-}"
+if [ -z "$trace" ]; then
+    trace=$(mktemp /tmp/apple_trace.XXXXXX.json)
+    trap 'rm -f "$trace"' EXIT
+    dune exec bin/apple_cli.exe -- profile --experiment table3 --scale 0.1 \
+        --trace-out "$trace" > /dev/null
+fi
+
+if [ ! -s "$trace" ]; then
+    echo "check_trace_schema: no trace at $trace" >&2
+    exit 1
+fi
+
+schema=$(sed -n 's/.*"schema": *"\([^"]*\)".*/\1/p' "$trace" | head -n 1)
+if [ -z "$schema" ]; then
+    echo "check_trace_schema: $trace carries no \"schema\" field" >&2
+    exit 1
+fi
+if ! grep -q "\"$schema\"" EXPERIMENTS.md; then
+    echo "check_trace_schema: schema \"$schema\" ($trace) is not documented in EXPERIMENTS.md — document the format there (and bump the schema on incompatible changes)" >&2
+    exit 1
+fi
+for key in '"traceEvents"' '"mode"' '"dropped"'; do
+    if ! grep -q "$key" "$trace"; then
+        echo "check_trace_schema: $trace lacks the $key field required by $schema" >&2
+        exit 1
+    fi
+done
+if command -v python3 > /dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$trace"; then
+        echo "check_trace_schema: $trace is not valid JSON" >&2
+        exit 1
+    fi
+fi
+
+echo "check_trace_schema: OK ($schema)"
