@@ -13,6 +13,7 @@ module Poller = Apple_obs.Poller
 module Provenance = Apple_obs.Provenance
 module Top = Apple_obs.Top
 module Walk = Apple_dataplane.Walk
+module Dp = Apple_dataplane.Compiled
 module PS = Apple_packetsim.Packet_sim
 module I = Apple_vnf.Instance
 module Ch = Apple_chaos
@@ -68,6 +69,30 @@ let with_metrics metrics out f =
               (fun () -> output_string oc report)
       in
       Fun.protect ~finally:emit f
+
+(* --- dataplane engine option (solve / chaos / soak / slice) --------- *)
+
+let dataplane_arg =
+  let doc =
+    "Dataplane engine for packet walks: $(b,interp) interprets each \
+     lookup over the priority-sorted rule list (the reference \
+     semantics), $(b,compiled) dispatches through per-switch compiled \
+     tables (tag-keyed dispatch with BDD prefix guards).  Results, \
+     counters and flight events are byte-identical; compiled is the \
+     fast path for packet-level runs."
+  in
+  let env = Cmd.Env.info "APPLE_DATAPLANE" ~doc:"Same as $(b,--dataplane)." in
+  Arg.(
+    value
+    & opt (enum [ ("interp", Dp.Interp); ("compiled", Dp.Compiled) ]) Dp.Interp
+    & info [ "dataplane" ] ~docv:"ENGINE" ~env ~doc)
+
+(* Run [f] under the chosen dataplane engine, restoring the previous
+   mode afterwards so library defaults never leak across commands. *)
+let with_dataplane mode f =
+  let saved = Dp.mode () in
+  Dp.set_mode mode;
+  Fun.protect ~finally:(fun () -> Dp.set_mode saved) f
 
 (* --- causal tracing options (solve / chaos / soak / slice / profile) - *)
 
@@ -219,10 +244,11 @@ let engine_conv =
   Arg.enum
     [ ("best", `Best); ("lp", `Lp); ("per-class", `Per_class); ("greedy", `Greedy) ]
 
-let solve_action topo seed total max_classes engine jobs verify tm_file metrics
-    out trace_out trace_mode =
+let solve_action topo seed total max_classes engine jobs verify tm_file
+    dataplane metrics out trace_out trace_mode =
   checked_outputs [ ("metrics report", out); ("trace", trace_out) ]
   @@ fun () ->
+  with_dataplane dataplane @@ fun () ->
   with_metrics metrics out @@ fun () ->
   with_trace trace_out trace_mode @@ fun () ->
   let n = Apple_topology.Graph.num_nodes topo.B.graph in
@@ -321,7 +347,7 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the Optimization Engine once and print the placement summary")
-    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ metrics_arg $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
+    Term.(ret (const solve_action $ topo_arg $ seed_arg $ total_arg $ classes_arg $ engine_arg $ jobs_arg $ verify_arg $ tm_arg $ dataplane_arg $ metrics_arg $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
 
 (* --- verify command ------------------------------------------------ *)
 
@@ -772,7 +798,7 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let chaos_action topo seed schedule_file duration round jobs boot flight_out
-    metrics out trace_out trace_mode =
+    dataplane metrics out trace_out trace_mode =
   checked_outputs
     [
       ("flight dump", flight_out);
@@ -780,6 +806,7 @@ let chaos_action topo seed schedule_file duration round jobs boot flight_out
       ("trace", trace_out);
     ]
   @@ fun () ->
+  with_dataplane dataplane @@ fun () ->
   with_metrics metrics out @@ fun () ->
   with_trace trace_out trace_mode @@ fun () ->
   let schedule =
@@ -889,7 +916,8 @@ let chaos_cmd =
       ret
         (const chaos_action $ topo_arg $ seed_arg $ schedule_arg
        $ duration_arg $ round_arg $ jobs_arg $ boot_arg $ chaos_flight_arg
-       $ metrics_arg $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
+       $ dataplane_arg $ metrics_arg $ metrics_out_arg $ trace_out_arg
+       $ trace_mode_arg))
 
 (* --- failover experiment command ------------------------------------ *)
 
@@ -913,7 +941,7 @@ let failover_cmd =
 let soak_action topo seed epochs reopt checkpoint cycle total classes heal
     loss_band window_band mem_slack engine jobs load_source schedule_file
     state_dir resume halt_at stream_path summary_out bench_json_out flight_out
-    metrics out trace_out trace_mode =
+    dataplane metrics out trace_out trace_mode =
   checked_outputs
     [
       ("summary", summary_out);
@@ -923,6 +951,7 @@ let soak_action topo seed epochs reopt checkpoint cycle total classes heal
       ("trace", trace_out);
     ]
   @@ fun () ->
+  with_dataplane dataplane @@ fun () ->
   with_metrics metrics out @@ fun () ->
   with_trace trace_out trace_mode @@ fun () ->
   let schedule =
@@ -1142,16 +1171,17 @@ let soak_cmd =
        $ loss_band_arg $ window_band_arg $ mem_slack_arg $ engine_arg
        $ jobs_arg $ load_source_arg $ schedule_arg $ state_dir_arg
        $ resume_arg $ halt_arg $ stream_arg $ summary_out_arg
-       $ bench_json_arg $ soak_flight_arg $ metrics_arg $ metrics_out_arg
-       $ trace_out_arg $ trace_mode_arg))
+       $ bench_json_arg $ soak_flight_arg $ dataplane_arg $ metrics_arg
+       $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
 
 (* --- slice command -------------------------------------------------- *)
 
 let slice_action mode topo seed trace_file synth_events tenant name rate demand
     classes weight isolated nat slice_seed host_cores no_gate engine jobs
-    metrics out trace_out trace_mode =
+    dataplane metrics out trace_out trace_mode =
   checked_outputs [ ("metrics report", out); ("trace", trace_out) ]
   @@ fun () ->
+  with_dataplane dataplane @@ fun () ->
   with_metrics metrics out @@ fun () ->
   with_trace trace_out trace_mode @@ fun () ->
   let gate = not no_gate in
@@ -1330,8 +1360,8 @@ let slice_cmd =
         (const slice_action $ mode_arg $ topo_arg $ seed_arg $ trace_arg
        $ synth_arg $ tenant_arg $ name_arg $ rate_arg $ demand_arg
        $ classes_arg $ weight_arg $ isolated_arg $ nat_arg $ slice_seed_arg
-       $ host_cores_arg $ no_gate_arg $ engine_arg $ jobs_arg $ metrics_arg
-       $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
+       $ host_cores_arg $ no_gate_arg $ engine_arg $ jobs_arg $ dataplane_arg
+       $ metrics_arg $ metrics_out_arg $ trace_out_arg $ trace_mode_arg))
 
 (* --- topologies command -------------------------------------------- *)
 

@@ -175,6 +175,16 @@ let equal (a : t) (b : t) = a = b
 let is_true (_ : man) a = a = 1
 let is_false (_ : man) a = a = 0
 
+(* One root-to-terminal descent: O(depth), allocation-free.  This is the
+   hot-path primitive the compiled dataplane uses to test a concrete
+   header against a predicate. *)
+let eval m a f =
+  let n = ref a in
+  while !n > 1 do
+    n := if f m.var_.(!n) then m.high.(!n) else m.low.(!n)
+  done;
+  !n = 1
+
 let cube m literals =
   List.fold_left
     (fun acc (i, pos) -> bdd_and m acc (if pos then var m i else nvar m i))

@@ -49,6 +49,11 @@ val equal : t -> t -> bool
 val is_true : man -> t -> bool
 val is_false : man -> t -> bool
 
+val eval : man -> t -> (int -> bool) -> bool
+(** [eval m a f] decides [a] under the total assignment [f] (bit [i] is
+    [f i]) by a single root-to-terminal descent: O(depth),
+    allocation-free.  The compiled dataplane's per-entry matcher. *)
+
 val cube : man -> (int * bool) list -> t
 (** Conjunction of literals: [(i, true)] means bit i set. *)
 

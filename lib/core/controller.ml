@@ -133,6 +133,10 @@ let run_epoch t =
       (Dynamic_handler.create ~config:t.failover ~load_source:t.load_source
          state);
   T.Counter.incr m_epochs;
+  (* Dataplane epoch hook: the compiled engine accounts (switch, epoch)
+     compiles against this; the epoch's fresh tables carry fresh caches,
+     so stale compiles cannot survive an install. *)
+  Apple_dataplane.Compiled.note_epoch ();
   Apple_obs.Flight.record Apple_obs.Flight.Epoch
     ~a:(Array.length t.s.Types.classes)
     ~b:report.instances ~c:report.cores ();
@@ -168,6 +172,7 @@ let reinstall_rules t =
           { report with rules; tcam_entries = rules.Rule_generator.tcam_with_tagging };
       T.Journal.recordf ~kind:"epoch" "rules reinstalled: %d TCAM entries"
         rules.Rule_generator.tcam_with_tagging;
+      Apple_dataplane.Compiled.note_epoch ();
       rules
   | _ -> invalid_arg "Controller.reinstall_rules: run_epoch first"
 

@@ -11,6 +11,22 @@ type t
 val create : switch:int -> t
 val switch : t -> int
 
+type cache = ..
+(** Slot for a compiled representation of the table, owned by a higher
+    layer ({!Compiled}).  Extensible so this module carries no
+    dependency on the compiler. *)
+
+type cache += No_cache
+
+val generation : t -> int
+(** Structural mutation counter: every {!add_phys}, {!add_vswitch},
+    {!set_phys}, {!set_vswitch} and {!retain_phys} bumps it (and resets
+    the cache slot to {!No_cache}), so a compiled structure stamped with
+    an older generation is stale by construction. *)
+
+val cache_slot : t -> cache
+val set_cache_slot : t -> cache -> unit
+
 val add_phys : t -> Rule.phys_rule -> unit
 val add_vswitch : t -> Rule.vswitch_rule -> unit
 
@@ -54,6 +70,11 @@ type network = t array
 val network : num_switches:int -> network
 val total_tcam : network -> int
 val total_vswitch : network -> int
+
+val host_matches : [ `Empty | `Host of int | `Fin | `Any ] -> Tag.tags -> bool
+(** Does the rule's host pattern admit the packet's host tag?  [`Any]
+    admits everything; [`Empty], [`Fin] and [`Host h] each admit exactly
+    their own tag value. *)
 
 val lookup_phys : t -> Tag.tags -> src_ip:int -> Rule.phys_action option
 (** Highest-priority matching rule's action, mimicking the Fig. 2 walk.

@@ -59,6 +59,30 @@ val run :
     structured {!Apple_obs.Flight.Blackhole} event naming the dead
     element. *)
 
+type request = {
+  rq_path : int list;
+  rq_cls : int;
+  rq_src_ip : int;
+  rq_start_in_host : bool;
+  rq_flow : int;
+}
+(** One walk of a batch; fields mirror {!run}'s arguments. *)
+
+val run_batch :
+  Tcam.network ->
+  requests:request array ->
+  ?rewriters:(int -> bool) ->
+  ?mask:Failmask.t ->
+  unit ->
+  (trace, error) result array
+(** Walk a whole batch against one (network, epoch) snapshot.
+    Equivalent to mapping {!run} over [requests] — same results, same
+    spans, same Flight/Counter side effects, in the same order — but
+    the batch compiles every table once up front (under [--dataplane
+    compiled]; see {!Compiled.warm}) and builds the failmask predicates
+    once, so the per-packet loop runs over warmed structures only.
+    {!Packet_sim} routes all its flows through this. *)
+
 val policy_enforced :
   trace -> instance_kind:(int -> Apple_vnf.Nf.kind) -> chain:Apple_vnf.Nf.kind list -> bool
 (** The instance kinds along the trace equal the chain. *)

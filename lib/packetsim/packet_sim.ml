@@ -75,12 +75,12 @@ let service_time_of config inst =
   let pps = mbps *. 1e6 /. 8.0 /. float_of_int config.packet_bytes in
   1.0 /. pps
 
-let itinerary config ~network ~servers ~flow (spec : flow_spec) =
-  (* One walk decides the whole flow's route; per-packet steps alternate
-     a link per hop plus the servers of instances applied at that hop. *)
-  match
-    Walk.run network ~path:spec.path ~cls:spec.cls ~src_ip:spec.src_ip ~flow ()
-  with
+let itinerary config ~servers (spec : flow_spec) walk =
+  (* One walk decides the whole flow's route (the walks of all flows run
+     as a single Walk.run_batch per (network, epoch) snapshot); per-packet
+     steps alternate a link per hop plus the servers of instances applied
+     at that hop. *)
+  match walk with
   | Error e ->
       raise
         (Unroutable
@@ -166,8 +166,21 @@ let run ?(config = default_config) ?(seed = 1) ?poll ?mask ~network ~instances
   let delivered = Array.make (Array.length specs) 0 in
   let dropped = Array.make (Array.length specs) 0 in
   let latencies = Array.make (Array.length specs) [] in
+  let requests =
+    Array.mapi
+      (fun idx (spec : flow_spec) ->
+        {
+          Walk.rq_path = spec.path;
+          rq_cls = spec.cls;
+          rq_src_ip = spec.src_ip;
+          rq_start_in_host = false;
+          rq_flow = idx;
+        })
+      specs
+  in
+  let walks = Walk.run_batch network ~requests () in
   let routed =
-    Array.mapi (fun idx spec -> itinerary config ~network ~servers ~flow:idx spec) specs
+    Array.mapi (fun idx spec -> itinerary config ~servers spec walks.(idx)) specs
   in
   let itineraries = Array.map (fun (steps, _, _) -> steps) routed in
   let rule_paths = Array.map (fun (_, rules, _) -> rules) routed in

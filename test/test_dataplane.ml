@@ -189,6 +189,171 @@ let test_network_totals () =
   Alcotest.(check int) "vswitch rules" 3 (Tcam.total_vswitch net);
   Alcotest.(check bool) "tcam entries counted" true (Tcam.total_tcam net >= 5)
 
+(* ---- compiled-table lifecycle (stale-compile hazard) -------------- *)
+
+module Compiled = Apple_dataplane.Compiled
+
+let with_compiled f =
+  let saved = Compiled.mode () in
+  Compiled.set_mode Compiled.Compiled;
+  Fun.protect ~finally:(fun () -> Compiled.set_mode saved) f
+
+(* Mutating a table through retain_phys after its first compiled lookup
+   must invalidate the compiled structure: the second lookup has to see
+   the shrunken table (and be a fresh compile, not a stale cache hit). *)
+let test_compiled_invalidated_by_retain_phys () =
+  with_compiled @@ fun () ->
+  let table = Tcam.create ~switch:0 in
+  Tcam.add_phys table
+    {
+      Rule.priority = 100;
+      pmatch = { Rule.m_host = `Empty; m_subclass = `Any; m_prefixes = [ prefix "10.5.0.0/24" ] };
+      action = Rule.Tag_and_forward { subclass = 7; host = Tag.Fin };
+    };
+  Tcam.add_phys table
+    {
+      Rule.priority = 0;
+      pmatch = { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [] };
+      action = Rule.Goto_next;
+    };
+  let tags = Tag.fresh () in
+  Compiled.reset_stats ();
+  (match Compiled.lookup_phys_entry table tags ~src_ip with
+  | Some (0, Rule.Tag_and_forward { subclass = 7; _ }) -> ()
+  | _ -> Alcotest.fail "expected the classification rule (uid 0) to match");
+  let compiles_after_first, _ = Compiled.stats () in
+  Alcotest.(check int) "first lookup compiled the table" 1 compiles_after_first;
+  (* Second lookup from the warm cache: no recompile. *)
+  ignore (Compiled.lookup_phys_entry table tags ~src_ip);
+  let compiles_warm, _ = Compiled.stats () in
+  Alcotest.(check int) "warm lookup reuses the compile" 1 compiles_warm;
+  (* TCAM loss: drop the classification rule (uid 0), keep the pass-by. *)
+  let lost = Tcam.retain_phys table ~keep:(fun uid -> uid <> 0) in
+  Alcotest.(check int) "one rule lost" 1 lost;
+  (match Compiled.lookup_phys_entry table tags ~src_ip with
+  | Some (1, Rule.Goto_next) -> ()
+  | Some (uid, _) -> Alcotest.failf "stale compile: matched uid %d" uid
+  | None -> Alcotest.fail "expected the surviving pass-by rule");
+  let compiles_after_mutation, _ = Compiled.stats () in
+  Alcotest.(check int) "mutation forced a recompile" 2 compiles_after_mutation
+
+(* set_phys must equally invalidate (fresh uids, fresh structure). *)
+let test_compiled_invalidated_by_set_phys () =
+  with_compiled @@ fun () ->
+  let table = Tcam.create ~switch:3 in
+  Tcam.add_phys table
+    {
+      Rule.priority = 0;
+      pmatch = { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [] };
+      action = Rule.Goto_next;
+    };
+  let tags = Tag.fresh () in
+  (match Compiled.lookup_phys_entry table tags ~src_ip with
+  | Some (0, Rule.Goto_next) -> ()
+  | _ -> Alcotest.fail "expected pass-by");
+  Tcam.set_phys table
+    [
+      {
+        Rule.priority = 50;
+        pmatch = { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [] };
+        action = Rule.Fwd_to_host 3;
+      };
+    ];
+  match Compiled.lookup_phys_entry table tags ~src_ip with
+  | Some (1, Rule.Fwd_to_host 3) -> ()
+  | _ -> Alcotest.fail "stale compile survived set_phys"
+
+(* ---- host_matches / crossproduct edges ---------------------------- *)
+
+let tags_with host =
+  let t = Tag.fresh () in
+  t.Tag.host <- host;
+  t
+
+let test_host_matches_edges () =
+  (* `Any admits every tag value *)
+  List.iter
+    (fun h -> Alcotest.(check bool) "any admits" true (Tcam.host_matches `Any (tags_with h)))
+    [ Tag.Empty; Tag.Fin; Tag.Host 0; Tag.Host 41 ];
+  (* `Empty admits exactly the empty tag *)
+  Alcotest.(check bool) "empty vs empty" true (Tcam.host_matches `Empty (tags_with Tag.Empty));
+  Alcotest.(check bool) "empty vs fin" false (Tcam.host_matches `Empty (tags_with Tag.Fin));
+  Alcotest.(check bool) "empty vs host" false (Tcam.host_matches `Empty (tags_with (Tag.Host 0)));
+  (* `Fin admits exactly the fin tag *)
+  Alcotest.(check bool) "fin vs fin" true (Tcam.host_matches `Fin (tags_with Tag.Fin));
+  Alcotest.(check bool) "fin vs empty" false (Tcam.host_matches `Fin (tags_with Tag.Empty));
+  Alcotest.(check bool) "fin vs host" false (Tcam.host_matches `Fin (tags_with (Tag.Host 2)));
+  (* `Host h admits exactly host h *)
+  Alcotest.(check bool) "host vs same" true (Tcam.host_matches (`Host 2) (tags_with (Tag.Host 2)));
+  Alcotest.(check bool) "host vs other" false (Tcam.host_matches (`Host 2) (tags_with (Tag.Host 3)));
+  Alcotest.(check bool) "host vs empty" false (Tcam.host_matches (`Host 2) (tags_with Tag.Empty));
+  Alcotest.(check bool) "host vs fin" false (Tcam.host_matches (`Host 2) (tags_with Tag.Fin))
+
+let test_crossproduct_edges () =
+  let empty = Tcam.create ~switch:0 in
+  Alcotest.(check int) "empty table, empty next" 0
+    (Tcam.tcam_entries_crossproduct empty ~other_table:0);
+  Alcotest.(check int) "empty table, big next" 0
+    (Tcam.tcam_entries_crossproduct empty ~other_table:1000);
+  let table = Tcam.create ~switch:0 in
+  Tcam.add_phys table
+    {
+      Rule.priority = 1;
+      pmatch =
+        { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [ prefix "10.0.0.0/25"; prefix "10.0.0.128/25" ] };
+      action = Rule.Goto_next;
+    };
+  (* other_table = 0 clamps to 1: a missing next table costs no product *)
+  Alcotest.(check int) "next-table floor is 1" 2
+    (Tcam.tcam_entries_crossproduct table ~other_table:0);
+  Alcotest.(check int) "product with 7-rule next" 14
+    (Tcam.tcam_entries_crossproduct table ~other_table:7)
+
+(* Colliding priorities: add_phys prepends the new entry before the
+   stable re-sort, so within a priority band the most recently installed
+   rule sorts (and matches) first.  The test pins that tie-break — for
+   phys_entries, for lookups, and for the compiled engine, which must
+   inherit it exactly. *)
+let test_colliding_priorities_stable () =
+  let build () =
+    let table = Tcam.create ~switch:0 in
+    (* uid 0 and uid 1 both at priority 10 and both matching: uid 1 wins *)
+    Tcam.add_phys table
+      {
+        Rule.priority = 10;
+        pmatch = { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [] };
+        action = Rule.Fwd_to_host 0;
+      };
+    Tcam.add_phys table
+      {
+        Rule.priority = 10;
+        pmatch = { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [] };
+        action = Rule.Fwd_to_host 1;
+      };
+    (* a later, higher-priority band still lands on top *)
+    Tcam.add_phys table
+      {
+        Rule.priority = 20;
+        pmatch = { Rule.m_host = `Empty; m_subclass = `Any; m_prefixes = [ prefix "10.5.0.0/24" ] };
+        action = Rule.Goto_next;
+      };
+    table
+  in
+  let table = build () in
+  Alcotest.(check (list int)) "descending priority, newest first in a band"
+    [ 2; 1; 0 ]
+    (List.map fst (Tcam.phys_entries table));
+  let miss = Apple_classifier.Header.ip_of_string "11.0.0.1" in
+  (match Tcam.lookup_phys_entry table (Tag.fresh ()) ~src_ip:miss with
+  | Some (1, Rule.Fwd_to_host 1) -> ()
+  | _ -> Alcotest.fail "last-installed rule must win the tie");
+  match
+    with_compiled (fun () ->
+        Compiled.lookup_phys_entry (build ()) (Tag.fresh ()) ~src_ip:miss)
+  with
+  | Some (1, Rule.Fwd_to_host 1) -> ()
+  | _ -> Alcotest.fail "compiled engine broke the stable tie-break"
+
 let suite =
   [
     Alcotest.test_case "walk happy path" `Quick test_walk_happy_path;
@@ -200,4 +365,12 @@ let suite =
     Alcotest.test_case "tcam accounting" `Quick test_tcam_entry_accounting;
     Alcotest.test_case "tag defaults" `Quick test_tag_defaults;
     Alcotest.test_case "network totals" `Quick test_network_totals;
+    Alcotest.test_case "compiled invalidated by retain_phys" `Quick
+      test_compiled_invalidated_by_retain_phys;
+    Alcotest.test_case "compiled invalidated by set_phys" `Quick
+      test_compiled_invalidated_by_set_phys;
+    Alcotest.test_case "host_matches edges" `Quick test_host_matches_edges;
+    Alcotest.test_case "crossproduct edges" `Quick test_crossproduct_edges;
+    Alcotest.test_case "colliding priorities stable" `Quick
+      test_colliding_priorities_stable;
   ]

@@ -1,0 +1,398 @@
+(* Differential harness: the compiled dataplane (Apple_dataplane.Compiled)
+   against the interpreted reference (Tcam/Walk), over random tables, tag
+   states, source addresses and failure masks.  Equality is demanded on
+   traces, error codes, per-rule counter credits and flight-recorder
+   events — the compiled engine must be observationally indistinguishable,
+   not just produce the same routes. *)
+
+module Tag = Apple_dataplane.Tag
+module Rule = Apple_dataplane.Rule
+module Tcam = Apple_dataplane.Tcam
+module Walk = Apple_dataplane.Walk
+module Compiled = Apple_dataplane.Compiled
+module Failmask = Apple_dataplane.Failmask
+module Counters = Apple_obs.Counters
+module Flight = Apple_obs.Flight
+module Rng = Apple_prelude.Rng
+module Pfx = Apple_classifier.Prefix_split
+
+let with_mode mode f =
+  let saved = Compiled.mode () in
+  Compiled.set_mode mode;
+  Fun.protect ~finally:(fun () -> Compiled.set_mode saved) f
+
+(* ---------------- random dataplanes -------------------------------- *)
+
+let gen_prefix rng =
+  let len = 4 + Rng.int rng 21 (* /4 .. /24 *) in
+  let addr =
+    (Rng.int rng 256 lsl 24)
+    lor (Rng.int rng 256 lsl 16)
+    lor (Rng.int rng 256 lsl 8)
+    lor Rng.int rng 256
+  in
+  let addr = addr land lnot ((1 lsl (32 - len)) - 1) in
+  { Pfx.addr; len }
+
+let gen_host_field rng ~n =
+  match Rng.int rng 3 with
+  | 0 -> Tag.Empty
+  | 1 -> Tag.Fin
+  | _ -> Tag.Host (Rng.int rng n)
+
+let gen_host_pattern rng ~n =
+  match Rng.int rng 4 with
+  | 0 -> `Any
+  | 1 -> `Empty
+  | 2 -> `Fin
+  | _ -> `Host (Rng.int rng n)
+
+let gen_subclass_pattern rng =
+  if Rng.int rng 2 = 0 then `Any else `Subclass (Rng.int rng 6)
+
+let gen_action rng ~n =
+  match Rng.int rng 5 with
+  | 0 -> Rule.Fwd_to_host (Rng.int rng n)
+  | 1 -> Rule.Tag_and_deliver { subclass = Rng.int rng 6; host = Rng.int rng n }
+  | 2 ->
+      Rule.Tag_and_forward
+        { subclass = Rng.int rng 6; host = gen_host_field rng ~n }
+  | 3 -> Rule.Set_host_and_forward (gen_host_field rng ~n)
+  | _ -> Rule.Goto_next
+
+let gen_phys_rule rng ~n =
+  let n_prefixes = Rng.int rng 4 in
+  {
+    (* Priorities drawn from a tiny range so collisions (and the stable
+       sort's install-order tie-break) are the common case, not the
+       exception. *)
+    Rule.priority = Rng.int rng 4;
+    pmatch =
+      {
+        Rule.m_host = gen_host_pattern rng ~n;
+        m_subclass = gen_subclass_pattern rng;
+        m_prefixes = List.init n_prefixes (fun _ -> gen_prefix rng);
+      };
+    action = gen_action rng ~n;
+  }
+
+let gen_vswitch_rule rng ~n =
+  let port =
+    match Rng.int rng 3 with
+    | 0 -> Rule.From_network
+    | 1 -> Rule.From_production_vm
+    | _ -> Rule.From_instance (Rng.int rng 5)
+  in
+  let key =
+    if Rng.int rng 2 = 0 then
+      Rule.Per_class { cls = Rng.int rng 4; subclass = Rng.int rng 6 }
+    else Rule.Global (Rng.int rng 6)
+  in
+  let action =
+    if Rng.int rng 3 = 0 then
+      Rule.Back_to_network (gen_host_field rng ~n)
+    else Rule.To_instance (Rng.int rng 5)
+  in
+  { Rule.v_port = port; v_key = key; v_action = action }
+
+let gen_network rng =
+  let n = 2 + Rng.int rng 3 in
+  let net = Tcam.network ~num_switches:n in
+  Array.iter
+    (fun table ->
+      for _ = 1 to Rng.int rng 9 do
+        Tcam.add_phys table (gen_phys_rule rng ~n)
+      done;
+      for _ = 1 to Rng.int rng 7 do
+        Tcam.add_vswitch table (gen_vswitch_rule rng ~n)
+      done)
+    net;
+  (net, n)
+
+let gen_tags rng ~n =
+  let t = Tag.fresh () in
+  t.Tag.host <- gen_host_field rng ~n;
+  t.Tag.subclass <- (if Rng.int rng 2 = 0 then None else Some (Rng.int rng 8));
+  t
+
+(* A mask drawn to actually bite: elements of the walked path and the
+   instance id range, not arbitrary ints. *)
+let gen_mask rng ~n =
+  let m = Failmask.create () in
+  if Rng.int rng 2 = 0 then begin
+    if Rng.int rng 3 = 0 then Failmask.fail_switch m (Rng.int rng n);
+    if Rng.int rng 3 = 0 then
+      Failmask.fail_link m (Rng.int rng n) (Rng.int rng n);
+    if Rng.int rng 3 = 0 then Failmask.fail_instance m (Rng.int rng 5)
+  end;
+  m
+
+let gen_ip rng =
+  (Rng.int rng 256 lsl 24)
+  lor (Rng.int rng 256 lsl 16)
+  lor (Rng.int rng 256 lsl 8)
+  lor Rng.int rng 256
+
+(* ---------------- observation capture ------------------------------ *)
+
+let event_tuple (e : Flight.event) = (e.Flight.kind, e.a, e.b, e.c, e.d)
+
+(* Run [f] with counters + flight recording on, from a clean slate, and
+   return (result, rule counter snapshot, flight event tuples). *)
+let observed f =
+  Counters.reset ();
+  Flight.clear ();
+  Counters.set_enabled true;
+  let r =
+    Fun.protect ~finally:(fun () -> Counters.set_enabled false) f
+  in
+  (r, Counters.rule_snapshot (), List.map event_tuple (Flight.events ()))
+
+let pp_walk_result = function
+  | Ok (t : Walk.trace) ->
+      Printf.sprintf "Ok visited=%s instances=%s rules=%s"
+        (String.concat "," (List.map string_of_int t.Walk.visited))
+        (String.concat "," (List.map string_of_int t.Walk.instances))
+        (String.concat ","
+           (List.map (fun (s, u) -> Printf.sprintf "%d:%d" s u) t.Walk.rule_path))
+  | Error e -> Format.asprintf "Error %a (code %d)" Walk.pp_error e (Walk.error_code e)
+
+(* ---------------- properties --------------------------------------- *)
+
+(* Single-table physical lookup, all contexts. *)
+let prop_phys_lookup =
+  QCheck.Test.make ~name:"compiled ≡ interp: phys lookup" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let net, n = gen_network rng in
+      let table = net.(Rng.int rng n) in
+      let ok = ref true in
+      for _ = 1 to 16 do
+        let tags = gen_tags rng ~n in
+        let src_ip = gen_ip rng in
+        let reference, ref_counts, _ =
+          observed (fun () -> Tcam.lookup_phys_entry table tags ~src_ip)
+        in
+        let fast, fast_counts, _ =
+          observed (fun () ->
+              with_mode Compiled.Compiled (fun () ->
+                  Compiled.lookup_phys_entry table tags ~src_ip))
+        in
+        if not (reference = fast && ref_counts = fast_counts) then ok := false
+      done;
+      !ok)
+
+(* Single-table vSwitch lookup: both key spaces, rewritten headers. *)
+let prop_vswitch_lookup =
+  QCheck.Test.make ~name:"compiled ≡ interp: vswitch lookup" ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let net, n = gen_network rng in
+      let table = net.(Rng.int rng n) in
+      let ok = ref true in
+      for _ = 1 to 16 do
+        let port =
+          match Rng.int rng 3 with
+          | 0 -> Rule.From_network
+          | 1 -> Rule.From_production_vm
+          | _ -> Rule.From_instance (Rng.int rng 5)
+        in
+        let cls = if Rng.int rng 3 = 0 then None else Some (Rng.int rng 4) in
+        let subclass = Rng.int rng 6 in
+        let reference = Tcam.lookup_vswitch table port ~cls ~subclass in
+        let fast =
+          with_mode Compiled.Compiled (fun () ->
+              Compiled.lookup_vswitch table port ~cls ~subclass)
+        in
+        if not (reference = fast) then ok := false
+      done;
+      !ok)
+
+(* Whole walks under failure masks: traces, error codes, counters and
+   flight events must agree.  The generator mixes healthy and faulted
+   masks, so blackhole variants (Link_dead/Switch_dead/Instance_dead)
+   appear alongside table-shaped errors. *)
+let walk_both ~seed =
+  let rng = Rng.create seed in
+  let net, n = gen_network rng in
+  let path = List.init (1 + Rng.int rng n) (fun _ -> Rng.int rng n) in
+  let cls = Rng.int rng 4 in
+  let src_ip = gen_ip rng in
+  let start_in_host = Rng.int rng 4 = 0 in
+  let mask = gen_mask rng ~n in
+  let go mode =
+    observed (fun () ->
+        with_mode mode (fun () ->
+            Walk.run net ~path ~cls ~src_ip ~start_in_host ~mask ()))
+  in
+  let reference = go Compiled.Interp in
+  let fast = go Compiled.Compiled in
+  (reference, fast)
+
+let prop_walk =
+  QCheck.Test.make ~name:"compiled ≡ interp: walks under failmasks" ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let (r1, c1, e1), (r2, c2, e2) = walk_both ~seed in
+      if r1 = r2 && c1 = c2 && e1 = e2 then true
+      else
+        QCheck.Test.fail_reportf "diverged on seed %d:\n  interp:   %s\n  compiled: %s"
+          seed (pp_walk_result r1) (pp_walk_result r2))
+
+(* Batching must not change observable behaviour in either mode. *)
+let prop_batch =
+  QCheck.Test.make ~name:"run_batch ≡ sequential runs (both modes)" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let net, n = gen_network rng in
+      let mask = gen_mask rng ~n in
+      let requests =
+        Array.init
+          (1 + Rng.int rng 6)
+          (fun i ->
+            {
+              Walk.rq_path = List.init (1 + Rng.int rng n) (fun _ -> Rng.int rng n);
+              rq_cls = Rng.int rng 4;
+              rq_src_ip = gen_ip rng;
+              rq_start_in_host = Rng.int rng 4 = 0;
+              rq_flow = i;
+            })
+      in
+      let check mode =
+        let batched, bc, be =
+          observed (fun () ->
+              with_mode mode (fun () -> Walk.run_batch net ~requests ~mask ()))
+        in
+        let sequential, sc, se =
+          observed (fun () ->
+              with_mode mode (fun () ->
+                  Array.map
+                    (fun rq ->
+                      Walk.run net ~path:rq.Walk.rq_path ~cls:rq.Walk.rq_cls
+                        ~src_ip:rq.Walk.rq_src_ip
+                        ~start_in_host:rq.Walk.rq_start_in_host
+                        ~flow:rq.Walk.rq_flow ~mask ())
+                    requests))
+        in
+        batched = sequential && bc = sc && be = se
+      in
+      check Compiled.Interp && check Compiled.Compiled)
+
+(* ---------------- the seven error variants, deterministically ------- *)
+
+let prefix s = Pfx.prefix_of_string s
+let ip s = Apple_classifier.Header.ip_of_string s
+
+let classify ~to_host =
+  {
+    Rule.priority = 100;
+    pmatch =
+      { Rule.m_host = `Empty; m_subclass = `Any; m_prefixes = [ prefix "10.0.0.0/8" ] };
+    action = to_host;
+  }
+
+(* One network per error variant, each walked under both engines; the
+   error (not just its code) must match. *)
+let error_scenarios () =
+  let src_ip = ip "10.1.2.3" in
+  let scenarios = ref [] in
+  let add name net ?mask path expect_code =
+    scenarios := (name, net, mask, path, expect_code) :: !scenarios
+  in
+  (* 1: no matching rule — empty table *)
+  add "no_matching_rule" (Tcam.network ~num_switches:2) [ 0; 1 ] 1;
+  (* 2: vswitch miss — delivered to a host with no vswitch pipeline *)
+  let net2 = Tcam.network ~num_switches:1 in
+  Tcam.add_phys net2.(0)
+    (classify ~to_host:(Rule.Tag_and_deliver { subclass = 0; host = 0 }));
+  add "vswitch_miss" net2 [ 0 ] 2;
+  (* 3: host loop — a vswitch cycle *)
+  let net3 = Tcam.network ~num_switches:1 in
+  Tcam.add_phys net3.(0)
+    (classify ~to_host:(Rule.Tag_and_deliver { subclass = 0; host = 0 }));
+  Tcam.add_vswitch net3.(0)
+    {
+      Rule.v_port = Rule.From_network;
+      v_key = Rule.Global 0;
+      v_action = Rule.To_instance 1;
+    };
+  Tcam.add_vswitch net3.(0)
+    {
+      Rule.v_port = Rule.From_instance 1;
+      v_key = Rule.Global 0;
+      v_action = Rule.To_instance 1;
+    };
+  add "host_loop" net3 [ 0 ] 3;
+  (* 4: wrong host — deliver names a non-local host *)
+  let net4 = Tcam.network ~num_switches:2 in
+  Tcam.add_phys net4.(0)
+    (classify ~to_host:(Rule.Tag_and_deliver { subclass = 0; host = 1 }));
+  add "wrong_host" net4 [ 0; 1 ] 4;
+  (* 5/6/7: blackholes via the failmask *)
+  let healthy () =
+    let net = Tcam.network ~num_switches:2 in
+    Tcam.add_phys net.(0)
+      (classify ~to_host:(Rule.Tag_and_deliver { subclass = 0; host = 0 }));
+    Array.iter
+      (fun table ->
+        Tcam.add_phys table
+          {
+            Rule.priority = 0;
+            pmatch = { Rule.m_host = `Any; m_subclass = `Any; m_prefixes = [] };
+            action = Rule.Goto_next;
+          })
+      net;
+    Tcam.add_vswitch net.(0)
+      {
+        Rule.v_port = Rule.From_network;
+        v_key = Rule.Global 0;
+        v_action = Rule.To_instance 7;
+      };
+    Tcam.add_vswitch net.(0)
+      {
+        Rule.v_port = Rule.From_instance 7;
+        v_key = Rule.Global 0;
+        v_action = Rule.Back_to_network Tag.Fin;
+      };
+    net
+  in
+  let m5 = Failmask.create () in
+  Failmask.fail_link m5 0 1;
+  add "link_dead" (healthy ()) ~mask:m5 [ 0; 1 ] 5;
+  let m6 = Failmask.create () in
+  Failmask.fail_switch m6 1;
+  add "switch_dead" (healthy ()) ~mask:m6 [ 0; 1 ] 6;
+  let m7 = Failmask.create () in
+  Failmask.fail_instance m7 7;
+  add "instance_dead" (healthy ()) ~mask:m7 [ 0; 1 ] 7;
+  (List.rev !scenarios, src_ip)
+
+let test_all_error_variants () =
+  let scenarios, src_ip = error_scenarios () in
+  List.iter
+    (fun (name, net, mask, path, expect_code) ->
+      let go mode =
+        observed (fun () ->
+            with_mode mode (fun () -> Walk.run net ~path ~cls:0 ~src_ip ?mask ()))
+      in
+      let (r1, c1, e1) = go Compiled.Interp in
+      let (r2, c2, e2) = go Compiled.Compiled in
+      (match r1 with
+      | Error e ->
+          Alcotest.(check int)
+            (name ^ ": interp raises the expected variant")
+            expect_code (Walk.error_code e)
+      | Ok _ -> Alcotest.failf "%s: interp unexpectedly succeeded" name);
+      Alcotest.(check bool) (name ^ ": same result") true (r1 = r2);
+      Alcotest.(check bool) (name ^ ": same counters") true (c1 = c2);
+      Alcotest.(check bool) (name ^ ": same flight events") true (e1 = e2))
+    scenarios
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_phys_lookup; prop_vswitch_lookup; prop_walk; prop_batch ]
+  @ [ Alcotest.test_case "all seven error variants diff-equal" `Quick
+        test_all_error_variants ]
